@@ -1,0 +1,83 @@
+/// \file bench_bandwidth.cpp
+/// Figure 9: point-to-point bandwidth vs message size.
+///
+/// A source application streams a large message to a receiver over the SMI
+/// fabric; the 8 FPGAs are cabled as a linear bus (routes recomputed, no
+/// fabric rebuild) so the two endpoints can be placed at 1, 4 or 7 hops.
+/// The MPI+OpenCL series is the calibrated host-path model. Reference
+/// lines: 40 Gbit/s QSFP line rate and 35 Gbit/s payload peak (after the
+/// 4 B/32 B header).
+///
+/// An extra series sweeps the CK polling parameter R: our sequential-scan
+/// arbiter sustains R/(R+4) of payload peak for a single stream, so the
+/// default R=8 plateaus at ~23 Gbit/s while large R approaches the paper's
+/// ~32 Gbit/s (91% of payload peak); see EXPERIMENTS.md.
+
+#include <cinttypes>
+
+#include "baseline/host_model.h"
+#include "bench_common.h"
+
+namespace {
+
+using namespace smi;
+using namespace smi::bench;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_bandwidth", "Fig. 9: bandwidth vs message size");
+  cli.AddInt("min-kb", 1, "smallest message in KiB");
+  cli.AddInt("max-mb", 16, "largest message in MiB");
+  cli.AddInt("poll-r", 8, "CK polling parameter R for the hop series");
+  cli.AddFlag("no-r-sweep", "skip the R ablation series");
+  if (!cli.Parse(argc, argv)) return 2;
+
+  const net::Topology topo = net::Topology::Bus(8);
+  const sim::ClockConfig clock;
+  const baseline::HostModel host;
+
+  PrintTitle("Figure 9 — bandwidth vs message size [Gbit/s]");
+  std::printf("%12s %14s %14s %14s %14s\n", "size", "SMI-1hop", "SMI-4hops",
+              "SMI-7hops", "MPI+OpenCL");
+  std::printf("%12s %14s %14s %14s %14s\n", "", "", "", "",
+              "(host model)");
+
+  std::vector<std::uint64_t> sizes;
+  for (std::uint64_t b = static_cast<std::uint64_t>(cli.GetInt("min-kb"))
+                         << 10;
+       b <= static_cast<std::uint64_t>(cli.GetInt("max-mb")) << 20; b <<= 1) {
+    sizes.push_back(b);
+  }
+
+  core::ClusterConfig config;
+  config.fabric.poll_r = static_cast<int>(cli.GetInt("poll-r"));
+
+  for (const std::uint64_t bytes : sizes) {
+    double bw[3] = {0, 0, 0};
+    const int dsts[3] = {1, 4, 7};
+    for (int h = 0; h < 3; ++h) {
+      const core::RunResult r = StreamOnce(topo, 0, dsts[h], bytes, config);
+      bw[h] = clock.GigabitsPerSecond(bytes, r.cycles);
+    }
+    std::printf("%12s %14.2f %14.2f %14.2f %14.2f\n",
+                FormatBytes(bytes).c_str(), bw[0], bw[1], bw[2],
+                host.BandwidthGbps(bytes));
+  }
+  std::printf("\npeak QSFP line rate: 40.00 Gbit/s; payload peak after "
+              "4B/32B headers: 35.00 Gbit/s\n");
+
+  if (!cli.GetFlag("no-r-sweep")) {
+    PrintTitle("ablation — plateau bandwidth vs CK polling parameter R "
+               "(1 hop, 8 MiB)");
+    std::printf("%8s %14s %22s\n", "R", "Gbit/s", "fraction of 35 Gbit/s");
+    for (const int r : {1, 2, 4, 8, 16, 32, 64}) {
+      core::ClusterConfig rc;
+      rc.fabric.poll_r = r;
+      const core::RunResult res = StreamOnce(topo, 0, 1, 8ull << 20, rc);
+      const double gbps = clock.GigabitsPerSecond(8ull << 20, res.cycles);
+      std::printf("%8d %14.2f %21.1f%%\n", r, gbps, 100.0 * gbps / 35.0);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+/// \file bench_bcast.cpp
+/// Figure 10: time to broadcast a message of varying size (FP32 elements)
+/// across 4 and 8 FPGAs, on torus and linear-bus cabling, against the
+/// host-based MPI+OpenCL model. Lower is better.
+
+#include "baseline/host_model.h"
+#include "bench_common.h"
+
+namespace {
+
+using namespace smi;
+using namespace smi::bench;
+
+sim::Kernel BcastApp(core::Context& ctx, int count, int root) {
+  core::BcastChannel chan = ctx.OpenBcastChannel(
+      count, core::DataType::kFloat, /*port=*/0, root, ctx.world());
+  const bool is_root = ctx.rank() == root;
+  for (int i = 0; i < count; ++i) {
+    float v = is_root ? static_cast<float>(i) : 0.0f;
+    co_await chan.Bcast(v);
+  }
+}
+
+double BcastUs(const net::Topology& topo, int count) {
+  core::ProgramSpec spec;
+  spec.Add(core::OpSpec::Bcast(0, core::DataType::kFloat));
+  core::Cluster cluster(topo, spec);
+  for (int r = 0; r < topo.num_ranks(); ++r) {
+    cluster.AddKernel(r, BcastApp(cluster.context(r), count, /*root=*/0),
+                      "bcast");
+  }
+  return cluster.Run().microseconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_bcast", "Fig. 10: Bcast time vs message size");
+  cli.AddInt("max-elems", 262144, "largest message in FP32 elements");
+  if (!cli.Parse(argc, argv)) return 2;
+
+  const baseline::HostModel host;
+  PrintTitle("Figure 10 — Bcast time [usecs] (lower is better)");
+  std::printf("%10s %12s %12s %12s %12s %12s\n", "elems", "SMI-torus8",
+              "SMI-torus4", "SMI-bus8", "SMI-bus4", "MPI+OpenCL8");
+  for (int count = 1;
+       count <= static_cast<int>(cli.GetInt("max-elems")); count *= 4) {
+    const double torus8 = BcastUs(net::Topology::Torus2D(2, 4), count);
+    const double torus4 = BcastUs(net::Topology::Torus2D(2, 2), count);
+    const double bus8 = BcastUs(net::Topology::Bus(8), count);
+    const double bus4 = BcastUs(net::Topology::Bus(4), count);
+    const double mpi = host.BcastUs(static_cast<std::uint64_t>(count) * 4, 8);
+    std::printf("%10d %12.2f %12.2f %12.2f %12.2f %12.2f\n", count, torus8,
+                torus4, bus8, bus4, mpi);
+  }
+  return 0;
+}

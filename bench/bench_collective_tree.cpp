@@ -1,0 +1,74 @@
+/// \file bench_collective_tree.cpp
+/// Ablation (beyond the paper's evaluation, §4.4 extension): linear vs
+/// binomial-tree implementations of Bcast and Reduce on the 2x4 torus.
+/// The paper attributes its Reduce's large-message losses partly to the
+/// missing tree implementation ("the SMI reference implementation does not
+/// yet implement tree-based collectives, resulting in a higher congestion
+/// in the root rank") — this bench quantifies what the tree buys.
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace smi;
+using namespace smi::bench;
+
+sim::Kernel BcastApp(core::Context& ctx, int count, int root) {
+  core::BcastChannel chan = ctx.OpenBcastChannel(
+      count, core::DataType::kFloat, 0, root, ctx.world());
+  for (int i = 0; i < count; ++i) {
+    float v = ctx.rank() == root ? static_cast<float>(i) : 0.0f;
+    co_await chan.Bcast(v);
+  }
+}
+
+sim::Kernel ReduceApp(core::Context& ctx, int count, int root) {
+  core::ReduceChannel chan = ctx.OpenReduceChannel(
+      count, core::DataType::kFloat, core::ReduceOp::kAdd, 0, root,
+      ctx.world(), /*credits=*/64);
+  for (int i = 0; i < count; ++i) {
+    float rcv = 0.0f;
+    co_await chan.Reduce(static_cast<float>(i), rcv);
+  }
+}
+
+double RunUs(core::CollKind kind, core::CollAlgo algo, int count) {
+  core::ProgramSpec spec;
+  spec.Add(kind == core::CollKind::kBcast
+               ? core::OpSpec::Bcast(0, core::DataType::kFloat, algo)
+               : core::OpSpec::Reduce(0, core::DataType::kFloat, algo));
+  core::Cluster cluster(net::Topology::Torus2D(2, 4), spec);
+  for (int r = 0; r < 8; ++r) {
+    if (kind == core::CollKind::kBcast) {
+      cluster.AddKernel(r, BcastApp(cluster.context(r), count, 0), "app");
+    } else {
+      cluster.AddKernel(r, ReduceApp(cluster.context(r), count, 0), "app");
+    }
+  }
+  return cluster.Run().microseconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_collective_tree",
+                "ablation: linear vs tree collectives, 8 ranks, torus");
+  cli.AddInt("max-elems", 65536, "largest message in FP32 elements");
+  if (!cli.Parse(argc, argv)) return 2;
+
+  for (const core::CollKind kind :
+       {core::CollKind::kBcast, core::CollKind::kReduce}) {
+    PrintTitle(std::string(core::CollKindName(kind)) +
+               " — linear vs binomial tree [usecs], 8 ranks, 2x4 torus");
+    std::printf("%10s %12s %12s %10s\n", "elems", "linear", "tree",
+                "speedup");
+    for (int count = 64;
+         count <= static_cast<int>(cli.GetInt("max-elems")); count *= 8) {
+      const double linear = RunUs(kind, core::CollAlgo::kLinear, count);
+      const double tree = RunUs(kind, core::CollAlgo::kTree, count);
+      std::printf("%10d %12.2f %12.2f %9.2fx\n", count, linear, tree,
+                  linear / tree);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+#include "bench_common.h"
+
+namespace smi::bench {
+namespace {
+
+using core::Cluster;
+using core::Context;
+using core::DataType;
+using core::RecvChannel;
+using core::SendChannel;
+using sim::Kernel;
+
+Kernel StreamSender(Context& ctx, int dst, int packets) {
+  SendChannel ch = ctx.OpenSendChannel(packets * 7, DataType::kInt, dst, 0,
+                                       ctx.world());
+  std::int32_t vals[7] = {0, 1, 2, 3, 4, 5, 6};
+  for (int p = 0; p < packets; ++p) {
+    co_await ch.PushPacket<std::int32_t>(vals, 7);
+  }
+}
+
+Kernel StreamReceiver(Context& ctx, int src, int packets) {
+  RecvChannel ch = ctx.OpenRecvChannel(packets * 7, DataType::kInt, src, 0,
+                                       ctx.world());
+  for (int p = 0; p < packets; ++p) {
+    (void)co_await ch.PopPacket<std::int32_t>();
+  }
+}
+
+Kernel PingPong(Context& ctx, int peer, int rounds, bool initiator) {
+  for (int r = 0; r < rounds; ++r) {
+    if (initiator) {
+      SendChannel s =
+          ctx.OpenSendChannel(1, DataType::kInt, peer, 0, ctx.world());
+      co_await s.Push<std::int32_t>(r);
+      RecvChannel rc =
+          ctx.OpenRecvChannel(1, DataType::kInt, peer, 0, ctx.world());
+      (void)co_await rc.Pop<std::int32_t>();
+    } else {
+      RecvChannel rc =
+          ctx.OpenRecvChannel(1, DataType::kInt, peer, 0, ctx.world());
+      const std::int32_t v = co_await rc.Pop<std::int32_t>();
+      SendChannel s =
+          ctx.OpenSendChannel(1, DataType::kInt, peer, 0, ctx.world());
+      co_await s.Push<std::int32_t>(v);
+    }
+  }
+}
+
+}  // namespace
+
+core::RunResult StreamOnce(const net::Topology& topo, int src, int dst,
+                           std::uint64_t bytes,
+                           const core::ClusterConfig& config) {
+  // Payload bytes -> wide-datapath packets (28 B of payload each).
+  const int packets =
+      static_cast<int>((bytes + net::kPayloadBytes - 1) / net::kPayloadBytes);
+  Cluster cluster(topo, P2pSpec(), config);
+  cluster.AddKernel(src, StreamSender(cluster.context(src), dst, packets),
+                    "stream-send");
+  cluster.AddKernel(dst, StreamReceiver(cluster.context(dst), src, packets),
+                    "stream-recv");
+  return cluster.Run();
+}
+
+sim::Cycle PingPongOnce(const net::Topology& topo, int src, int dst,
+                        const core::ClusterConfig& config, int rounds) {
+  Cluster cluster(topo, P2pSpec(), config);
+  cluster.AddKernel(src, PingPong(cluster.context(src), dst, rounds, true),
+                    "ping");
+  cluster.AddKernel(dst, PingPong(cluster.context(dst), src, rounds, false),
+                    "pong");
+  return cluster.Run().cycles;
+}
+
+}  // namespace smi::bench

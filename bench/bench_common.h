@@ -1,0 +1,52 @@
+#ifndef SMI_BENCH_BENCH_COMMON_H
+#define SMI_BENCH_BENCH_COMMON_H
+
+/// \file bench_common.h
+/// Shared plumbing for the paper-reproduction benchmarks: point-to-point
+/// stream/ping-pong drivers over a Cluster, and table formatting.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/string_util.h"
+#include "core/smi.h"
+#include "net/topology.h"
+
+namespace smi::bench {
+
+/// The SPMD spec used by the microbenchmarks: one send and one recv
+/// endpoint on port 0 of every rank.
+inline core::ProgramSpec P2pSpec() {
+  core::ProgramSpec spec;
+  spec.Add(core::OpSpec::Send(0, core::DataType::kInt));
+  spec.Add(core::OpSpec::Recv(0, core::DataType::kInt));
+  return spec;
+}
+
+/// Stream `bytes` of payload from rank `src` to rank `dst` using the wide
+/// (one packet per cycle) datapath; returns the run result.
+core::RunResult StreamOnce(const net::Topology& topo, int src, int dst,
+                           std::uint64_t bytes,
+                           const core::ClusterConfig& config);
+
+/// One ping-pong round trip of a single-int message between ranks src and
+/// dst; returns total cycles for the round trip.
+sim::Cycle PingPongOnce(const net::Topology& topo, int src, int dst,
+                        const core::ClusterConfig& config, int rounds = 1);
+
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void PrintTitle(const std::string& title) {
+  PrintRule();
+  std::printf("%s\n", title.c_str());
+  PrintRule();
+}
+
+}  // namespace smi::bench
+
+#endif  // SMI_BENCH_BENCH_COMMON_H

@@ -1,0 +1,91 @@
+/// \file bench_fifo_depth.cpp
+/// Ablation (beyond the paper's figures, motivated by §3.3/§4.2): effect of
+/// the application endpoint FIFO depth — the channel "asynchronicity
+/// degree" k — on (a) streaming bandwidth and (b) total runtime of a
+/// compute/communicate pattern where a sender alternates bursts of
+/// computation with bursts of communication. Deeper buffers let the sender
+/// commit data to the network and keep computing; the paper calls the
+/// buffer size "an optimization parameter ... programs must not rely on
+/// these buffer sizes for correctness".
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace smi;
+using namespace smi::bench;
+
+/// Streams `total` ints and records the cycle at which the final SMI_Push
+/// completed — the moment the sender is free to continue computing. §3.3:
+/// "an SMI send is non-local: it can be started whether or not the receiver
+/// is ready ... its completion may depend on the receiver, if the message
+/// size is larger than k".
+sim::Kernel TimedSender(core::Context& ctx, int total, const sim::Cycle* now,
+                        sim::Cycle& done_at) {
+  core::SendChannel ch = ctx.OpenSendChannel(total, core::DataType::kInt, 1,
+                                             0, ctx.world());
+  for (int i = 0; i < total; ++i) {
+    co_await ch.Push<std::int32_t>(i);
+  }
+  done_at = *now;
+}
+
+/// Receiver that is busy computing for `delay` cycles before draining.
+sim::Kernel DelayedReceiver(core::Context& ctx, int total, int delay) {
+  co_await sim::WaitCycles{static_cast<sim::Cycle>(delay)};
+  core::RecvChannel ch = ctx.OpenRecvChannel(total, core::DataType::kInt, 0,
+                                             0, ctx.world());
+  for (int i = 0; i < total; ++i) {
+    (void)co_await ch.Pop<std::int32_t>();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_fifo_depth",
+                "ablation: endpoint FIFO depth (asynchronicity degree)");
+  cli.AddInt("elems", 20000, "message length in ints");
+  cli.AddInt("burst", 256, "compute/communicate burst length");
+  if (!cli.Parse(argc, argv)) return 2;
+
+  const int total = static_cast<int>(cli.GetInt("elems"));
+  const int delay = static_cast<int>(cli.GetInt("burst")) * 40;
+  const net::Topology topo = net::Topology::Bus(2);
+  const sim::ClockConfig clock;
+
+  PrintTitle("endpoint FIFO depth vs sender completion — " +
+             std::to_string(total) + " ints, receiver busy for " +
+             std::to_string(delay) + " cycles");
+  std::printf("%10s %18s %14s\n", "depth k", "sender done [cyc]",
+              "total [cyc]");
+  for (const std::size_t depth : {2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u,
+                                  512u}) {
+    core::ClusterConfig config;
+    config.fabric.endpoint_fifo_depth = depth;
+    core::Cluster cluster(topo, P2pSpec(), config);
+    sim::Cycle done_at = 0;
+    cluster.AddKernel(0,
+                      TimedSender(cluster.context(0), total,
+                                  cluster.engine().now_ptr(), done_at),
+                      "sender");
+    cluster.AddKernel(1, DelayedReceiver(cluster.context(1), total, delay),
+                      "receiver");
+    const core::RunResult r = cluster.Run();
+    std::printf("%10zu %18llu %14llu\n", depth,
+                static_cast<unsigned long long>(done_at),
+                static_cast<unsigned long long>(r.cycles));
+  }
+
+  PrintTitle("endpoint FIFO depth vs plateau bandwidth — continuous stream, "
+             "8 MiB");
+  std::printf("%10s %14s\n", "depth k", "Gbit/s");
+  for (const std::size_t depth : {2u, 8u, 32u, 128u}) {
+    core::ClusterConfig config;
+    config.fabric.endpoint_fifo_depth = depth;
+    const core::RunResult r = StreamOnce(topo, 0, 1, 8ull << 20, config);
+    std::printf("%10zu %14.2f\n", depth,
+                clock.GigabitsPerSecond(8ull << 20, r.cycles));
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+/// \file bench_latency.cpp
+/// Table 3: point-to-point message latency in microseconds, measured as
+/// half the round-trip time of a one-element ping-pong, at network
+/// distances of 1, 4 and 7 hops (bus cabling), against the host-based
+/// MPI+OpenCL path model.
+
+#include "baseline/host_model.h"
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace smi;
+  using namespace smi::bench;
+
+  CliParser cli("bench_latency", "Table 3: p2p latency (usecs)");
+  cli.AddInt("rounds", 16, "ping-pong rounds to average over");
+  if (!cli.Parse(argc, argv)) return 2;
+
+  const net::Topology topo = net::Topology::Bus(8);
+  const sim::ClockConfig clock;
+  const baseline::HostModel host;
+  const int rounds = static_cast<int>(cli.GetInt("rounds"));
+  const core::ClusterConfig config;
+
+  PrintTitle("Table 3 — measured latency in usecs "
+             "(half round-trip of a 1-element message)");
+  std::printf("%14s %10s %10s %10s\n", "MPI+OpenCL", "SMI-1", "SMI-4",
+              "SMI-7");
+  double smi_us[3] = {0, 0, 0};
+  const int dsts[3] = {1, 4, 7};
+  for (int h = 0; h < 3; ++h) {
+    const sim::Cycle cycles = PingPongOnce(topo, 0, dsts[h], config, rounds);
+    smi_us[h] = clock.CyclesToMicros(cycles) / (2.0 * rounds);
+  }
+  std::printf("%14.2f %10.3f %10.3f %10.3f\n", host.LatencyUs(4), smi_us[0],
+              smi_us[1], smi_us[2]);
+  std::printf("\n(paper: 36.61 / 0.801 / 2.896 / 5.103)\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+/// \file bench_reduce.cpp
+/// Figure 11: time to reduce (SUM, FP32) a message of varying size across
+/// 4 and 8 FPGAs, torus vs linear-bus cabling, against the host-based
+/// MPI+OpenCL model. The SMI implementation uses the credit-based flow
+/// control of §4.4, whose sensitivity to network latency is what makes SMI
+/// lose its advantage at large message sizes in the paper.
+
+#include "baseline/host_model.h"
+#include "bench_common.h"
+
+namespace {
+
+using namespace smi;
+using namespace smi::bench;
+
+sim::Kernel ReduceApp(core::Context& ctx, int count, int root, int credits) {
+  core::ReduceChannel chan = ctx.OpenReduceChannel(
+      count, core::DataType::kFloat, core::ReduceOp::kAdd, /*port=*/0, root,
+      ctx.world(), credits);
+  for (int i = 0; i < count; ++i) {
+    float rcv = 0.0f;
+    co_await chan.Reduce(static_cast<float>(i + ctx.rank()), rcv);
+  }
+}
+
+double ReduceUs(const net::Topology& topo, int count, int credits) {
+  core::ProgramSpec spec;
+  spec.Add(core::OpSpec::Reduce(0, core::DataType::kFloat));
+  core::Cluster cluster(topo, spec);
+  for (int r = 0; r < topo.num_ranks(); ++r) {
+    cluster.AddKernel(r,
+                      ReduceApp(cluster.context(r), count, /*root=*/0,
+                                credits),
+                      "reduce");
+  }
+  return cluster.Run().microseconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_reduce", "Fig. 11: Reduce time vs message size");
+  cli.AddInt("max-elems", 262144, "largest message in FP32 elements");
+  cli.AddInt("credits", 64, "flow-control tile size C");
+  cli.AddFlag("credit-sweep", "also sweep the credit tile size (ablation)");
+  if (!cli.Parse(argc, argv)) return 2;
+
+  const int credits = static_cast<int>(cli.GetInt("credits"));
+  const baseline::HostModel host;
+  PrintTitle("Figure 11 — Reduce time [usecs] (SUM FP32, lower is better)");
+  std::printf("%10s %12s %12s %12s %12s %12s\n", "elems", "SMI-torus8",
+              "SMI-torus4", "SMI-bus8", "SMI-bus4", "MPI+OpenCL8");
+  for (int count = 1;
+       count <= static_cast<int>(cli.GetInt("max-elems")); count *= 4) {
+    const double torus8 =
+        ReduceUs(net::Topology::Torus2D(2, 4), count, credits);
+    const double torus4 =
+        ReduceUs(net::Topology::Torus2D(2, 2), count, credits);
+    const double bus8 = ReduceUs(net::Topology::Bus(8), count, credits);
+    const double bus4 = ReduceUs(net::Topology::Bus(4), count, credits);
+    const double mpi =
+        host.ReduceUs(static_cast<std::uint64_t>(count) * 4, 8);
+    std::printf("%10d %12.2f %12.2f %12.2f %12.2f %12.2f\n", count, torus8,
+                torus4, bus8, bus4, mpi);
+  }
+
+  if (cli.GetFlag("credit-sweep")) {
+    PrintTitle("ablation — Reduce time vs credit tile size C "
+               "(torus, 8 ranks, 65536 elems)");
+    std::printf("%10s %12s\n", "C", "usecs");
+    for (const int c : {1, 4, 16, 64, 256, 1024}) {
+      std::printf("%10d %12.2f\n", c,
+                  ReduceUs(net::Topology::Torus2D(2, 4), 65536, c));
+    }
+  }
+  return 0;
+}

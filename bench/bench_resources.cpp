@@ -1,0 +1,79 @@
+/// \file bench_resources.cpp
+/// Tables 1 and 2: FPGA resource consumption of the SMI transport
+/// (interconnect + communication kernels, for 1 and 4 QSFPs) and of the
+/// collective support kernels, from the structural resource model anchored
+/// on the paper's synthesis measurements (see resources/model.h).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "codegen/planner.h"
+#include "resources/model.h"
+
+int main(int argc, char** argv) {
+  using namespace smi;
+  using namespace smi::bench;
+  using resources::CollectiveKernel;
+  using resources::CommunicationKernels;
+  using resources::Interconnect;
+  using resources::Resources;
+  using resources::Transport;
+  using resources::Utilization;
+  using resources::Utilize;
+
+  CliParser cli("bench_resources", "Tables 1-2: SMI resource consumption");
+  if (!cli.Parse(argc, argv)) return 2;
+
+  PrintTitle("Table 1 — SMI resource consumption");
+  std::printf("%-12s | %9s %9s %7s | %9s %9s %7s\n", "", "LUTs", "FFs",
+              "M20Ks", "LUTs", "FFs", "M20Ks");
+  std::printf("%-12s | %27s | %27s\n", "", "1 QSFP", "4 QSFPs");
+  const Resources i1 = Interconnect(1);
+  const Resources i4 = Interconnect(4);
+  const Resources c1 = CommunicationKernels(1);
+  const Resources c4 = CommunicationKernels(4);
+  std::printf("%-12s | %9.0f %9.0f %7.0f | %9.0f %9.0f %7.0f\n", "Interconn.",
+              i1.luts, i1.ffs, i1.m20ks, i4.luts, i4.ffs, i4.m20ks);
+  std::printf("%-12s | %9.0f %9.0f %7.0f | %9.0f %9.0f %7.0f\n", "C. K.",
+              c1.luts, c1.ffs, c1.m20ks, c4.luts, c4.ffs, c4.m20ks);
+  const Utilization u1 = Utilize(Transport(1));
+  const Utilization u4 = Utilize(Transport(4));
+  std::printf("%-12s | %8.1f%% %8.1f%% %6.1f%% | %8.1f%% %8.1f%% %6.1f%%\n",
+              "% of max", u1.luts_pct, u1.ffs_pct, u1.m20ks_pct, u4.luts_pct,
+              u4.ffs_pct, u4.m20ks_pct);
+  std::printf("\n(paper 4-QSFP %%: 1.7%% LUTs, 1.9%% FFs, 0.3%% M20Ks)\n\n");
+
+  PrintTitle("Table 2 — collective support kernel resource consumption");
+  std::printf("%-22s %9s %9s %7s %6s\n", "", "LUTs", "FFs", "M20Ks", "DSPs");
+  struct Row {
+    const char* name;
+    core::CollKind kind;
+  };
+  for (const Row row : {Row{"Broadcast", core::CollKind::kBcast},
+                        Row{"Reduce (FP32 SUM)", core::CollKind::kReduce},
+                        Row{"Scatter (est.)", core::CollKind::kScatter},
+                        Row{"Gather (est.)", core::CollKind::kGather}}) {
+    const Resources r = CollectiveKernel(row.kind);
+    const Utilization u = Utilize(r);
+    std::printf("%-22s %5.0f (%3.1f%%) %5.0f (%3.1f%%) %3.0f %6.0f\n",
+                row.name, r.luts, u.luts_pct, r.ffs, u.ffs_pct, r.m20ks,
+                r.dsps);
+  }
+
+  std::printf("\n");
+  PrintTitle("fabric plan resource estimate (codegen) — stencil SPMD rank");
+  core::ProgramSpec stencil_spec;
+  for (const int p : {1, 2, 3, 4}) {
+    stencil_spec.Add(core::OpSpec::Send(p, core::DataType::kFloat));
+    stencil_spec.Add(core::OpSpec::Recv(p, core::DataType::kFloat));
+  }
+  const codegen::FabricPlan plan = codegen::Plan(stencil_spec, 4);
+  const Resources res = plan.EstimateResources();
+  const Utilization u = Utilize(res);
+  std::printf("endpoints: %zu, support kernels: %zu\n", plan.endpoints.size(),
+              plan.support_kernels.size());
+  std::printf("LUTs %.0f (%.2f%%), FFs %.0f (%.2f%%), M20Ks %.0f (%.2f%%)\n",
+              res.luts, u.luts_pct, res.ffs, u.ffs_pct, res.m20ks,
+              u.m20ks_pct);
+  return 0;
+}

@@ -1,0 +1,86 @@
+/// \file bench_scatter_gather.cpp
+/// Ablation (beyond the paper's figures): Scatter and Gather timing vs
+/// per-rank segment size and rank count. The paper defines both primitives
+/// and their sequential-rendezvous protocols (§3.2/§4.4, Fig. 5) but does
+/// not plot them; this bench characterizes the implementation the same way
+/// Figs. 10-11 characterize Bcast and Reduce.
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace smi;
+using namespace smi::bench;
+
+sim::Kernel ScatterApp(core::Context& ctx, int count, int root) {
+  core::ScatterChannel chan = ctx.OpenScatterChannel(
+      count, core::DataType::kFloat, 0, root, ctx.world());
+  const int n = ctx.world_size();
+  if (ctx.rank() == root) {
+    for (int i = 0; i < count * n; ++i) {
+      const float snd = static_cast<float>(i);
+      float rcv = 0.0f;
+      (void)co_await chan.Scatter<float>(&snd, rcv);
+    }
+  } else {
+    for (int i = 0; i < count; ++i) {
+      float rcv = 0.0f;
+      (void)co_await chan.Scatter<float>(nullptr, rcv);
+    }
+  }
+}
+
+sim::Kernel GatherApp(core::Context& ctx, int count, int root) {
+  core::GatherChannel chan = ctx.OpenGatherChannel(
+      count, core::DataType::kFloat, 0, root, ctx.world());
+  const int n = ctx.world_size();
+  if (ctx.rank() == root) {
+    for (int i = 0; i < count * n; ++i) {
+      float rcv = 0.0f;
+      (void)co_await chan.Gather<float>(static_cast<float>(i), &rcv);
+    }
+  } else {
+    for (int i = 0; i < count; ++i) {
+      co_await chan.Gather<float>(static_cast<float>(i), nullptr);
+    }
+  }
+}
+
+double RunUs(core::CollKind kind, const net::Topology& topo, int count) {
+  core::ProgramSpec spec;
+  spec.Add(kind == core::CollKind::kScatter
+               ? core::OpSpec::Scatter(0, core::DataType::kFloat)
+               : core::OpSpec::Gather(0, core::DataType::kFloat));
+  core::Cluster cluster(topo, spec);
+  for (int r = 0; r < topo.num_ranks(); ++r) {
+    if (kind == core::CollKind::kScatter) {
+      cluster.AddKernel(r, ScatterApp(cluster.context(r), count, 0), "app");
+    } else {
+      cluster.AddKernel(r, GatherApp(cluster.context(r), count, 0), "app");
+    }
+  }
+  return cluster.Run().microseconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_scatter_gather",
+                "Scatter/Gather time vs segment size (torus)");
+  cli.AddInt("max-elems", 16384, "largest per-rank segment in FP32 elements");
+  if (!cli.Parse(argc, argv)) return 2;
+
+  for (const core::CollKind kind :
+       {core::CollKind::kScatter, core::CollKind::kGather}) {
+    PrintTitle(std::string(core::CollKindName(kind)) +
+               " time [usecs] vs per-rank segment (root 0)");
+    std::printf("%10s %12s %12s\n", "elems/rank", "torus-8", "torus-4");
+    for (int count = 16;
+         count <= static_cast<int>(cli.GetInt("max-elems")); count *= 8) {
+      const double t8 = RunUs(kind, net::Topology::Torus2D(2, 4), count);
+      const double t4 = RunUs(kind, net::Topology::Torus2D(2, 2), count);
+      std::printf("%10d %12.2f %12.2f\n", count, t8, t4);
+    }
+  }
+  return 0;
+}

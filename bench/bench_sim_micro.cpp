@@ -1,0 +1,83 @@
+/// \file bench_sim_micro.cpp
+/// Wall-clock microbenchmarks (google-benchmark) of the simulation
+/// substrate itself: FIFO throughput, engine cycle rate with a realistic
+/// fabric, route generation, and packet header codec. These track the
+/// simulator's own performance, which bounds how large the paper
+/// experiments can be driven.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "net/routing.h"
+
+namespace {
+
+using namespace smi;
+
+void BM_FifoPushPop(benchmark::State& state) {
+  sim::Fifo<int> fifo("bench", 64);
+  sim::Cycle now = 0;
+  for (auto _ : state) {
+    if (fifo.CanPush(now)) fifo.Push(1, now);
+    if (fifo.CanPop(now)) benchmark::DoNotOptimize(fifo.Pop(now));
+    fifo.Commit();
+    ++now;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(now));
+}
+BENCHMARK(BM_FifoPushPop);
+
+void BM_HeaderCodec(benchmark::State& state) {
+  std::uint32_t wire = 0;
+  for (auto _ : state) {
+    net::Header h;
+    h.src = static_cast<std::uint8_t>(wire & 0xff);
+    h.dst = 3;
+    h.port = 7;
+    h.count = 5;
+    wire = h.Encode();
+    benchmark::DoNotOptimize(net::Header::Decode(wire));
+  }
+}
+BENCHMARK(BM_HeaderCodec);
+
+void BM_EngineCyclesPerSecond(benchmark::State& state) {
+  // Stream packets across a 2-rank fabric and report simulated cycles per
+  // wall second — the key throughput figure of the whole simulator.
+  const net::Topology topo = net::Topology::Bus(2);
+  std::uint64_t total_cycles = 0;
+  for (auto _ : state) {
+    const core::RunResult r = bench::StreamOnce(
+        topo, 0, 1, 64 * 1024, core::ClusterConfig{});
+    total_cycles += r.cycles;
+    benchmark::DoNotOptimize(r.cycles);
+  }
+  state.counters["sim_cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(total_cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineCyclesPerSecond)->Unit(benchmark::kMillisecond);
+
+void BM_RouteGeneration(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const net::Topology topo =
+      net::Topology::Torus2D(2, n / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        net::ComputeRoutes(topo, net::RoutingScheme::kAuto));
+  }
+}
+BENCHMARK(BM_RouteGeneration)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_DeadlockCheck(benchmark::State& state) {
+  const net::Topology topo = net::Topology::Torus2D(4, 4);
+  const net::RoutingTable routes =
+      net::ComputeRoutes(topo, net::RoutingScheme::kUpDown);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::IsDeadlockFree(topo, routes));
+  }
+}
+BENCHMARK(BM_DeadlockCheck);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+/// \file bench_stencil_strong.cpp
+/// Figure 15: stencil strong scaling — the same grid executed with
+/// {1 bank/1 FPGA, 4 banks/1 FPGA, 1 bank/4 FPGAs, 4 banks/4 FPGAs,
+/// 4 banks/8 FPGAs}, reporting speedup over the 1-bank/1-FPGA baseline.
+/// Torus cabling; the paper observed identical times on a bus, which can be
+/// checked with --bus.
+
+#include "apps/stencil.h"
+#include "bench_common.h"
+
+namespace {
+
+using namespace smi;
+using namespace smi::bench;
+
+struct Config {
+  const char* label;
+  int banks;
+  int rx, ry;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_stencil_strong", "Fig. 15: stencil strong scaling");
+  cli.AddInt("grid", 2048, "grid size (NxN)");
+  cli.AddInt("timesteps", 8, "stencil timesteps");
+  cli.AddFlag("full", "run the paper's 4096x4096, 32 timesteps (slow)");
+  if (!cli.Parse(argc, argv)) return 2;
+
+  const bool full = cli.GetFlag("full");
+  const int grid = full ? 4096 : static_cast<int>(cli.GetInt("grid"));
+  const int steps = full ? 32 : static_cast<int>(cli.GetInt("timesteps"));
+
+  const Config configs[] = {
+      {"1 bank/1 FPGA", 1, 1, 1},  {"4 banks/1 FPGA", 4, 1, 1},
+      {"1 bank/4 FPGAs", 1, 2, 2}, {"4 banks/4 FPGAs", 4, 2, 2},
+      {"4 banks/8 FPGAs", 4, 2, 4},
+  };
+
+  PrintTitle("Figure 15 — stencil strong scaling, " + std::to_string(grid) +
+             "x" + std::to_string(grid) + " grid, " + std::to_string(steps) +
+             " timesteps");
+  std::printf("%-18s %12s %10s\n", "configuration", "time [ms]", "speedup");
+  double base_cycles = 0.0;
+  for (const Config& c : configs) {
+    apps::StencilConfig sc;
+    sc.nx_global = grid;
+    sc.ny_global = grid;
+    sc.rx = c.rx;
+    sc.ry = c.ry;
+    sc.banks = c.banks;
+    sc.timesteps = steps;
+    const apps::StencilResult result = RunStencilSmi(sc);
+    const double cycles = static_cast<double>(result.run.cycles);
+    if (base_cycles == 0.0) base_cycles = cycles;
+    std::printf("%-18s %12.2f %9.2fx\n", c.label,
+                result.run.seconds * 1e3, base_cycles / cycles);
+  }
+  std::printf("\n(paper, 4096x4096/32: 1.0x 254ms, 3.5x, 3.5x, 12.3x, "
+              "23.1x)\n");
+  return 0;
+}

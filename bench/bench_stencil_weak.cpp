@@ -1,0 +1,48 @@
+/// \file bench_stencil_weak.cpp
+/// Figure 16: stencil weak scaling — average execution time per grid point
+/// (nanoseconds) for varying grid sizes, with 4 memory banks per FPGA, on
+/// 4 and 8 ranks. At large grids 8 ranks approach a 2x advantage.
+
+#include "apps/stencil.h"
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace smi;
+  using namespace smi::bench;
+
+  CliParser cli("bench_stencil_weak", "Fig. 16: stencil weak scaling");
+  cli.AddInt("timesteps", 8, "stencil timesteps");
+  cli.AddInt("max-grid", 2048, "largest grid size (NxN)");
+  if (!cli.Parse(argc, argv)) return 2;
+
+  const int steps = static_cast<int>(cli.GetInt("timesteps"));
+  const int max_grid = static_cast<int>(cli.GetInt("max-grid"));
+
+  PrintTitle("Figure 16 — time per stencil point [nsec], 4 banks/FPGA, " +
+             std::to_string(steps) + " timesteps");
+  std::printf("%14s %12s %12s %10s\n", "grid", "4 ranks", "8 ranks",
+              "ratio");
+  for (int grid = 512; grid <= max_grid; grid *= 2) {
+    double ns[2] = {0, 0};
+    const std::pair<int, int> shapes[2] = {{2, 2}, {2, 4}};
+    for (int i = 0; i < 2; ++i) {
+      apps::StencilConfig sc;
+      sc.nx_global = grid;
+      sc.ny_global = grid;
+      sc.rx = shapes[i].first;
+      sc.ry = shapes[i].second;
+      sc.banks = 4;
+      sc.timesteps = steps;
+      const apps::StencilResult result = RunStencilSmi(sc);
+      const double points = static_cast<double>(grid) *
+                            static_cast<double>(grid) *
+                            static_cast<double>(steps);
+      ns[i] = result.run.seconds * 1e9 / points;
+    }
+    std::printf("%7dx%-6d %12.4f %12.4f %9.2fx\n", grid, grid, ns[0], ns[1],
+                ns[0] / ns[1]);
+  }
+  std::printf("\n(paper: 8 ranks approach 2x over 4 ranks at large "
+              "grids)\n");
+  return 0;
+}

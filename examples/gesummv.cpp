@@ -1,0 +1,50 @@
+/// \file gesummv.cpp
+/// Distributed GESUMMV (§5.4.1, Fig. 12): y = alpha*A*x + beta*B*x split
+/// over two FPGAs by functional decomposition. Runs the single-FPGA and
+/// 2-rank versions of the same problem, validates both against a serial
+/// reference, and reports the speedup from doubling the aggregate memory
+/// bandwidth.
+///
+/// Build & run:  ./build/examples/gesummv [N]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/gesummv.h"
+#include "apps/reference.h"
+
+int main(int argc, char** argv) {
+  using namespace smi;
+
+  apps::GesummvConfig config;
+  config.rows = argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 512;
+  config.cols = config.rows;
+
+  std::printf("GESUMMV, %zux%zu matrices, alpha=%.2f beta=%.2f\n",
+              config.rows, config.cols, config.alpha, config.beta);
+
+  const apps::GesummvResult single = apps::RunGesummvSingleFpga(config);
+  const apps::GesummvResult dist = apps::RunGesummvDistributed(config);
+
+  // Validate against the serial reference.
+  const auto a = apps::MakeMatrix(config.rows, config.cols, config.seed);
+  const auto b = apps::MakeMatrix(config.rows, config.cols, config.seed + 1);
+  const auto x = apps::MakeVector(config.cols, config.seed + 2);
+  const auto expect = apps::ReferenceGesummv(a, b, x, config.alpha,
+                                             config.beta, config.rows);
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    if (single.y[i] != expect[i] || dist.y[i] != expect[i]) ++mismatches;
+  }
+
+  std::printf("single FPGA (2 GEMV + AXPY sharing 4 banks): %8.3f ms\n",
+              single.run.seconds * 1e3);
+  std::printf("distributed (GEMV | SMI | GEMV + AXPY):      %8.3f ms\n",
+              dist.run.seconds * 1e3);
+  std::printf("speedup: %.2fx, validation: %s\n",
+              static_cast<double>(single.run.cycles) /
+                  static_cast<double>(dist.run.cycles),
+              mismatches == 0 ? "exact match with serial reference"
+                              : "MISMATCH");
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+/// \file stencil_halo.cpp
+/// SPMD distributed stencil with halo exchange (§5.4.2, Fig. 14 and
+/// Listing 3): a 4-point Jacobi stencil over a grid decomposed across a
+/// 2x4 torus of 8 simulated FPGAs, exchanging halos over transient SMI
+/// channels every timestep. Validates the final grid against a serial
+/// reference and reports the effective throughput.
+///
+/// Build & run:  ./build/examples/stencil_halo [grid] [timesteps]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/reference.h"
+#include "apps/stencil.h"
+
+int main(int argc, char** argv) {
+  using namespace smi;
+
+  apps::StencilConfig config;
+  config.nx_global = argc > 1 ? std::atoi(argv[1]) : 256;
+  config.ny_global = config.nx_global;
+  config.timesteps = argc > 2 ? std::atoi(argv[2]) : 8;
+  config.rx = 2;
+  config.ry = 4;
+  config.banks = 4;
+
+  std::printf("4-point stencil, %dx%d grid, %d timesteps, %dx%d ranks, "
+              "%d banks/rank\n",
+              config.nx_global, config.ny_global, config.timesteps,
+              config.rx, config.ry, config.banks);
+
+  const apps::StencilResult result = apps::RunStencilSmi(config);
+
+  const std::vector<float> expect = apps::ReferenceStencil(
+      apps::MakeStencilGrid(config.nx_global, config.ny_global, config.seed),
+      static_cast<std::size_t>(config.nx_global),
+      static_cast<std::size_t>(config.ny_global), config.timesteps);
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    if (result.grid[i] != expect[i]) ++mismatches;
+  }
+
+  const double points = static_cast<double>(config.nx_global) *
+                        config.ny_global * config.timesteps;
+  std::printf("completed in %.3f ms — %.3f ns per grid point\n",
+              result.run.seconds * 1e3, result.run.seconds * 1e9 / points);
+  std::printf("halo traffic: %llu network packets; validation: %s\n",
+              static_cast<unsigned long long>(result.run.link_packets),
+              mismatches == 0 ? "exact match with serial reference"
+                              : "MISMATCH");
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+#include "apps/reference.h"
+
+namespace smi::apps {
+
+std::vector<float> ReferenceGemv(const std::vector<float>& a,
+                                 const std::vector<float>& x,
+                                 std::size_t rows, std::size_t cols) {
+  std::vector<float> y(rows, 0.0f);
+  for (std::size_t i = 0; i < rows; ++i) {
+    float acc = 0.0f;
+    for (std::size_t j = 0; j < cols; ++j) {
+      acc += a[i * cols + j] * x[j];
+    }
+    y[i] = acc;
+  }
+  return y;
+}
+
+std::vector<float> ReferenceGesummv(const std::vector<float>& a,
+                                    const std::vector<float>& b,
+                                    const std::vector<float>& x, float alpha,
+                                    float beta, std::size_t n) {
+  const std::vector<float> ax = ReferenceGemv(a, x, n, n);
+  const std::vector<float> bx = ReferenceGemv(b, x, n, n);
+  std::vector<float> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = alpha * ax[i] + beta * bx[i];
+  }
+  return y;
+}
+
+std::vector<float> ReferenceStencil(std::vector<float> grid, std::size_t nx,
+                                    std::size_t ny, int steps) {
+  std::vector<float> next(grid.size());
+  const auto at = [&](const std::vector<float>& g, std::ptrdiff_t i,
+                      std::ptrdiff_t j) -> float {
+    if (i < 0 || j < 0 || i >= static_cast<std::ptrdiff_t>(nx) ||
+        j >= static_cast<std::ptrdiff_t>(ny)) {
+      return 0.0f;
+    }
+    return g[static_cast<std::size_t>(i) * ny + static_cast<std::size_t>(j)];
+  };
+  for (int s = 0; s < steps; ++s) {
+    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(nx); ++i) {
+      for (std::ptrdiff_t j = 0; j < static_cast<std::ptrdiff_t>(ny); ++j) {
+        next[static_cast<std::size_t>(i) * ny + static_cast<std::size_t>(j)] =
+            0.25f * (at(grid, i - 1, j) + at(grid, i + 1, j) +
+                     at(grid, i, j - 1) + at(grid, i, j + 1));
+      }
+    }
+    grid.swap(next);
+  }
+  return grid;
+}
+
+}  // namespace smi::apps

@@ -1,0 +1,32 @@
+#ifndef SMI_APPS_REFERENCE_H
+#define SMI_APPS_REFERENCE_H
+
+/// \file reference.h
+/// Serial reference implementations used to validate the simulated FPGA
+/// kernels (GESUMMV and the 4-point stencil).
+
+#include <cstddef>
+#include <vector>
+
+namespace smi::apps {
+
+/// y = alpha*A*x + beta*B*x with A, B row-major n x n.
+std::vector<float> ReferenceGesummv(const std::vector<float>& a,
+                                    const std::vector<float>& b,
+                                    const std::vector<float>& x, float alpha,
+                                    float beta, std::size_t n);
+
+/// y = A*x with A row-major rows x cols.
+std::vector<float> ReferenceGemv(const std::vector<float>& a,
+                                 const std::vector<float>& x,
+                                 std::size_t rows, std::size_t cols);
+
+/// `steps` iterations of the 4-point Jacobi stencil
+///   next[i][j] = 0.25 * (up + down + left + right)
+/// over an nx x ny grid with zero (Dirichlet) boundary outside the domain.
+std::vector<float> ReferenceStencil(std::vector<float> grid, std::size_t nx,
+                                    std::size_t ny, int steps);
+
+}  // namespace smi::apps
+
+#endif  // SMI_APPS_REFERENCE_H

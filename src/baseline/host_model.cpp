@@ -1,0 +1,65 @@
+#include "baseline/host_model.h"
+
+namespace smi::baseline {
+
+double HostModel::StageSecondsPerByte() const {
+  // Serialized chain: device DRAM read, PCIe d2h, host network, PCIe h2d,
+  // device DRAM write. GB/s -> s/B is 1e-9.
+  const double dram = 1e-9 / config_.dram_gbps;
+  const double pcie = 1e-9 / config_.pcie_gbps;
+  const double net = 1e-9 / config_.net_gbps;
+  return 2.0 * dram + 2.0 * pcie + net;
+}
+
+double HostModel::TransferUs(std::uint64_t bytes) const {
+  return config_.overhead_us +
+         static_cast<double>(bytes) * StageSecondsPerByte() * 1e6;
+}
+
+double HostModel::BandwidthGbps(std::uint64_t bytes) const {
+  const double us = TransferUs(bytes);
+  if (us <= 0.0) return 0.0;
+  return static_cast<double>(bytes) * 8.0 / (us * 1e-6) / 1e9;
+}
+
+double HostModel::LatencyUs(std::uint64_t bytes) const {
+  // Half round trip of a ping-pong: one transfer each way, so the latency
+  // equals a single one-way transfer.
+  return TransferUs(bytes);
+}
+
+double HostModel::BcastUs(std::uint64_t bytes, int ranks) const {
+  if (ranks < 2) return 0.0;
+  const double dram = 1e-9 / config_.dram_gbps;
+  const double pcie = 1e-9 / config_.pcie_gbps;
+  const double net = 1e-9 / config_.net_gbps;
+  const double b = static_cast<double>(bytes);
+  // Naive per-destination loop at the root: enqueue + device readback +
+  // host send for every destination, serialized at the root; the last
+  // receiver's device write trails the final send.
+  const double per_dest = config_.ocl_per_rank_us + config_.mpi_hop_us +
+                          b * (dram + pcie + net) * 1e6;
+  const double write = b * (pcie + dram) * 1e6;
+  return config_.overhead_us +
+         static_cast<double>(ranks - 1) * per_dest + write;
+}
+
+double HostModel::ReduceUs(std::uint64_t bytes, int ranks) const {
+  if (ranks < 2) return 0.0;
+  const double dram = 1e-9 / config_.dram_gbps;
+  const double pcie = 1e-9 / config_.pcie_gbps;
+  const double net = 1e-9 / config_.net_gbps;
+  const double b = static_cast<double>(bytes);
+  // Every rank reads its contribution back from the device (overlapped);
+  // the root then receives and folds one buffer per rank (host arithmetic
+  // is bandwidth-trivial next to the copies) and writes the result to its
+  // device.
+  const double readback = b * (dram + pcie) * 1e6;
+  const double per_src = config_.ocl_per_rank_us + config_.mpi_hop_us +
+                         b * net * 1e6;
+  const double write = b * (pcie + dram) * 1e6;
+  return config_.overhead_us + readback +
+         static_cast<double>(ranks - 1) * per_src + write;
+}
+
+}  // namespace smi::baseline

@@ -1,0 +1,76 @@
+#ifndef SMI_BASELINE_HOST_MODEL_H
+#define SMI_BASELINE_HOST_MODEL_H
+
+/// \file host_model.h
+/// Analytic model of the host-based MPI+OpenCL communication path the paper
+/// benchmarks SMI against (§5.3): the application writes its buffer to
+/// device DRAM, the host reads it back over PCIe, ships it to the remote
+/// host with MPI over Omni-Path, and the remote host writes it into the
+/// remote device's DRAM — a chain of store-and-forward copies whose cost
+/// the paper itself attributes to "the long sequence of copies through
+/// local device memory, local PCIe, host network, remote PCIe, and remote
+/// device memory".
+///
+/// The stage bandwidths and fixed overheads below are calibrated so the
+/// model lands on the paper's two published anchors:
+///   * ping-pong latency of a 1-element message: 36.61 us (Table 3);
+///   * large-message bandwidth roughly one third of SMI's ~32 Gbit/s
+///     (Fig. 9), despite the 100 Gbit/s host interconnect.
+/// The copies are serialized (no pipelining across stages), which is what
+/// the measured bandwidth implies.
+
+#include <cstdint>
+
+namespace smi::baseline {
+
+struct HostPathConfig {
+  /// Per-transfer fixed overhead: OpenCL enqueue/readback synchronization
+  /// on both hosts plus the MPI small-message latency. Dominates small
+  /// messages; calibrated to Table 3's 36.61 us.
+  double overhead_us = 36.5;
+  /// Effective stage bandwidths in GB/s.
+  double dram_gbps = 19.2;   ///< device DRAM (DDR4-2400 bank)
+  double pcie_gbps = 4.2;    ///< effective PCIe gen3 x8 with staging copies
+  double net_gbps = 12.5;    ///< Omni-Path 100 Gbit/s
+  /// MPI per-hop latency within collectives (host to host).
+  double mpi_hop_us = 1.5;
+  /// Per-rank OpenCL enqueue/synchronization overhead inside collectives.
+  double ocl_per_rank_us = 10.0;
+};
+
+class HostModel {
+ public:
+  explicit HostModel(HostPathConfig config = {}) : config_(config) {}
+
+  const HostPathConfig& config() const { return config_; }
+
+  /// One-way point-to-point transfer time in microseconds for `bytes`
+  /// (device DRAM -> PCIe -> host net -> PCIe -> device DRAM, serialized).
+  double TransferUs(std::uint64_t bytes) const;
+
+  /// Achieved payload bandwidth in Gbit/s for a message of `bytes`.
+  double BandwidthGbps(std::uint64_t bytes) const;
+
+  /// Ping-pong half-round-trip latency (the paper's latency metric) for a
+  /// small message of `bytes`.
+  double LatencyUs(std::uint64_t bytes) const;
+
+  /// MPI+OpenCL broadcast of `bytes` from one device to `ranks`-1 other
+  /// devices. Models the naive OpenCL-buffer-per-destination implementation
+  /// the paper benchmarks against: the root performs a device readback and
+  /// a host send per destination (serialized at the root), and every
+  /// receiver writes the buffer to its device.
+  double BcastUs(std::uint64_t bytes, int ranks) const;
+
+  /// MPI+OpenCL reduce of `bytes` contributed per rank toward one root.
+  double ReduceUs(std::uint64_t bytes, int ranks) const;
+
+ private:
+  double StageSecondsPerByte() const;
+
+  HostPathConfig config_;
+};
+
+}  // namespace smi::baseline
+
+#endif  // SMI_BASELINE_HOST_MODEL_H

@@ -1,0 +1,61 @@
+#ifndef SMI_CODEGEN_PLANNER_H
+#define SMI_CODEGEN_PLANNER_H
+
+/// \file planner.h
+/// The code-generation step of the paper's workflow (§4.5, Fig. 8): given
+/// the SMI operation metadata of a rank's kernels (a `core::ProgramSpec`,
+/// which is what the paper's Clang metadata extractor produces), emit the
+/// plan of hardware entities the fabric must instantiate — which CKS/CKR
+/// pairs exist, which application endpoint attaches to which CK, the FIFO
+/// depths, and which collective support kernels are generated — plus the
+/// resource estimate of the plan.
+///
+/// In the paper this plan *is* the generated OpenCL; here it both drives
+/// `core::Cluster`'s fabric construction parameters and serializes to JSON
+/// for the CLI tools.
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "core/program.h"
+#include "resources/model.h"
+
+namespace smi::codegen {
+
+struct EndpointPlan {
+  int app_port = 0;
+  bool is_send = false;
+  int ck_index = 0;  ///< which CKS (sends) or CKR (recvs) serves this port
+  core::DataType type = core::DataType::kInt;
+};
+
+struct SupportKernelPlan {
+  int app_port = 0;
+  core::CollKind kind = core::CollKind::kBcast;
+  core::DataType type = core::DataType::kInt;
+};
+
+struct FabricPlan {
+  int ports_per_rank = 4;      ///< CK pairs (network interfaces)
+  std::size_t endpoint_fifo_depth = 16;
+  std::vector<EndpointPlan> endpoints;
+  std::vector<SupportKernelPlan> support_kernels;
+
+  /// Resource estimate: transport plus generated support kernels.
+  resources::Resources EstimateResources() const;
+
+  json::Value ToJson() const;
+  static FabricPlan FromJson(const json::Value& v);
+};
+
+/// Plan the fabric for one rank's program. `ports_per_rank` is the number
+/// of network interfaces of the target board (4 QSFPs on the paper's
+/// Nallatech 520N). Application ports are assigned to CK pairs round-robin
+/// (port mod ports_per_rank), matching `transport::Fabric`.
+FabricPlan Plan(const core::ProgramSpec& spec, int ports_per_rank = 4,
+                std::size_t endpoint_fifo_depth = 16);
+
+}  // namespace smi::codegen
+
+#endif  // SMI_CODEGEN_PLANNER_H

@@ -1,0 +1,61 @@
+/// \file route_gen_main.cpp
+/// `smi_route_gen` — the route generator of the paper's workflow (Fig. 8):
+/// reads a cluster topology JSON, computes deadlock-free routing tables,
+/// and writes them as JSON for upload at application start. Rerunning this
+/// tool is all that is needed when the cabling or rank count changes; the
+/// fabric ("bitstream") is untouched.
+
+#include <cstdio>
+
+#include "common/cli.h"
+#include "common/error.h"
+#include "net/routing.h"
+#include "net/topology.h"
+
+int main(int argc, char** argv) {
+  smi::CliParser cli("smi_route_gen",
+                     "compute deadlock-free routing tables for a topology");
+  cli.AddString("topology", "", "input topology JSON file");
+  cli.AddString("output", "routes.json", "output routing table JSON file");
+  cli.AddString("scheme", "auto",
+                "routing scheme: auto | shortest-path | up-down");
+  cli.AddFlag("print", "also print the per-pair hop counts");
+  if (!cli.Parse(argc, argv)) return 2;
+
+  try {
+    if (cli.GetString("topology").empty()) {
+      std::fprintf(stderr, "error: --topology is required\n");
+      return 2;
+    }
+    const smi::net::Topology topo =
+        smi::net::Topology::LoadFile(cli.GetString("topology"));
+    smi::net::RoutingScheme scheme = smi::net::RoutingScheme::kAuto;
+    if (cli.GetString("scheme") == "shortest-path") {
+      scheme = smi::net::RoutingScheme::kShortestPath;
+    } else if (cli.GetString("scheme") == "up-down") {
+      scheme = smi::net::RoutingScheme::kUpDown;
+    } else if (cli.GetString("scheme") != "auto") {
+      std::fprintf(stderr, "error: unknown scheme '%s'\n",
+                   cli.GetString("scheme").c_str());
+      return 2;
+    }
+    const smi::net::RoutingTable routes = ComputeRoutes(topo, scheme);
+    smi::json::WriteFile(cli.GetString("output"), routes.ToJson());
+    std::printf("wrote routing tables for %d ranks to %s (deadlock-free: %s)\n",
+                topo.num_ranks(), cli.GetString("output").c_str(),
+                IsDeadlockFree(topo, routes) ? "yes" : "NO");
+    if (cli.GetFlag("print")) {
+      for (int s = 0; s < topo.num_ranks(); ++s) {
+        for (int d = 0; d < topo.num_ranks(); ++d) {
+          if (s == d) continue;
+          std::printf("  %d -> %d: %d hops\n", s, d,
+                      routes.HopCount(topo, s, d));
+        }
+      }
+    }
+    return 0;
+  } catch (const smi::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,114 @@
+#include "common/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace smi {
+
+void CliParser::AddInt(const std::string& name, std::int64_t default_value,
+                       const std::string& help) {
+  options_[name] = Option{Kind::kInt, help, std::to_string(default_value)};
+  order_.push_back(name);
+}
+
+void CliParser::AddDouble(const std::string& name, double default_value,
+                          const std::string& help) {
+  options_[name] = Option{Kind::kDouble, help, FormatDouble(default_value, 17)};
+  order_.push_back(name);
+}
+
+void CliParser::AddString(const std::string& name,
+                          const std::string& default_value,
+                          const std::string& help) {
+  options_[name] = Option{Kind::kString, help, default_value};
+  order_.push_back(name);
+}
+
+void CliParser::AddFlag(const std::string& name, const std::string& help) {
+  options_[name] = Option{Kind::kFlag, help, "0"};
+  order_.push_back(name);
+}
+
+bool CliParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return false;
+    }
+    if (!StartsWith(arg, "--")) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
+      PrintUsage();
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    const auto it = options_.find(arg);
+    if (it == options_.end()) {
+      std::fprintf(stderr, "unknown option: --%s\n", arg.c_str());
+      PrintUsage();
+      return false;
+    }
+    if (it->second.kind == Kind::kFlag) {
+      it->second.value = has_value ? value : "1";
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "option --%s requires a value\n", arg.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+const CliParser::Option& CliParser::Find(const std::string& name,
+                                         Kind kind) const {
+  const auto it = options_.find(name);
+  if (it == options_.end() || it->second.kind != kind) {
+    throw ConfigError("CLI option not registered with this type: " + name);
+  }
+  return it->second;
+}
+
+std::int64_t CliParser::GetInt(const std::string& name) const {
+  return std::strtoll(Find(name, Kind::kInt).value.c_str(), nullptr, 10);
+}
+
+double CliParser::GetDouble(const std::string& name) const {
+  return std::strtod(Find(name, Kind::kDouble).value.c_str(), nullptr);
+}
+
+const std::string& CliParser::GetString(const std::string& name) const {
+  return Find(name, Kind::kString).value;
+}
+
+bool CliParser::GetFlag(const std::string& name) const {
+  const std::string& v = Find(name, Kind::kFlag).value;
+  return v == "1" || v == "true";
+}
+
+void CliParser::PrintUsage() const {
+  std::fprintf(stderr, "%s — %s\n\noptions:\n", program_.c_str(),
+               description_.c_str());
+  for (const std::string& name : order_) {
+    const Option& opt = options_.at(name);
+    std::fprintf(stderr, "  --%-22s %s (default: %s)\n", name.c_str(),
+                 opt.help.c_str(), opt.value.c_str());
+  }
+}
+
+}  // namespace smi

@@ -1,0 +1,58 @@
+#ifndef SMI_COMMON_CLI_H
+#define SMI_COMMON_CLI_H
+
+/// \file cli.h
+/// Tiny declarative command-line parser for the bench binaries and codegen
+/// tools. Supports `--name value`, `--name=value` and boolean `--flag`.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace smi {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  /// Register options before calling Parse. `help` appears in --help output.
+  void AddInt(const std::string& name, std::int64_t default_value,
+              const std::string& help);
+  void AddDouble(const std::string& name, double default_value,
+                 const std::string& help);
+  void AddString(const std::string& name, const std::string& default_value,
+                 const std::string& help);
+  void AddFlag(const std::string& name, const std::string& help);
+
+  /// Parse argv. Prints usage and returns false on --help or bad input;
+  /// callers should exit in that case.
+  bool Parse(int argc, char** argv);
+
+  std::int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+  bool GetFlag(const std::string& name) const;
+
+  void PrintUsage() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kFlag };
+  struct Option {
+    Kind kind;
+    std::string help;
+    std::string value;  // textual; typed accessors convert
+  };
+
+  const Option& Find(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace smi
+
+#endif  // SMI_COMMON_CLI_H

@@ -1,0 +1,51 @@
+#ifndef SMI_COMMON_ERROR_H
+#define SMI_COMMON_ERROR_H
+
+/// \file error.h
+/// Exception hierarchy used across the SMI libraries. All errors raised by
+/// the simulator, transport, and SMI core derive from smi::Error so callers
+/// can catch library failures distinctly from std:: failures.
+
+#include <stdexcept>
+#include <string>
+
+namespace smi {
+
+/// Base class for all SMI library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A configuration or API-contract violation (bad argument, mismatched
+/// datatype, port collision, ...). Always a programming error at the call
+/// site, never a runtime condition of the simulated fabric.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Raised by the JSON parser on malformed input.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Raised by the engine watchdog when the simulated fabric makes no progress
+/// while kernels are still pending: the simulated program has deadlocked.
+/// Carries a human-readable diagnostic listing the blocked endpoints.
+class DeadlockError : public Error {
+ public:
+  explicit DeadlockError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a topology has no valid route between two ranks that need to
+/// communicate, or when no deadlock-free routing could be constructed.
+class RoutingError : public Error {
+ public:
+  explicit RoutingError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace smi
+
+#endif  // SMI_COMMON_ERROR_H

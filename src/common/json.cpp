@@ -1,0 +1,392 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace smi::json {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value ParseDocument() {
+    Value v = ParseValue();
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      Fail("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& message) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw ParseError("JSON parse error at line " + std::to_string(line) +
+                     ", column " + std::to_string(col) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  char Peek() {
+    if (pos_ >= text_.size()) Fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char Next() {
+    const char c = Peek();
+    ++pos_;
+    return c;
+  }
+
+  void Expect(char c) {
+    if (Next() != c) {
+      --pos_;
+      Fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  bool Consume(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value ParseValue() {
+    SkipWhitespace();
+    const char c = Peek();
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return Value(ParseString());
+      case 't':
+        if (Consume("true")) return Value(true);
+        Fail("invalid literal");
+      case 'f':
+        if (Consume("false")) return Value(false);
+        Fail("invalid literal");
+      case 'n':
+        if (Consume("null")) return Value(nullptr);
+        Fail("invalid literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Value ParseObject() {
+    Expect('{');
+    Object obj;
+    SkipWhitespace();
+    if (Peek() == '}') {
+      ++pos_;
+      return Value(std::move(obj));
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key = ParseString();
+      SkipWhitespace();
+      Expect(':');
+      obj.emplace(std::move(key), ParseValue());
+      SkipWhitespace();
+      const char c = Next();
+      if (c == '}') return Value(std::move(obj));
+      if (c != ',') {
+        --pos_;
+        Fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  Value ParseArray() {
+    Expect('[');
+    Array arr;
+    SkipWhitespace();
+    if (Peek() == ']') {
+      ++pos_;
+      return Value(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(ParseValue());
+      SkipWhitespace();
+      const char c = Next();
+      if (c == ']') return Value(std::move(arr));
+      if (c != ',') {
+        --pos_;
+        Fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      const char c = Next();
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char esc = Next();
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = Next();
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else Fail("invalid \\u escape");
+            }
+            if (code > 0x7f) Fail("non-ASCII \\u escapes are not supported");
+            out += static_cast<char>(code);
+            break;
+          }
+          default:
+            Fail("invalid escape sequence");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        Fail("unescaped control character in string");
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  Value ParseNumber() {
+    const std::size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (token.empty() || token == "-") Fail("invalid number");
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) Fail("invalid number");
+    return Value(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void DumpString(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void DumpNumber(std::string& out, double d) {
+  if (d == std::floor(d) && std::abs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (!is_bool()) throw ParseError("JSON value is not a bool");
+  return std::get<bool>(data_);
+}
+
+double Value::as_double() const {
+  if (!is_number()) throw ParseError("JSON value is not a number");
+  return std::get<double>(data_);
+}
+
+std::int64_t Value::as_int() const {
+  const double d = as_double();
+  const auto i = static_cast<std::int64_t>(d);
+  if (static_cast<double>(i) != d) {
+    throw ParseError("JSON number is not an integer");
+  }
+  return i;
+}
+
+const std::string& Value::as_string() const {
+  if (!is_string()) throw ParseError("JSON value is not a string");
+  return std::get<std::string>(data_);
+}
+
+const Array& Value::as_array() const {
+  if (!is_array()) throw ParseError("JSON value is not an array");
+  return std::get<Array>(data_);
+}
+
+const Object& Value::as_object() const {
+  if (!is_object()) throw ParseError("JSON value is not an object");
+  return std::get<Object>(data_);
+}
+
+Array& Value::as_array() {
+  if (!is_array()) throw ParseError("JSON value is not an array");
+  return std::get<Array>(data_);
+}
+
+Object& Value::as_object() {
+  if (!is_object()) throw ParseError("JSON value is not an object");
+  return std::get<Object>(data_);
+}
+
+const Value& Value::at(const std::string& key) const {
+  const Object& obj = as_object();
+  const auto it = obj.find(key);
+  if (it == obj.end()) {
+    throw ParseError("missing JSON object key: " + key);
+  }
+  return it->second;
+}
+
+bool Value::contains(const std::string& key) const {
+  return is_object() && as_object().count(key) != 0;
+}
+
+std::int64_t Value::get_int(const std::string& key,
+                            std::int64_t fallback) const {
+  return contains(key) ? at(key).as_int() : fallback;
+}
+
+double Value::get_double(const std::string& key, double fallback) const {
+  return contains(key) ? at(key).as_double() : fallback;
+}
+
+std::string Value::get_string(const std::string& key,
+                              const std::string& fallback) const {
+  return contains(key) ? at(key).as_string() : fallback;
+}
+
+bool Value::get_bool(const std::string& key, bool fallback) const {
+  return contains(key) ? at(key).as_bool() : fallback;
+}
+
+void Value::DumpTo(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent >= 0) {
+      out += '\n';
+      out.append(static_cast<std::size_t>(indent * d), ' ');
+    }
+  };
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += std::get<bool>(data_) ? "true" : "false";
+  } else if (is_number()) {
+    DumpNumber(out, std::get<double>(data_));
+  } else if (is_string()) {
+    DumpString(out, std::get<std::string>(data_));
+  } else if (is_array()) {
+    const Array& arr = std::get<Array>(data_);
+    if (arr.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      if (i != 0) out += ',';
+      newline(depth + 1);
+      arr[i].DumpTo(out, indent, depth + 1);
+    }
+    newline(depth);
+    out += ']';
+  } else {
+    const Object& obj = std::get<Object>(data_);
+    if (obj.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    bool first = true;
+    for (const auto& [key, value] : obj) {
+      if (!first) out += ',';
+      first = false;
+      newline(depth + 1);
+      DumpString(out, key);
+      out += indent >= 0 ? ": " : ":";
+      value.DumpTo(out, indent, depth + 1);
+    }
+    newline(depth);
+    out += '}';
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  return out;
+}
+
+Value Parse(std::string_view text) { return Parser(text).ParseDocument(); }
+
+Value ParseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return Parse(ss.str());
+}
+
+void WriteFile(const std::string& path, const Value& value) {
+  std::ofstream out(path);
+  if (!out) throw ParseError("cannot write file: " + path);
+  out << value.dump(2) << '\n';
+}
+
+}  // namespace smi::json

@@ -1,0 +1,98 @@
+#ifndef SMI_COMMON_JSON_H
+#define SMI_COMMON_JSON_H
+
+/// \file json.h
+/// Minimal self-contained JSON value, parser and writer.
+///
+/// The paper's workflow describes cluster topologies and routing tables as
+/// JSON files consumed by the route generator; this parser keeps that
+/// interface without pulling in an external dependency. It supports the full
+/// JSON grammar except for \uXXXX escapes outside the ASCII range.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/error.h"
+
+namespace smi::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+/// A JSON document node. Numbers are stored as double (JSON has a single
+/// number type); integer accessors check that the value is integral.
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}  // NOLINT(google-explicit-constructor)
+  Value(bool b) : data_(b) {}                // NOLINT
+  Value(double d) : data_(d) {}              // NOLINT
+  Value(int i) : data_(static_cast<double>(i)) {}            // NOLINT
+  Value(std::int64_t i) : data_(static_cast<double>(i)) {}   // NOLINT
+  Value(std::uint64_t i) : data_(static_cast<double>(i)) {}  // NOLINT
+  Value(const char* s) : data_(std::string(s)) {}            // NOLINT
+  Value(std::string s) : data_(std::move(s)) {}              // NOLINT
+  Value(Array a) : data_(std::move(a)) {}                    // NOLINT
+  Value(Object o) : data_(std::move(o)) {}                   // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_number() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_array() const { return std::holds_alternative<Array>(data_); }
+  bool is_object() const { return std::holds_alternative<Object>(data_); }
+
+  /// Checked accessors: throw ParseError on type mismatch so that malformed
+  /// configuration files produce a clear diagnostic rather than UB.
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+  Array& as_array();
+  Object& as_object();
+
+  /// Object field access; throws ParseError if not an object or missing.
+  const Value& at(const std::string& key) const;
+  /// True if this is an object containing `key`.
+  bool contains(const std::string& key) const;
+  /// Object field access with a fallback default.
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Serialize. `indent` < 0 means compact single-line output.
+  std::string dump(int indent = -1) const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+/// Parse a complete JSON document; trailing non-whitespace is an error.
+Value Parse(std::string_view text);
+
+/// Parse the JSON document in file `path`; throws ParseError on IO failure.
+Value ParseFile(const std::string& path);
+
+/// Write `value` to `path` (pretty-printed); throws ParseError on IO failure.
+void WriteFile(const std::string& path, const Value& value);
+
+}  // namespace smi::json
+
+#endif  // SMI_COMMON_JSON_H

@@ -1,0 +1,58 @@
+#ifndef SMI_COMMON_LOGGING_H
+#define SMI_COMMON_LOGGING_H
+
+/// \file logging.h
+/// Leveled logger used by the simulator and tools. Off by default at Debug
+/// level; benches enable Info, tests typically keep Warn. The logger is a
+/// process-wide singleton; the simulator itself is deterministic and never
+/// depends on log output.
+
+#include <sstream>
+#include <string>
+
+namespace smi {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Parse "debug"/"info"/"warn"/"error"/"off"; throws ConfigError otherwise.
+LogLevel ParseLogLevel(const std::string& name);
+
+namespace detail {
+void Emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace smi
+
+#define SMI_LOG(level)                              \
+  if (::smi::GetLogLevel() <= ::smi::LogLevel::level) \
+  ::smi::detail::LogLine(::smi::LogLevel::level)
+
+#define SMI_LOG_DEBUG SMI_LOG(kDebug)
+#define SMI_LOG_INFO SMI_LOG(kInfo)
+#define SMI_LOG_WARN SMI_LOG(kWarn)
+#define SMI_LOG_ERROR SMI_LOG(kError)
+
+#endif  // SMI_COMMON_LOGGING_H

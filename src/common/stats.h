@@ -1,0 +1,56 @@
+#ifndef SMI_COMMON_STATS_H
+#define SMI_COMMON_STATS_H
+
+/// \file stats.h
+/// Streaming statistics accumulators used by benches and by the simulator's
+/// per-component counters.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace smi {
+
+/// Welford online accumulator: mean/variance/min/max without storing samples.
+class OnlineStats {
+ public:
+  void Add(double x);
+  void Merge(const OnlineStats& other);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return count_ ? mean_ * static_cast<double>(count_) : 0.0; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Sample-retaining accumulator for medians/percentiles; the paper reports
+/// medians over repeated runs.
+class SampleStats {
+ public:
+  void Add(double x) { samples_.push_back(x); }
+  std::size_t count() const { return samples_.size(); }
+  double median() const { return Percentile(50.0); }
+  /// Linear-interpolated percentile, p in [0,100].
+  double Percentile(double p) const;
+  double mean() const;
+  double min() const;
+  double max() const;
+
+ private:
+  mutable std::vector<double> samples_;
+};
+
+}  // namespace smi
+
+#endif  // SMI_COMMON_STATS_H

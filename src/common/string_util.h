@@ -1,0 +1,35 @@
+#ifndef SMI_COMMON_STRING_UTIL_H
+#define SMI_COMMON_STRING_UTIL_H
+
+/// \file string_util.h
+/// Small string helpers shared by the CLI parser, JSON writer and report
+/// printers.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smi {
+
+/// Split `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Strip leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Render a byte count as a human-readable string ("32B", "4KiB", "16MiB").
+std::string FormatBytes(std::uint64_t bytes);
+
+/// Render `value` with `digits` significant decimals, trimming zeros.
+std::string FormatDouble(double value, int digits = 3);
+
+/// Join `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace smi
+
+#endif  // SMI_COMMON_STRING_UTIL_H

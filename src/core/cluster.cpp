@@ -1,0 +1,134 @@
+#include "core/cluster.h"
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace smi::core {
+
+Cluster::Cluster(const net::Topology& topology, std::vector<ProgramSpec> specs,
+                 ClusterConfig config) {
+  Build(topology, std::move(specs), config);
+}
+
+Cluster::Cluster(const net::Topology& topology, const ProgramSpec& spmd_spec,
+                 ClusterConfig config) {
+  Build(topology,
+        std::vector<ProgramSpec>(
+            static_cast<std::size_t>(topology.num_ranks()), spmd_spec),
+        config);
+}
+
+void Cluster::Build(const net::Topology& topology,
+                    std::vector<ProgramSpec> specs,
+                    const ClusterConfig& config) {
+  num_ranks_ = topology.num_ranks();
+  if (specs.size() != static_cast<std::size_t>(num_ranks_)) {
+    throw ConfigError("need one ProgramSpec per rank");
+  }
+  engine_ = std::make_unique<sim::Engine>(config.engine);
+
+  // Derive the application endpoints each rank's fabric must provide.
+  std::vector<transport::RankEndpoints> endpoints(
+      static_cast<std::size_t>(num_ranks_));
+  for (int r = 0; r < num_ranks_; ++r) {
+    const ProgramSpec& spec = specs[static_cast<std::size_t>(r)];
+    for (const int p : spec.SendPorts()) {
+      endpoints[static_cast<std::size_t>(r)].send_ports.insert(p);
+    }
+    for (const int p : spec.RecvPorts()) {
+      endpoints[static_cast<std::size_t>(r)].recv_ports.insert(p);
+    }
+  }
+  fabric_ = std::make_unique<transport::Fabric>(*engine_, topology,
+                                                std::move(endpoints),
+                                                config.fabric);
+
+  routes_ = net::ComputeRoutes(topology, config.routing);
+  fabric_->UploadRoutes(routes_);
+
+  // Contexts + collective support kernels.
+  contexts_.resize(static_cast<std::size_t>(num_ranks_));
+  for (int r = 0; r < num_ranks_; ++r) {
+    Context& ctx = contexts_[static_cast<std::size_t>(r)];
+    ctx.rank_ = r;
+    ctx.world_ = Communicator::World(num_ranks_);
+    ctx.fabric_ = fabric_.get();
+    ctx.now_ = engine_->now_ptr();
+
+    const ProgramSpec& spec = specs[static_cast<std::size_t>(r)];
+    for (const OpSpec& op : spec.CollectiveOps()) {
+      const CollKind kind = *op.coll_kind();
+      TokenFifo& app_in = engine_->MakeFifo<CollToken>(
+          "r" + std::to_string(r) + ".app->sup." + std::to_string(op.port),
+          config.coll_fifo_depth);
+      TokenFifo& app_out = engine_->MakeFifo<CollToken>(
+          "r" + std::to_string(r) + ".sup->app." + std::to_string(op.port),
+          config.coll_fifo_depth);
+
+      SupportCtx sup;
+      sup.my_global = r;
+      sup.port = op.port;
+      sup.app_in = &app_in;
+      sup.app_out = &app_out;
+      sup.net_out = &fabric_->SendEndpoint(r, op.port);
+      sup.net_in = &fabric_->RecvEndpoint(r, op.port);
+      sup.now = engine_->now_ptr();
+      engine_->AddKernel(MakeSupportKernel(kind, op.algo, sup),
+                         "r" + std::to_string(r) + "." +
+                             CollKindName(kind) + ".sup." +
+                             std::to_string(op.port),
+                         /*daemon=*/true);
+
+      Context::CollPort cp;
+      cp.kind = kind;
+      cp.type = op.type;
+      cp.app_in = &app_in;
+      cp.app_out = &app_out;
+      ctx.coll_ports_.emplace(op.port, cp);
+    }
+  }
+}
+
+Context& Cluster::context(int rank) {
+  if (rank < 0 || rank >= num_ranks_) {
+    throw ConfigError("rank out of range: " + std::to_string(rank));
+  }
+  return contexts_[static_cast<std::size_t>(rank)];
+}
+
+void Cluster::AddMemoryBanks(int rank, int count, double words_per_cycle) {
+  Context& ctx = context(rank);
+  for (int i = 0; i < count; ++i) {
+    ctx.memory_banks_.push_back(&engine_->MakeComponent<sim::MemoryBank>(
+        "r" + std::to_string(rank) + ".ddr" +
+            std::to_string(ctx.memory_banks_.size()),
+        words_per_cycle));
+  }
+}
+
+void Cluster::AddKernel(int rank, sim::Kernel kernel, const std::string& name) {
+  (void)context(rank);  // range check
+  engine_->AddKernel(std::move(kernel),
+                     "r" + std::to_string(rank) + "." + name,
+                     /*daemon=*/false);
+}
+
+void Cluster::UploadRoutes(const net::RoutingTable& routes) {
+  fabric_->UploadRoutes(routes);
+  routes_ = routes;
+}
+
+RunResult Cluster::Run() {
+  const sim::RunStats stats = engine_->Run();
+  RunResult result;
+  result.cycles = stats.cycles;
+  result.seconds = stats.seconds;
+  result.microseconds = stats.seconds * 1e6;
+  result.link_packets = fabric_->TotalLinkPackets();
+  SMI_LOG_INFO << "cluster run complete: " << result.cycles << " cycles ("
+               << result.microseconds << " us), " << result.link_packets
+               << " link packets";
+  return result;
+}
+
+}  // namespace smi::core

@@ -1,0 +1,93 @@
+#ifndef SMI_CORE_CLUSTER_H
+#define SMI_CORE_CLUSTER_H
+
+/// \file cluster.h
+/// The host runtime: builds a simulated multi-FPGA cluster from a topology
+/// and per-rank program specs, uploads routing tables, launches application
+/// kernels, and runs the simulation to completion — the analogue of the
+/// paper's generated host header (`SMI_Init` + kernel launch + route
+/// upload; §4.5).
+///
+/// Usage:
+///   Cluster cluster(net::Topology::Torus2D(2, 4), spec /*SPMD*/);
+///   for (int r = 0; r < 8; ++r)
+///     cluster.AddKernel(r, MyKernel(cluster.context(r), args...), "app");
+///   const RunResult result = cluster.Run();
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/context.h"
+#include "core/program.h"
+#include "core/support.h"
+#include "net/routing.h"
+#include "net/topology.h"
+#include "sim/engine.h"
+#include "transport/fabric.h"
+
+namespace smi::core {
+
+struct ClusterConfig {
+  transport::FabricConfig fabric;
+  sim::EngineConfig engine;
+  net::RoutingScheme routing = net::RoutingScheme::kAuto;
+  /// Depth of the FIFOs between applications and collective support kernels.
+  std::size_t coll_fifo_depth = 16;
+};
+
+struct RunResult {
+  sim::Cycle cycles = 0;
+  double seconds = 0.0;
+  double microseconds = 0.0;
+  std::uint64_t link_packets = 0;
+};
+
+class Cluster {
+ public:
+  /// MPMD: one ProgramSpec per rank.
+  Cluster(const net::Topology& topology, std::vector<ProgramSpec> specs,
+          ClusterConfig config = {});
+  /// SPMD: the same ProgramSpec on every rank.
+  Cluster(const net::Topology& topology, const ProgramSpec& spmd_spec,
+          ClusterConfig config = {});
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int num_ranks() const { return num_ranks_; }
+  Context& context(int rank);
+
+  /// Attach `count` DRAM banks with the given streaming rate to a rank (see
+  /// sim::MemoryBank; 1.0 = 16 float elements per cycle per bank).
+  void AddMemoryBanks(int rank, int count, double words_per_cycle);
+
+  /// Register an application kernel on `rank`. Kernels keep the run alive;
+  /// the run completes when all of them finish.
+  void AddKernel(int rank, sim::Kernel kernel, const std::string& name);
+
+  /// Replace the routing tables (recomputed for a different topology or
+  /// rank subset) without rebuilding the fabric.
+  void UploadRoutes(const net::RoutingTable& routes);
+
+  /// Run the simulation to completion.
+  RunResult Run();
+
+  sim::Engine& engine() { return *engine_; }
+  transport::Fabric& fabric() { return *fabric_; }
+  const net::RoutingTable& routes() const { return routes_; }
+
+ private:
+  void Build(const net::Topology& topology, std::vector<ProgramSpec> specs,
+             const ClusterConfig& config);
+
+  int num_ranks_ = 0;
+  std::unique_ptr<sim::Engine> engine_;
+  std::unique_ptr<transport::Fabric> fabric_;
+  net::RoutingTable routes_{1};
+  std::vector<Context> contexts_;
+};
+
+}  // namespace smi::core
+
+#endif  // SMI_CORE_CLUSTER_H

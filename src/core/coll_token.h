@@ -1,0 +1,47 @@
+#ifndef SMI_CORE_COLL_TOKEN_H
+#define SMI_CORE_COLL_TOKEN_H
+
+/// \file coll_token.h
+/// Tokens exchanged between application kernels and collective support
+/// kernels over on-chip FIFOs. A collective channel open pushes a config
+/// token carrying the runtime parameters (count, datatype, root, op,
+/// communicator membership); data elements follow as element tokens. This
+/// mirrors how the generated SMI hardware parameterizes the support kernels
+/// at runtime so root and non-root behaviour can be selected dynamically
+/// (§4.4: "both the root and non-root behavior is instantiated at every
+/// rank").
+
+#include <variant>
+#include <vector>
+
+#include "core/types.h"
+#include "sim/fifo.h"
+
+namespace smi::core {
+
+enum class CollKind : std::uint8_t { kBcast, kReduce, kScatter, kGather };
+
+const char* CollKindName(CollKind k);
+
+/// Which implementation a collective's support kernel uses: the simple
+/// linear scheme of the reference implementation, or the binomial-tree
+/// variant (the §4.4 extension; Bcast and Reduce only). Baked into the
+/// fabric like everything else about the support kernels.
+enum class CollAlgo : std::uint8_t { kLinear, kTree };
+
+struct CollConfig {
+  CollKind kind = CollKind::kBcast;
+  int count = 0;                 ///< elements per rank (message length)
+  DataType type = DataType::kInt;
+  int root_comm = 0;             ///< root as a communicator rank
+  ReduceOp op = ReduceOp::kAdd;  ///< reduce only
+  int credits = 64;              ///< reduce flow-control tile size C (§4.4)
+  std::vector<int> comm_global;  ///< communicator members (global ranks)
+};
+
+using CollToken = std::variant<CollConfig, Element>;
+using TokenFifo = sim::Fifo<CollToken>;
+
+}  // namespace smi::core
+
+#endif  // SMI_CORE_COLL_TOKEN_H

@@ -1,0 +1,39 @@
+#include "core/coll_tree.h"
+
+#include "common/error.h"
+
+namespace smi::core {
+
+int BinomialParent(int rel) {
+  if (rel < 0) throw ConfigError("negative tree rank");
+  if (rel == 0) return -1;
+  int mask = 1;
+  while ((mask << 1) <= rel) mask <<= 1;  // highest set bit
+  return rel & ~mask;
+}
+
+std::vector<int> BinomialChildren(int rel, int n) {
+  if (rel < 0 || rel >= n) throw ConfigError("tree rank out of range");
+  std::vector<int> children;
+  // The first candidate mask is one above rel's highest set bit (1 for the
+  // root).
+  int mask = 1;
+  while (mask <= rel) mask <<= 1;
+  for (; mask < n; mask <<= 1) {
+    const int child = rel | mask;
+    if (child < n) children.push_back(child);
+  }
+  return children;
+}
+
+int BinomialDepth(int n) {
+  int depth = 0;
+  int reach = 1;
+  while (reach < n) {
+    reach <<= 1;
+    ++depth;
+  }
+  return depth;
+}
+
+}  // namespace smi::core

@@ -1,0 +1,32 @@
+#ifndef SMI_CORE_COLL_TREE_H
+#define SMI_CORE_COLL_TREE_H
+
+/// \file coll_tree.h
+/// Binomial-tree shapes for the tree-based collective support kernels —
+/// the alternative implementation the paper names as an extension point in
+/// §4.4 ("they can also be exploited to offer different implementations of
+/// collectives, such as tree-based schema for Bcast and Reduce").
+///
+/// Trees are expressed in root-relative communicator rank space: node 0 is
+/// the root; node r's parent clears r's highest set bit; node r's children
+/// are r | 2^j for the j above r's highest set bit. Fan-out at the root is
+/// ceil(log2 n) instead of n-1, which is what beats the linear scheme at
+/// scale.
+
+#include <vector>
+
+namespace smi::core {
+
+/// Parent of `rel` (root-relative rank) in the binomial tree; -1 for the
+/// root itself.
+int BinomialParent(int rel);
+
+/// Children of `rel` in a binomial tree over `n` nodes, ascending.
+std::vector<int> BinomialChildren(int rel, int n);
+
+/// Depth of the binomial tree over `n` nodes (= ceil(log2 n)).
+int BinomialDepth(int n);
+
+}  // namespace smi::core
+
+#endif  // SMI_CORE_COLL_TREE_H

@@ -1,0 +1,331 @@
+#ifndef SMI_CORE_COLLECTIVE_H
+#define SMI_CORE_COLLECTIVE_H
+
+/// \file collective.h
+/// Application-side collective channels (§3.2). Each collective has its own
+/// channel type and communication primitive, mirroring the paper's API:
+///
+///   SMI_BChannel / SMI_Bcast   -> BcastChannel::Bcast
+///   SMI_RChannel / SMI_Reduce  -> ReduceChannel::Reduce
+///   ScatterChannel::Scatter, GatherChannel::Gather
+///
+/// A channel open is recorded locally and announced to the rank's support
+/// kernel with a config token on the first primitive call; root and
+/// non-root roles both use the same call sequence where the paper defines
+/// one (Bcast, Reduce), and the documented asymmetric sequences for Scatter
+/// and Gather (the root streams count*comm_size elements, non-roots stream
+/// count).
+
+#include <string>
+
+#include "core/coll_token.h"
+#include "core/comm.h"
+#include "core/types.h"
+#include "sim/kernel.h"
+
+namespace smi::core {
+
+/// Base for all collective channels: owns the config token and the FIFOs to
+/// the support kernel.
+class CollChannelBase {
+ public:
+  CollChannelBase(CollConfig config, int my_global, TokenFifo& app_in,
+                  TokenFifo& app_out)
+      : config_(std::move(config)),
+        app_in_(&app_in),
+        app_out_(&app_out) {
+    my_comm_ = -1;
+    for (std::size_t i = 0; i < config_.comm_global.size(); ++i) {
+      if (config_.comm_global[i] == my_global) {
+        my_comm_ = static_cast<int>(i);
+        break;
+      }
+    }
+    if (my_comm_ < 0) {
+      throw ConfigError("collective opened by a rank outside its "
+                        "communicator");
+    }
+    if (config_.root_comm < 0 ||
+        config_.root_comm >= static_cast<int>(config_.comm_global.size())) {
+      throw ConfigError("collective root rank out of range");
+    }
+  }
+
+  bool is_root() const { return my_comm_ == config_.root_comm; }
+  int count() const { return config_.count; }
+  DataType type() const { return config_.type; }
+  int comm_size() const {
+    return static_cast<int>(config_.comm_global.size());
+  }
+  int my_comm_rank() const { return my_comm_; }
+  int root_comm_rank() const { return config_.root_comm; }
+
+  /// Push the config token if not yet announced; returns false while the
+  /// FIFO cannot accept it this cycle.
+  bool EnsureConfigSent(sim::Cycle now) {
+    if (config_sent_) return true;
+    if (!app_in_->CanPush(now)) return false;
+    app_in_->Push(CollToken(config_), now);
+    config_sent_ = true;
+    return true;
+  }
+
+  TokenFifo& app_in() { return *app_in_; }
+  TokenFifo& app_out() { return *app_out_; }
+
+ protected:
+  template <typename T>
+  void CheckType() const {
+    if (DataTypeOf<T>::value != config_.type) {
+      throw ConfigError(std::string("collective datatype mismatch: declared ") +
+                        DataTypeName(config_.type) + ", accessed as " +
+                        DataTypeName(DataTypeOf<T>::value));
+    }
+  }
+
+  Element PopElement(sim::Cycle now) {
+    CollToken tok = app_out_->Pop(now);
+    if (!std::holds_alternative<Element>(tok)) {
+      throw ConfigError("collective channel received a non-element token");
+    }
+    return std::get<Element>(tok);
+  }
+
+  CollConfig config_;
+  TokenFifo* app_in_;
+  TokenFifo* app_out_;
+  int my_comm_;
+  bool config_sent_ = false;
+  int calls_ = 0;
+};
+
+namespace detail {
+template <typename T> struct BcastAwaitable;
+template <typename T> struct ReduceAwaitable;
+template <typename T> struct ScatterAwaitable;
+template <typename T> struct GatherAwaitable;
+}  // namespace detail
+
+/// SMI_BChannel: the root streams `count` elements to every other rank in
+/// the communicator; every rank calls Bcast exactly `count` times.
+class BcastChannel : public CollChannelBase {
+ public:
+  using CollChannelBase::CollChannelBase;
+
+  /// SMI_Bcast: the root pushes *data toward the other ranks; non-roots
+  /// receive into *data.
+  template <typename T>
+  detail::BcastAwaitable<T> Bcast(T& data) {
+    CheckType<T>();
+    return detail::BcastAwaitable<T>(this, &data);
+  }
+
+ private:
+  template <typename T> friend struct detail::BcastAwaitable;
+};
+
+/// SMI_RChannel: every rank contributes `count` elements; the reduced
+/// results are produced at the root. Every rank calls Reduce `count` times.
+class ReduceChannel : public CollChannelBase {
+ public:
+  using CollChannelBase::CollChannelBase;
+  ReduceOp op() const { return config_.op; }
+
+  /// SMI_Reduce: sends *data_snd; at the root, *data_rcv receives the
+  /// element-wise reduction across all ranks. Non-roots leave *data_rcv
+  /// untouched.
+  template <typename T>
+  detail::ReduceAwaitable<T> Reduce(const T& data_snd, T& data_rcv) {
+    CheckType<T>();
+    return detail::ReduceAwaitable<T>(this, data_snd, &data_rcv);
+  }
+
+ private:
+  template <typename T> friend struct detail::ReduceAwaitable;
+};
+
+/// Scatter: the root streams count*comm_size elements (its own segment
+/// loops back); non-roots receive count elements.
+///  * root:     count*comm_size calls; rcv is written (returns true) during
+///              the root's own segment window;
+///  * non-root: count calls; snd is ignored, rcv always written.
+class ScatterChannel : public CollChannelBase {
+ public:
+  using CollChannelBase::CollChannelBase;
+
+  template <typename T>
+  detail::ScatterAwaitable<T> Scatter(const T* snd, T& rcv) {
+    CheckType<T>();
+    return detail::ScatterAwaitable<T>(this, snd, &rcv);
+  }
+
+ private:
+  template <typename T> friend struct detail::ScatterAwaitable;
+};
+
+/// Gather: non-roots stream count elements to the root; the root receives
+/// count*comm_size elements in communicator rank order (its own segment is
+/// supplied via snd during its window).
+///  * root:     count*comm_size calls; snd consumed during the root window;
+///              rcv always written (returns true);
+///  * non-root: count calls; rcv untouched (returns false).
+class GatherChannel : public CollChannelBase {
+ public:
+  using CollChannelBase::CollChannelBase;
+
+  template <typename T>
+  detail::GatherAwaitable<T> Gather(const T& snd, T* rcv) {
+    CheckType<T>();
+    return detail::GatherAwaitable<T>(this, snd, rcv);
+  }
+
+ private:
+  template <typename T> friend struct detail::GatherAwaitable;
+};
+
+// ---------------------------------------------------------------------------
+// Awaitables
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+template <typename T>
+struct BcastAwaitable final : sim::detail::AwaitableBase<BcastAwaitable<T>> {
+  BcastAwaitable(BcastChannel* c, T* d) : chan(c), data(d) {}
+  BcastChannel* chan;
+  T* data;
+
+  bool TryComplete(sim::Cycle now) override {
+    if (!chan->EnsureConfigSent(now)) return false;
+    if (chan->is_root()) {
+      if (!chan->app_in().CanPush(now)) return false;
+      chan->app_in().Push(CollToken(Element::Of<T>(*data)), now);
+    } else {
+      if (!chan->app_out().CanPop(now)) return false;
+      *data = chan->PopElement(now).As<T>();
+    }
+    ++chan->calls_;
+    return true;
+  }
+  std::string Describe() const override {
+    return std::string("SMI_Bcast (") + (chan->is_root() ? "root" : "leaf") +
+           ")";
+  }
+  void await_resume() const noexcept {}
+};
+
+template <typename T>
+struct ReduceAwaitable final
+    : sim::detail::AwaitableBase<ReduceAwaitable<T>> {
+  ReduceAwaitable(ReduceChannel* c, const T& s, T* r)
+      : chan(c), snd(s), rcv(r) {}
+  ReduceChannel* chan;
+  T snd;
+  T* rcv;
+  bool pushed = false;
+
+  bool TryComplete(sim::Cycle now) override {
+    if (!chan->EnsureConfigSent(now)) return false;
+    if (!pushed) {
+      if (!chan->app_in().CanPush(now)) return false;
+      chan->app_in().Push(CollToken(Element::Of<T>(snd)), now);
+      pushed = true;
+    }
+    if (chan->is_root()) {
+      if (!chan->app_out().CanPop(now)) return false;
+      *rcv = chan->PopElement(now).As<T>();
+    }
+    ++chan->calls_;
+    return true;
+  }
+  std::string Describe() const override {
+    return std::string("SMI_Reduce (") + (chan->is_root() ? "root" : "leaf") +
+           (pushed ? ", awaiting result)" : ", sending)");
+  }
+  void await_resume() const noexcept {}
+};
+
+template <typename T>
+struct ScatterAwaitable final
+    : sim::detail::AwaitableBase<ScatterAwaitable<T>> {
+  ScatterAwaitable(ScatterChannel* c, const T* s, T* r)
+      : chan(c), snd(s ? *s : T{}), rcv(r) {}
+  ScatterChannel* chan;
+  T snd;
+  T* rcv;
+  bool pushed = false;
+  bool received = false;
+
+  bool InRootWindow() const {
+    const int serving = chan->calls_ / chan->count();
+    return serving == chan->root_comm_rank();
+  }
+
+  bool TryComplete(sim::Cycle now) override {
+    if (!chan->EnsureConfigSent(now)) return false;
+    if (chan->is_root()) {
+      if (!pushed) {
+        if (!chan->app_in().CanPush(now)) return false;
+        chan->app_in().Push(CollToken(Element::Of<T>(snd)), now);
+        pushed = true;
+      }
+      if (InRootWindow()) {
+        if (!chan->app_out().CanPop(now)) return false;
+        *rcv = chan->PopElement(now).As<T>();
+        received = true;
+      }
+    } else {
+      if (!chan->app_out().CanPop(now)) return false;
+      *rcv = chan->PopElement(now).As<T>();
+      received = true;
+    }
+    ++chan->calls_;
+    return true;
+  }
+  std::string Describe() const override { return "SMI Scatter"; }
+  /// True if *rcv was written by this call.
+  bool await_resume() const noexcept { return received; }
+};
+
+template <typename T>
+struct GatherAwaitable final
+    : sim::detail::AwaitableBase<GatherAwaitable<T>> {
+  GatherAwaitable(GatherChannel* c, const T& s, T* r)
+      : chan(c), snd(s), rcv(r) {}
+  GatherChannel* chan;
+  T snd;
+  T* rcv;
+  bool pushed = false;
+  bool received = false;
+
+  bool InRootWindow() const {
+    const int serving = chan->calls_ / chan->count();
+    return serving == chan->root_comm_rank();
+  }
+
+  bool TryComplete(sim::Cycle now) override {
+    if (!chan->EnsureConfigSent(now)) return false;
+    if (chan->is_root()) {
+      if (InRootWindow() && !pushed) {
+        if (!chan->app_in().CanPush(now)) return false;
+        chan->app_in().Push(CollToken(Element::Of<T>(snd)), now);
+        pushed = true;
+      }
+      if (!chan->app_out().CanPop(now)) return false;
+      *rcv = chan->PopElement(now).As<T>();
+      received = true;
+    } else {
+      if (!chan->app_in().CanPush(now)) return false;
+      chan->app_in().Push(CollToken(Element::Of<T>(snd)), now);
+    }
+    ++chan->calls_;
+    return true;
+  }
+  std::string Describe() const override { return "SMI Gather"; }
+  bool await_resume() const noexcept { return received; }
+};
+
+}  // namespace detail
+}  // namespace smi::core
+
+#endif  // SMI_CORE_COLLECTIVE_H

@@ -1,0 +1,52 @@
+#ifndef SMI_CORE_COMM_H
+#define SMI_CORE_COMM_H
+
+/// \file comm.h
+/// Communicators (§3.1.1): runtime-established ordered groups of ranks that
+/// scope both point-to-point and collective communication. Rank arguments in
+/// the SMI API are communicator-relative and are translated to global ranks
+/// (FPGA devices) before hitting the wire.
+
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace smi::core {
+
+class Communicator {
+ public:
+  /// The world communicator over `world_size` ranks (SMI_COMM_WORLD).
+  static Communicator World(int world_size);
+
+  /// A communicator containing the given global ranks, in order; the i-th
+  /// entry becomes communicator rank i.
+  explicit Communicator(std::vector<int> global_ranks);
+
+  int size() const { return static_cast<int>(global_ranks_.size()); }
+
+  /// The global rank of communicator rank `comm_rank`.
+  int GlobalRank(int comm_rank) const;
+
+  /// The communicator rank of `global_rank`; throws if not a member.
+  int CommRank(int global_rank) const;
+
+  bool Contains(int global_rank) const;
+
+  const std::vector<int>& global_ranks() const { return global_ranks_; }
+
+  /// Sub-communicator of the members at positions `members` (MPI_Comm_split
+  /// analogue for explicit groups).
+  Communicator Subset(const std::vector<int>& members) const;
+
+  friend bool operator==(const Communicator& a, const Communicator& b) {
+    return a.global_ranks_ == b.global_ranks_;
+  }
+
+ private:
+  std::vector<int> global_ranks_;
+};
+
+}  // namespace smi::core
+
+#endif  // SMI_CORE_COMM_H

@@ -1,0 +1,106 @@
+#ifndef SMI_CORE_PROGRAM_H
+#define SMI_CORE_PROGRAM_H
+
+/// \file program.h
+/// Static description of the SMI operations a rank's kernels use.
+///
+/// In the paper's workflow, a Clang-based metadata extractor parses the
+/// device code and hands the list of SMI operations (ports, datatypes,
+/// collective kinds) to the code generator, which instantiates exactly the
+/// CKS/CKR modules, endpoint FIFOs and support kernels those operations
+/// need. `ProgramSpec` is that metadata, declared explicitly; the codegen
+/// planner (`codegen/planner.h`) turns it into a fabric plan.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "core/coll_token.h"
+#include "core/types.h"
+
+namespace smi::core {
+
+struct OpSpec {
+  enum class Kind : std::uint8_t {
+    kSend,
+    kRecv,
+    kBcast,
+    kReduce,
+    kScatter,
+    kGather,
+  };
+
+  Kind kind = Kind::kSend;
+  int port = 0;
+  DataType type = DataType::kInt;
+  CollAlgo algo = CollAlgo::kLinear;
+
+  static OpSpec Send(int port, DataType type) {
+    return OpSpec{Kind::kSend, port, type, CollAlgo::kLinear};
+  }
+  static OpSpec Recv(int port, DataType type) {
+    return OpSpec{Kind::kRecv, port, type, CollAlgo::kLinear};
+  }
+  static OpSpec Bcast(int port, DataType type,
+                      CollAlgo algo = CollAlgo::kLinear) {
+    return OpSpec{Kind::kBcast, port, type, algo};
+  }
+  static OpSpec Reduce(int port, DataType type,
+                       CollAlgo algo = CollAlgo::kLinear) {
+    return OpSpec{Kind::kReduce, port, type, algo};
+  }
+  static OpSpec Scatter(int port, DataType type) {
+    return OpSpec{Kind::kScatter, port, type, CollAlgo::kLinear};
+  }
+  static OpSpec Gather(int port, DataType type) {
+    return OpSpec{Kind::kGather, port, type, CollAlgo::kLinear};
+  }
+
+  bool is_collective() const { return kind != Kind::kSend && kind != Kind::kRecv; }
+  std::optional<CollKind> coll_kind() const {
+    switch (kind) {
+      case Kind::kBcast: return CollKind::kBcast;
+      case Kind::kReduce: return CollKind::kReduce;
+      case Kind::kScatter: return CollKind::kScatter;
+      case Kind::kGather: return CollKind::kGather;
+      default: return std::nullopt;
+    }
+  }
+};
+
+const char* OpKindName(OpSpec::Kind kind);
+
+/// The set of SMI operations used by one rank's kernels. Validated on
+/// construction: a port carries at most one send, one recv, or exactly one
+/// collective (whose support kernel owns both directions).
+class ProgramSpec {
+ public:
+  ProgramSpec() = default;
+  explicit ProgramSpec(std::vector<OpSpec> ops);
+
+  ProgramSpec& Add(OpSpec op);
+
+  const std::vector<OpSpec>& ops() const { return ops_; }
+  bool empty() const { return ops_.empty(); }
+
+  /// Ports needing a send / recv application endpoint (collectives need
+  /// both, for their support kernel).
+  std::vector<int> SendPorts() const;
+  std::vector<int> RecvPorts() const;
+  /// The collective ops, for support kernel instantiation.
+  std::vector<OpSpec> CollectiveOps() const;
+
+  /// JSON round trip: the on-disk metadata format consumed by the codegen
+  /// tools.
+  json::Value ToJson() const;
+  static ProgramSpec FromJson(const json::Value& v);
+
+ private:
+  void Validate(const OpSpec& op) const;
+  std::vector<OpSpec> ops_;
+};
+
+}  // namespace smi::core
+
+#endif  // SMI_CORE_PROGRAM_H

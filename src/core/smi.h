@@ -1,0 +1,35 @@
+#ifndef SMI_CORE_SMI_H
+#define SMI_CORE_SMI_H
+
+/// \file smi.h
+/// Umbrella header for the SMI library: include this to program simulated
+/// multi-FPGA applications with streaming messages.
+///
+/// Correspondence with the paper's C API (§3):
+///
+///   SMI_Open_send_channel  -> Context::OpenSendChannel
+///   SMI_Open_recv_channel  -> Context::OpenRecvChannel
+///   SMI_Push               -> co_await SendChannel::Push(v)
+///   SMI_Pop                -> co_await RecvChannel::Pop<T>()
+///   SMI_Open_bcast_channel -> Context::OpenBcastChannel
+///   SMI_Bcast              -> co_await BcastChannel::Bcast(v)
+///   SMI_Open_reduce_channel-> Context::OpenReduceChannel
+///   SMI_Reduce             -> co_await ReduceChannel::Reduce(snd, rcv)
+///   (Scatter/Gather follow the same scheme)
+///   SMI_Comm / communicators -> core::Communicator
+///   SMI_INT / SMI_FLOAT / ... -> core::DataType
+///   SMI_ADD / SMI_MAX / SMI_MIN -> core::ReduceOp
+///
+/// The blocking cycle-by-cycle semantics of SMI_Push/SMI_Pop are expressed
+/// as awaitables resumed by the cycle engine; a loop with one Push or Pop
+/// per iteration pipelines to II=1 exactly as required by §3.1.1.
+
+#include "core/channel.h"
+#include "core/cluster.h"
+#include "core/collective.h"
+#include "core/comm.h"
+#include "core/context.h"
+#include "core/program.h"
+#include "core/types.h"
+
+#endif  // SMI_CORE_SMI_H

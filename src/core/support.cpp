@@ -1,0 +1,443 @@
+#include "core/support.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/error.h"
+
+namespace smi::core {
+namespace {
+
+using net::OpType;
+using net::Packet;
+using sim::Cycle;
+using sim::Kernel;
+using sim::NextCycle;
+using sim::fifo_pop;
+using sim::fifo_push;
+
+CollConfig GetConfig(CollToken&& tok, const char* kernel) {
+  if (!std::holds_alternative<CollConfig>(tok)) {
+    throw ConfigError(std::string(kernel) +
+                      ": expected a channel-open config token, got a data "
+                      "element (did the application open the channel?)");
+  }
+  return std::get<CollConfig>(std::move(tok));
+}
+
+Element GetElement(CollToken&& tok, const char* kernel) {
+  if (!std::holds_alternative<Element>(tok)) {
+    throw ConfigError(std::string(kernel) +
+                      ": expected a data element, got a config token (message "
+                      "shorter than the declared count?)");
+  }
+  return std::get<Element>(tok);
+}
+
+int MyCommRank(const CollConfig& cfg, int my_global, const char* kernel) {
+  for (std::size_t i = 0; i < cfg.comm_global.size(); ++i) {
+    if (cfg.comm_global[i] == my_global) return static_cast<int>(i);
+  }
+  throw ConfigError(std::string(kernel) + ": rank " +
+                    std::to_string(my_global) +
+                    " is not a member of the collective's communicator");
+}
+
+Packet MakeSync(const SupportCtx& ctx, int dst_global, OpType op) {
+  Packet p;
+  p.hdr.src = static_cast<std::uint8_t>(ctx.my_global);
+  p.hdr.dst = static_cast<std::uint8_t>(dst_global);
+  p.hdr.port = static_cast<std::uint8_t>(ctx.port);
+  p.hdr.op = op;
+  p.hdr.count = 0;
+  return p;
+}
+
+void PackElement(Packet& pkt, int index, const Element& e, std::size_t size) {
+  pkt.StoreBytes(static_cast<std::size_t>(index) * size, e.bytes.data(), size);
+}
+
+Element UnpackElement(const Packet& pkt, int index, std::size_t size) {
+  Element e;
+  pkt.LoadBytes(static_cast<std::size_t>(index) * size, e.bytes.data(), size);
+  return e;
+}
+
+/// Rendezvous bookkeeping: counts READY syncs per source rank, persisting
+/// across successive channel opens on the same port so that an early READY
+/// for the *next* open (from a fast rank) is credited correctly.
+class ReadyLedger {
+ public:
+  void Record(int src_global) { ++counts_[src_global]; }
+  bool Has(int src_global) const {
+    const auto it = counts_.find(src_global);
+    return it != counts_.end() && it->second > 0;
+  }
+  void Consume(int src_global) { --counts_[src_global]; }
+
+ private:
+  std::map<int, int> counts_;
+};
+
+}  // namespace
+
+const char* CollKindName(CollKind k) {
+  switch (k) {
+    case CollKind::kBcast: return "Bcast";
+    case CollKind::kReduce: return "Reduce";
+    case CollKind::kScatter: return "Scatter";
+    case CollKind::kGather: return "Gather";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Bcast (§4.4): the root waits for a READY from every non-root (one-to-all
+// rendezvous), then streams packets, replicating each to every non-root in a
+// linear scheme. Non-roots send READY once and then forward arriving data
+// elements to their application.
+// ---------------------------------------------------------------------------
+Kernel BcastSupportKernel(SupportCtx ctx) {
+  ReadyLedger readies;
+  for (;;) {
+    const CollConfig cfg =
+        GetConfig(co_await fifo_pop(*ctx.app_in), "BcastSupport");
+    const int n = static_cast<int>(cfg.comm_global.size());
+    const int me = MyCommRank(cfg, ctx.my_global, "BcastSupport");
+    const int epp = static_cast<int>(ElementsPerPacket(cfg.type));
+    const std::size_t esz = SizeOf(cfg.type);
+
+    if (me == cfg.root_comm) {
+      // Rendezvous: every non-root must be ready to receive.
+      for (int r = 0; r < n; ++r) {
+        if (r == cfg.root_comm) continue;
+        const int g = cfg.comm_global[static_cast<std::size_t>(r)];
+        while (!readies.Has(g)) {
+          const Packet p = co_await fifo_pop(*ctx.net_in);
+          if (p.hdr.op != OpType::kSync) {
+            throw ConfigError("BcastSupport: unexpected packet during "
+                              "rendezvous: " + p.DebugString());
+          }
+          readies.Record(p.hdr.src);
+        }
+        readies.Consume(g);
+      }
+      // Stream the message, one packet's worth of elements at a time,
+      // replicated to each destination (linear scheme).
+      int sent = 0;
+      while (sent < cfg.count) {
+        const int chunk = std::min(epp, cfg.count - sent);
+        Packet data = MakeSync(ctx, /*dst placeholder*/ ctx.my_global,
+                               OpType::kData);
+        for (int e = 0; e < chunk; ++e) {
+          PackElement(data, e,
+                      GetElement(co_await fifo_pop(*ctx.app_in),
+                                 "BcastSupport"),
+                      esz);
+        }
+        data.hdr.count = static_cast<std::uint8_t>(chunk);
+        for (int r = 0; r < n; ++r) {
+          if (r == cfg.root_comm) continue;
+          data.hdr.dst = static_cast<std::uint8_t>(
+              cfg.comm_global[static_cast<std::size_t>(r)]);
+          co_await fifo_push(*ctx.net_out, data);
+        }
+        sent += chunk;
+      }
+    } else {
+      co_await fifo_push(
+          *ctx.net_out,
+          MakeSync(ctx, cfg.comm_global[static_cast<std::size_t>(cfg.root_comm)],
+                   OpType::kSync));
+      int received = 0;
+      while (received < cfg.count) {
+        const Packet p = co_await fifo_pop(*ctx.net_in);
+        if (p.hdr.op != OpType::kData) {
+          throw ConfigError("BcastSupport: unexpected packet: " +
+                            p.DebugString());
+        }
+        for (int e = 0; e < p.hdr.count; ++e) {
+          co_await fifo_push(*ctx.app_out,
+                             CollToken(UnpackElement(p, e, esz)));
+          ++received;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reduce (§4.4): credit-based flow control with C credits. The root folds
+// contributions (its own from the application, remote ones from the network)
+// into a C-deep accumulator window in arrival order — legal because the
+// supported operations are associative and commutative — and emits element
+// e as soon as all n ranks have contributed it. Credits for tile t are
+// granted once every element of tile t-1 has been emitted. Non-roots stream
+// one tile per credit.
+// ---------------------------------------------------------------------------
+Kernel ReduceSupportKernel(SupportCtx ctx) {
+  for (;;) {
+    const CollConfig cfg =
+        GetConfig(co_await fifo_pop(*ctx.app_in), "ReduceSupport");
+    const int n = static_cast<int>(cfg.comm_global.size());
+    const int me = MyCommRank(cfg, ctx.my_global, "ReduceSupport");
+    const int epp = static_cast<int>(ElementsPerPacket(cfg.type));
+    const std::size_t esz = SizeOf(cfg.type);
+    const int C = std::max(1, cfg.credits);
+
+    if (cfg.count == 0) continue;
+
+    if (me == cfg.root_comm) {
+      std::vector<Element> accum(static_cast<std::size_t>(C),
+                                 ReduceIdentity(cfg.op, cfg.type));
+      std::vector<int> contrib(static_cast<std::size_t>(C), 0);
+      std::vector<int> remote_next(static_cast<std::size_t>(n), 0);
+      int local_next = 0;
+      int emitted = 0;
+      int granted_tiles = 1;  // tile 0 is implicitly granted at open
+      // Credits queued for sending, as destination global ranks.
+      std::vector<int> pending_credits;
+
+      const auto fold = [&](int element_index, const Element& value) {
+        const std::size_t slot =
+            static_cast<std::size_t>(element_index % C);
+        accum[slot] = ApplyReduceOp(cfg.op, cfg.type, accum[slot], value);
+        ++contrib[slot];
+      };
+
+      while (emitted < cfg.count) {
+        const Cycle now = *ctx.now;
+        // (1) Emit the next result if complete.
+        if (contrib[static_cast<std::size_t>(emitted % C)] == n &&
+            ctx.app_out->CanPush(now)) {
+          const std::size_t slot = static_cast<std::size_t>(emitted % C);
+          ctx.app_out->Push(CollToken(accum[slot]), now);
+          accum[slot] = ReduceIdentity(cfg.op, cfg.type);
+          contrib[slot] = 0;
+          ++emitted;
+          // Tile boundary: grant the next tile if one remains.
+          if (emitted % C == 0 && granted_tiles * C < cfg.count) {
+            ++granted_tiles;
+            for (int r = 0; r < n; ++r) {
+              if (r == cfg.root_comm) continue;
+              pending_credits.push_back(
+                  cfg.comm_global[static_cast<std::size_t>(r)]);
+            }
+          }
+        }
+        // (2) Fold one local contribution if within the window.
+        if (local_next < cfg.count && local_next < emitted + C &&
+            ctx.app_in->CanPop(now)) {
+          fold(local_next,
+               GetElement(ctx.app_in->Pop(now), "ReduceSupport"));
+          ++local_next;
+        }
+        // (3) Fold one remote packet.
+        if (ctx.net_in->CanPop(now)) {
+          const Packet p = ctx.net_in->Pop(now);
+          if (p.hdr.op != OpType::kData) {
+            throw ConfigError("ReduceSupport(root): unexpected packet: " +
+                              p.DebugString());
+          }
+          int src_comm = -1;
+          for (int r = 0; r < n; ++r) {
+            if (cfg.comm_global[static_cast<std::size_t>(r)] == p.hdr.src) {
+              src_comm = r;
+              break;
+            }
+          }
+          if (src_comm < 0) {
+            throw ConfigError("ReduceSupport(root): contribution from a "
+                              "non-member rank");
+          }
+          for (int e = 0; e < p.hdr.count; ++e) {
+            const int idx = remote_next[static_cast<std::size_t>(src_comm)]++;
+            if (idx >= granted_tiles * C) {
+              throw ConfigError(
+                  "ReduceSupport(root): rank sent beyond its credit window");
+            }
+            fold(idx, UnpackElement(p, e, esz));
+          }
+        }
+        // (4) Send one pending credit.
+        if (!pending_credits.empty() && ctx.net_out->CanPush(now)) {
+          ctx.net_out->Push(
+              MakeSync(ctx, pending_credits.back(), OpType::kCredit), now);
+          pending_credits.pop_back();
+        }
+        co_await NextCycle{};
+      }
+    } else {
+      const int root_global =
+          cfg.comm_global[static_cast<std::size_t>(cfg.root_comm)];
+      int sent = 0;
+      int tile = 0;
+      while (sent < cfg.count) {
+        if (tile > 0) {
+          const Packet credit = co_await fifo_pop(*ctx.net_in);
+          if (credit.hdr.op != OpType::kCredit) {
+            throw ConfigError("ReduceSupport: expected a credit, got " +
+                              credit.DebugString());
+          }
+        }
+        const int tile_end = std::min(cfg.count, (tile + 1) * C);
+        while (sent < tile_end) {
+          const int chunk = std::min(epp, tile_end - sent);
+          Packet data = MakeSync(ctx, root_global, OpType::kData);
+          for (int e = 0; e < chunk; ++e) {
+            PackElement(data, e,
+                        GetElement(co_await fifo_pop(*ctx.app_in),
+                                   "ReduceSupport"),
+                        esz);
+          }
+          data.hdr.count = static_cast<std::uint8_t>(chunk);
+          co_await fifo_push(*ctx.net_out, data);
+          sent += chunk;
+        }
+        ++tile;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scatter (§4.4, Fig. 5 left): the root serves communicator ranks in order;
+// each non-root announces readiness with a READY sync, after which the root
+// streams that rank's `count` elements. The root's own segment is looped
+// back locally, element by element.
+// ---------------------------------------------------------------------------
+Kernel ScatterSupportKernel(SupportCtx ctx) {
+  ReadyLedger readies;
+  for (;;) {
+    const CollConfig cfg =
+        GetConfig(co_await fifo_pop(*ctx.app_in), "ScatterSupport");
+    const int n = static_cast<int>(cfg.comm_global.size());
+    const int me = MyCommRank(cfg, ctx.my_global, "ScatterSupport");
+    const int epp = static_cast<int>(ElementsPerPacket(cfg.type));
+    const std::size_t esz = SizeOf(cfg.type);
+
+    if (me == cfg.root_comm) {
+      for (int r = 0; r < n; ++r) {
+        if (r == cfg.root_comm) {
+          // Loop the root's own segment back to its application.
+          for (int c = 0; c < cfg.count; ++c) {
+            const Element e =
+                GetElement(co_await fifo_pop(*ctx.app_in), "ScatterSupport");
+            co_await fifo_push(*ctx.app_out, CollToken(e));
+          }
+          continue;
+        }
+        const int g = cfg.comm_global[static_cast<std::size_t>(r)];
+        while (!readies.Has(g)) {
+          const Packet p = co_await fifo_pop(*ctx.net_in);
+          if (p.hdr.op != OpType::kSync) {
+            throw ConfigError("ScatterSupport: unexpected packet during "
+                              "rendezvous: " + p.DebugString());
+          }
+          readies.Record(p.hdr.src);
+        }
+        readies.Consume(g);
+        int sent = 0;
+        while (sent < cfg.count) {
+          const int chunk = std::min(epp, cfg.count - sent);
+          Packet data = MakeSync(ctx, g, OpType::kData);
+          for (int e = 0; e < chunk; ++e) {
+            PackElement(data, e,
+                        GetElement(co_await fifo_pop(*ctx.app_in),
+                                   "ScatterSupport"),
+                        esz);
+          }
+          data.hdr.count = static_cast<std::uint8_t>(chunk);
+          co_await fifo_push(*ctx.net_out, data);
+          sent += chunk;
+        }
+      }
+    } else {
+      co_await fifo_push(
+          *ctx.net_out,
+          MakeSync(ctx, cfg.comm_global[static_cast<std::size_t>(cfg.root_comm)],
+                   OpType::kSync));
+      int received = 0;
+      while (received < cfg.count) {
+        const Packet p = co_await fifo_pop(*ctx.net_in);
+        if (p.hdr.op != OpType::kData) {
+          throw ConfigError("ScatterSupport: unexpected packet: " +
+                            p.DebugString());
+        }
+        for (int e = 0; e < p.hdr.count; ++e) {
+          co_await fifo_push(*ctx.app_out, CollToken(UnpackElement(p, e, esz)));
+          ++received;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Gather (§4.4, Fig. 5 left, reversed): the root grants senders in
+// communicator rank order, which guarantees data arrives in an order that
+// can be streamed to the application without reordering buffers.
+// ---------------------------------------------------------------------------
+Kernel GatherSupportKernel(SupportCtx ctx) {
+  for (;;) {
+    const CollConfig cfg =
+        GetConfig(co_await fifo_pop(*ctx.app_in), "GatherSupport");
+    const int n = static_cast<int>(cfg.comm_global.size());
+    const int me = MyCommRank(cfg, ctx.my_global, "GatherSupport");
+    const std::size_t esz = SizeOf(cfg.type);
+    const int epp = static_cast<int>(ElementsPerPacket(cfg.type));
+
+    if (me == cfg.root_comm) {
+      for (int r = 0; r < n; ++r) {
+        if (r == cfg.root_comm) {
+          for (int c = 0; c < cfg.count; ++c) {
+            const Element e =
+                GetElement(co_await fifo_pop(*ctx.app_in), "GatherSupport");
+            co_await fifo_push(*ctx.app_out, CollToken(e));
+          }
+          continue;
+        }
+        const int g = cfg.comm_global[static_cast<std::size_t>(r)];
+        co_await fifo_push(*ctx.net_out, MakeSync(ctx, g, OpType::kSync));
+        int received = 0;
+        while (received < cfg.count) {
+          const Packet p = co_await fifo_pop(*ctx.net_in);
+          if (p.hdr.op != OpType::kData || p.hdr.src != g) {
+            throw ConfigError("GatherSupport: unexpected packet: " +
+                              p.DebugString());
+          }
+          for (int e = 0; e < p.hdr.count; ++e) {
+            co_await fifo_push(*ctx.app_out,
+                               CollToken(UnpackElement(p, e, esz)));
+            ++received;
+          }
+        }
+      }
+    } else {
+      const Packet grant = co_await fifo_pop(*ctx.net_in);
+      if (grant.hdr.op != OpType::kSync) {
+        throw ConfigError("GatherSupport: expected a grant, got " +
+                          grant.DebugString());
+      }
+      const int root_global =
+          cfg.comm_global[static_cast<std::size_t>(cfg.root_comm)];
+      int sent = 0;
+      while (sent < cfg.count) {
+        const int chunk = std::min(epp, cfg.count - sent);
+        Packet data = MakeSync(ctx, root_global, OpType::kData);
+        for (int e = 0; e < chunk; ++e) {
+          PackElement(data, e,
+                      GetElement(co_await fifo_pop(*ctx.app_in),
+                                 "GatherSupport"),
+                      esz);
+        }
+        data.hdr.count = static_cast<std::uint8_t>(chunk);
+        co_await fifo_push(*ctx.net_out, data);
+        sent += chunk;
+      }
+    }
+  }
+}
+
+}  // namespace smi::core

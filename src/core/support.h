@@ -1,0 +1,65 @@
+#ifndef SMI_CORE_SUPPORT_H
+#define SMI_CORE_SUPPORT_H
+
+/// \file support.h
+/// Collective support kernels (§4.4).
+///
+/// One support kernel instance runs per (rank, collective port). It sits
+/// between the application endpoint FIFOs and the CKS/CKR modules, and
+/// implements the coordination protocol of its collective:
+///
+///  * Bcast / Scatter (one-to-all): every non-root sends a READY sync packet
+///    to the root; the root streams data only after the rendezvous, which
+///    prevents mixing of data from subsequently opened transient channels on
+///    the same port.
+///  * Gather (all-to-one): the root grants senders in communicator rank
+///    order, so data arrives in an order the root can stream out without
+///    reordering buffers.
+///  * Reduce (all-to-one): credit-based flow control with C credits; the
+///    root folds contributions in arrival order into a C-deep accumulator
+///    window and emits each result as soon as every rank has contributed it.
+///
+/// Every kernel serves an unbounded sequence of channel opens (transient
+/// channels), each announced by a config token from the application. Both
+/// root and non-root behaviour is present in every instance; the config
+/// selects the role at runtime.
+
+#include "core/coll_token.h"
+#include "sim/clock.h"
+#include "sim/kernel.h"
+#include "net/packet.h"
+
+namespace smi::core {
+
+/// Wiring of one support kernel.
+struct SupportCtx {
+  int my_global = 0;             ///< this rank (global)
+  int port = 0;                  ///< collective port
+  TokenFifo* app_in = nullptr;   ///< application -> support (config + data)
+  TokenFifo* app_out = nullptr;  ///< support -> application (results)
+  sim::Fifo<net::Packet>* net_out = nullptr;  ///< to the CKS endpoint
+  sim::Fifo<net::Packet>* net_in = nullptr;   ///< from the CKR endpoint
+  const sim::Cycle* now = nullptr;            ///< engine cycle counter
+};
+
+/// The four support kernels (linear schemes of the reference
+/// implementation). Each runs forever (registered as a daemon).
+sim::Kernel BcastSupportKernel(SupportCtx ctx);
+sim::Kernel ReduceSupportKernel(SupportCtx ctx);
+sim::Kernel ScatterSupportKernel(SupportCtx ctx);
+sim::Kernel GatherSupportKernel(SupportCtx ctx);
+
+/// Binomial-tree variants of Bcast and Reduce (the §4.4 extension). Data
+/// flows along a binomial tree rooted at the runtime-selected root:
+/// logarithmic fan-out at every node instead of the root serializing to
+/// all n-1 peers.
+sim::Kernel TreeBcastSupportKernel(SupportCtx ctx);
+sim::Kernel TreeReduceSupportKernel(SupportCtx ctx);
+
+/// Dispatch by kind/algo (used by the fabric builder). Scatter and Gather
+/// only exist in the linear variant.
+sim::Kernel MakeSupportKernel(CollKind kind, CollAlgo algo, SupportCtx ctx);
+
+}  // namespace smi::core
+
+#endif  // SMI_CORE_SUPPORT_H

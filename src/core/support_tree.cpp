@@ -1,0 +1,306 @@
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/error.h"
+#include "core/coll_tree.h"
+#include "core/support.h"
+
+/// \file support_tree.cpp
+/// Binomial-tree Bcast and Reduce support kernels — the alternative
+/// collective implementations the paper names as an extension point in
+/// §4.4. The protocols mirror the linear kernels (READY rendezvous for the
+/// one-to-all direction, credit-based flow control for the all-to-one
+/// direction) but along the edges of a binomial tree in root-relative
+/// communicator rank space, so every node's fan-out/fan-in is logarithmic.
+
+namespace smi::core {
+namespace {
+
+using net::OpType;
+using net::Packet;
+using sim::Cycle;
+using sim::Kernel;
+using sim::NextCycle;
+using sim::fifo_pop;
+using sim::fifo_push;
+
+CollConfig GetConfig(CollToken&& tok, const char* kernel) {
+  if (!std::holds_alternative<CollConfig>(tok)) {
+    throw ConfigError(std::string(kernel) +
+                      ": expected a channel-open config token");
+  }
+  return std::get<CollConfig>(std::move(tok));
+}
+
+Element GetElement(CollToken&& tok, const char* kernel) {
+  if (!std::holds_alternative<Element>(tok)) {
+    throw ConfigError(std::string(kernel) +
+                      ": expected a data element, got a config token");
+  }
+  return std::get<Element>(tok);
+}
+
+int MyCommRank(const CollConfig& cfg, int my_global, const char* kernel) {
+  for (std::size_t i = 0; i < cfg.comm_global.size(); ++i) {
+    if (cfg.comm_global[i] == my_global) return static_cast<int>(i);
+  }
+  throw ConfigError(std::string(kernel) + ": rank not in communicator");
+}
+
+Packet MakeSync(const SupportCtx& ctx, int dst_global, OpType op) {
+  Packet p;
+  p.hdr.src = static_cast<std::uint8_t>(ctx.my_global);
+  p.hdr.dst = static_cast<std::uint8_t>(dst_global);
+  p.hdr.port = static_cast<std::uint8_t>(ctx.port);
+  p.hdr.op = op;
+  return p;
+}
+
+void PackElement(Packet& pkt, int index, const Element& e, std::size_t size) {
+  pkt.StoreBytes(static_cast<std::size_t>(index) * size, e.bytes.data(), size);
+}
+
+Element UnpackElement(const Packet& pkt, int index, std::size_t size) {
+  Element e;
+  pkt.LoadBytes(static_cast<std::size_t>(index) * size, e.bytes.data(), size);
+  return e;
+}
+
+/// Root-relative rank -> global rank.
+int RelToGlobal(const CollConfig& cfg, int rel) {
+  const int n = static_cast<int>(cfg.comm_global.size());
+  const int comm_rank = (rel + cfg.root_comm) % n;
+  return cfg.comm_global[static_cast<std::size_t>(comm_rank)];
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Tree Bcast: every non-root sends READY to its tree parent; a node streams
+// to a child only after that child's READY. Inner nodes forward each packet
+// to their children and deliver its elements to their own application.
+// ---------------------------------------------------------------------------
+Kernel TreeBcastSupportKernel(SupportCtx ctx) {
+  std::map<int, int> readies;  // per-source pending READY count
+  for (;;) {
+    const CollConfig cfg =
+        GetConfig(co_await fifo_pop(*ctx.app_in), "TreeBcastSupport");
+    const int n = static_cast<int>(cfg.comm_global.size());
+    const int me = MyCommRank(cfg, ctx.my_global, "TreeBcastSupport");
+    const int rel = (me - cfg.root_comm + n) % n;
+    const std::vector<int> children = BinomialChildren(rel, n);
+    const int epp = static_cast<int>(ElementsPerPacket(cfg.type));
+    const std::size_t esz = SizeOf(cfg.type);
+
+    // Non-roots announce readiness to their parent before any data moves.
+    if (rel != 0) {
+      co_await fifo_push(
+          *ctx.net_out,
+          MakeSync(ctx, RelToGlobal(cfg, BinomialParent(rel)), OpType::kSync));
+    }
+    // Collect READYs from all children (any arrival order; early READYs for
+    // the next open are credited via the ledger).
+    for (const int child : children) {
+      const int g = RelToGlobal(cfg, child);
+      while (readies[g] == 0) {
+        const Packet p = co_await fifo_pop(*ctx.net_in);
+        if (p.hdr.op != OpType::kSync) {
+          throw ConfigError("TreeBcastSupport: unexpected packet during "
+                            "rendezvous: " + p.DebugString());
+        }
+        ++readies[p.hdr.src];
+      }
+      --readies[g];
+    }
+
+    int done = 0;
+    while (done < cfg.count) {
+      const int chunk = std::min(epp, cfg.count - done);
+      Packet data = MakeSync(ctx, ctx.my_global, OpType::kData);
+      if (rel == 0) {
+        // Root: assemble the packet from the application's elements.
+        for (int e = 0; e < chunk; ++e) {
+          PackElement(data, e,
+                      GetElement(co_await fifo_pop(*ctx.app_in),
+                                 "TreeBcastSupport"),
+                      esz);
+        }
+        data.hdr.count = static_cast<std::uint8_t>(chunk);
+      } else {
+        // Inner node / leaf: receive from the parent and deliver locally.
+        data = co_await fifo_pop(*ctx.net_in);
+        if (data.hdr.op != OpType::kData) {
+          throw ConfigError("TreeBcastSupport: unexpected packet: " +
+                            data.DebugString());
+        }
+        for (int e = 0; e < data.hdr.count; ++e) {
+          co_await fifo_push(*ctx.app_out,
+                             CollToken(UnpackElement(data, e, esz)));
+        }
+      }
+      // Forward to every child.
+      for (const int child : children) {
+        data.hdr.dst = static_cast<std::uint8_t>(RelToGlobal(cfg, child));
+        data.hdr.src = static_cast<std::uint8_t>(ctx.my_global);
+        co_await fifo_push(*ctx.net_out, data);
+      }
+      done += data.hdr.count;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tree Reduce: contributions flow up the binomial tree. Every node folds
+// its own application stream with its children's partials in a C-deep
+// window; non-roots forward completed elements to their parent, tile by
+// tile under per-edge credit flow control; the root emits results to its
+// application element-wise (so the root application's push/pop loop cannot
+// deadlock) and grants credits per completed tile.
+// ---------------------------------------------------------------------------
+Kernel TreeReduceSupportKernel(SupportCtx ctx) {
+  for (;;) {
+    const CollConfig cfg =
+        GetConfig(co_await fifo_pop(*ctx.app_in), "TreeReduceSupport");
+    const int n = static_cast<int>(cfg.comm_global.size());
+    const int me = MyCommRank(cfg, ctx.my_global, "TreeReduceSupport");
+    const int rel = (me - cfg.root_comm + n) % n;
+    const std::vector<int> children = BinomialChildren(rel, n);
+    const int parent_global =
+        rel == 0 ? -1 : RelToGlobal(cfg, BinomialParent(rel));
+    const int epp = static_cast<int>(ElementsPerPacket(cfg.type));
+    const std::size_t esz = SizeOf(cfg.type);
+    const int C = std::max(1, cfg.credits);
+    const int sources = 1 + static_cast<int>(children.size());
+
+    if (cfg.count == 0) continue;
+
+    std::vector<Element> accum(static_cast<std::size_t>(C),
+                               ReduceIdentity(cfg.op, cfg.type));
+    std::vector<int> contrib(static_cast<std::size_t>(C), 0);
+    std::map<int, int> child_next;  // per child global rank: next element
+    for (const int child : children) child_next[RelToGlobal(cfg, child)] = 0;
+    int local_next = 0;
+    int emitted = 0;            // elements delivered to app (root) or parent
+    int granted_tiles = 1;      // credits granted to children
+    int parent_credits = 1;     // credits received from the parent
+    std::vector<int> pending_credits;  // child global ranks to credit
+    Packet out = MakeSync(ctx, parent_global < 0 ? 0 : parent_global,
+                          OpType::kData);
+    int out_fill = 0;
+
+    while (emitted < cfg.count) {
+      const Cycle now = *ctx.now;
+      // (1) Emit the next completed element.
+      if (contrib[static_cast<std::size_t>(emitted % C)] == sources) {
+        bool advanced = false;
+        const std::size_t slot = static_cast<std::size_t>(emitted % C);
+        if (rel == 0) {
+          if (ctx.app_out->CanPush(now)) {
+            ctx.app_out->Push(CollToken(accum[slot]), now);
+            advanced = true;
+          }
+        } else {
+          // Stage into the outgoing packet; flush on full packet, tile
+          // boundary or message end, gated by the parent's credits.
+          const bool within_credit = emitted < parent_credits * C;
+          if (within_credit) {
+            PackElement(out, out_fill, accum[slot], esz);
+            ++out_fill;
+            const bool flush = out_fill == epp ||
+                               (emitted + 1) % C == 0 ||
+                               emitted + 1 == cfg.count;
+            if (flush) {
+              if (ctx.net_out->CanPush(now)) {
+                out.hdr.count = static_cast<std::uint8_t>(out_fill);
+                ctx.net_out->Push(out, now);
+                out_fill = 0;
+                advanced = true;
+              } else {
+                --out_fill;  // retry next cycle
+              }
+            } else {
+              advanced = true;
+            }
+          }
+        }
+        if (advanced) {
+          accum[slot] = ReduceIdentity(cfg.op, cfg.type);
+          contrib[slot] = 0;
+          ++emitted;
+          if (emitted % C == 0 && granted_tiles * C < cfg.count) {
+            ++granted_tiles;
+            for (const int child : children) {
+              pending_credits.push_back(RelToGlobal(cfg, child));
+            }
+          }
+        }
+      }
+      // (2) Fold one local element within the window.
+      if (local_next < cfg.count && local_next < emitted + C &&
+          ctx.app_in->CanPop(now)) {
+        const Element e =
+            GetElement(ctx.app_in->Pop(now), "TreeReduceSupport");
+        const std::size_t slot = static_cast<std::size_t>(local_next % C);
+        accum[slot] = ApplyReduceOp(cfg.op, cfg.type, accum[slot], e);
+        ++contrib[slot];
+        ++local_next;
+      }
+      // (3) Fold one incoming packet (child partials or parent credit).
+      if (ctx.net_in->CanPop(now)) {
+        const Packet p = ctx.net_in->Pop(now);
+        if (p.hdr.op == OpType::kCredit) {
+          ++parent_credits;
+        } else if (p.hdr.op == OpType::kData) {
+          const auto it = child_next.find(p.hdr.src);
+          if (it == child_next.end()) {
+            throw ConfigError("TreeReduceSupport: data from a non-child: " +
+                              p.DebugString());
+          }
+          for (int e = 0; e < p.hdr.count; ++e) {
+            const int idx = it->second++;
+            if (idx >= granted_tiles * C) {
+              throw ConfigError(
+                  "TreeReduceSupport: child exceeded its credit window");
+            }
+            const std::size_t slot = static_cast<std::size_t>(idx % C);
+            accum[slot] = ApplyReduceOp(cfg.op, cfg.type, accum[slot],
+                                        UnpackElement(p, e, esz));
+            ++contrib[slot];
+          }
+        } else {
+          throw ConfigError("TreeReduceSupport: unexpected packet: " +
+                            p.DebugString());
+        }
+      }
+      // (4) Send one pending credit to a child.
+      if (!pending_credits.empty() && ctx.net_out->CanPush(now)) {
+        ctx.net_out->Push(
+            MakeSync(ctx, pending_credits.back(), OpType::kCredit), now);
+        pending_credits.pop_back();
+      }
+      co_await NextCycle{};
+    }
+  }
+}
+
+Kernel MakeSupportKernel(CollKind kind, CollAlgo algo, SupportCtx ctx) {
+  if (algo == CollAlgo::kTree) {
+    switch (kind) {
+      case CollKind::kBcast: return TreeBcastSupportKernel(ctx);
+      case CollKind::kReduce: return TreeReduceSupportKernel(ctx);
+      default:
+        throw ConfigError(
+            "tree-based support kernels exist only for Bcast and Reduce");
+    }
+  }
+  switch (kind) {
+    case CollKind::kBcast: return BcastSupportKernel(ctx);
+    case CollKind::kReduce: return ReduceSupportKernel(ctx);
+    case CollKind::kScatter: return ScatterSupportKernel(ctx);
+    case CollKind::kGather: return GatherSupportKernel(ctx);
+  }
+  throw ConfigError("unknown collective kind");
+}
+
+}  // namespace smi::core

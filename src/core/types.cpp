@@ -1,0 +1,77 @@
+#include "core/types.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace smi::core {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kChar: return "SMI_CHAR";
+    case DataType::kShort: return "SMI_SHORT";
+    case DataType::kInt: return "SMI_INT";
+    case DataType::kFloat: return "SMI_FLOAT";
+    case DataType::kDouble: return "SMI_DOUBLE";
+  }
+  return "?";
+}
+
+const char* ReduceOpName(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kAdd: return "SMI_ADD";
+    case ReduceOp::kMax: return "SMI_MAX";
+    case ReduceOp::kMin: return "SMI_MIN";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename T>
+Element Fold(ReduceOp op, const Element& a, const Element& b) {
+  const T x = a.As<T>();
+  const T y = b.As<T>();
+  switch (op) {
+    case ReduceOp::kAdd: return Element::Of<T>(static_cast<T>(x + y));
+    case ReduceOp::kMax: return Element::Of<T>(std::max(x, y));
+    case ReduceOp::kMin: return Element::Of<T>(std::min(x, y));
+  }
+  throw ConfigError("unknown reduce op");
+}
+
+template <typename T>
+Element Identity(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kAdd: return Element::Of<T>(T{0});
+    case ReduceOp::kMax: return Element::Of<T>(std::numeric_limits<T>::lowest());
+    case ReduceOp::kMin: return Element::Of<T>(std::numeric_limits<T>::max());
+  }
+  throw ConfigError("unknown reduce op");
+}
+
+}  // namespace
+
+Element ApplyReduceOp(ReduceOp op, DataType t, const Element& a,
+                      const Element& b) {
+  switch (t) {
+    case DataType::kChar: return Fold<std::int8_t>(op, a, b);
+    case DataType::kShort: return Fold<std::int16_t>(op, a, b);
+    case DataType::kInt: return Fold<std::int32_t>(op, a, b);
+    case DataType::kFloat: return Fold<float>(op, a, b);
+    case DataType::kDouble: return Fold<double>(op, a, b);
+  }
+  throw ConfigError("unknown datatype");
+}
+
+Element ReduceIdentity(ReduceOp op, DataType t) {
+  switch (t) {
+    case DataType::kChar: return Identity<std::int8_t>(op);
+    case DataType::kShort: return Identity<std::int16_t>(op);
+    case DataType::kInt: return Identity<std::int32_t>(op);
+    case DataType::kFloat: return Identity<float>(op);
+    case DataType::kDouble: return Identity<double>(op);
+  }
+  throw ConfigError("unknown datatype");
+}
+
+}  // namespace smi::core

@@ -1,0 +1,106 @@
+#ifndef SMI_CORE_TYPES_H
+#define SMI_CORE_TYPES_H
+
+/// \file types.h
+/// SMI datatypes and reduction operations (§3.1–3.2). Names mirror the
+/// paper's SMI_INT / SMI_FLOAT / ... and SMI_ADD / SMI_MAX / SMI_MIN.
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/error.h"
+#include "net/packet.h"
+
+namespace smi::core {
+
+enum class DataType : std::uint8_t {
+  kChar,    ///< SMI_CHAR,   1 byte
+  kShort,   ///< SMI_SHORT,  2 bytes
+  kInt,     ///< SMI_INT,    4 bytes
+  kFloat,   ///< SMI_FLOAT,  4 bytes
+  kDouble,  ///< SMI_DOUBLE, 8 bytes
+};
+
+constexpr std::size_t SizeOf(DataType t) {
+  switch (t) {
+    case DataType::kChar: return 1;
+    case DataType::kShort: return 2;
+    case DataType::kInt: return 4;
+    case DataType::kFloat: return 4;
+    case DataType::kDouble: return 8;
+  }
+  return 0;
+}
+
+const char* DataTypeName(DataType t);
+
+/// Data elements carried by one 28-byte network packet payload.
+constexpr std::size_t ElementsPerPacket(DataType t) {
+  return net::kPayloadBytes / SizeOf(t);
+}
+
+/// Map C++ element types to SMI datatypes (used to check that the type
+/// passed to Push/Pop matches the one declared when opening the channel,
+/// a requirement of §3.1.1).
+template <typename T>
+struct DataTypeOf;
+template <> struct DataTypeOf<char> {
+  static constexpr DataType value = DataType::kChar;
+};
+template <> struct DataTypeOf<std::int8_t> {
+  static constexpr DataType value = DataType::kChar;
+};
+template <> struct DataTypeOf<std::int16_t> {
+  static constexpr DataType value = DataType::kShort;
+};
+template <> struct DataTypeOf<std::int32_t> {
+  static constexpr DataType value = DataType::kInt;
+};
+template <> struct DataTypeOf<float> {
+  static constexpr DataType value = DataType::kFloat;
+};
+template <> struct DataTypeOf<double> {
+  static constexpr DataType value = DataType::kDouble;
+};
+
+/// Reduction operations for SMI_Reduce.
+enum class ReduceOp : std::uint8_t { kAdd, kMax, kMin };
+
+const char* ReduceOpName(ReduceOp op);
+
+/// An element value in transit between an application and a support kernel:
+/// raw bytes wide enough for the largest datatype.
+struct Element {
+  std::array<std::uint8_t, 8> bytes{};
+
+  template <typename T>
+  static Element Of(const T& v) {
+    static_assert(sizeof(T) <= 8);
+    Element e;
+    std::memcpy(e.bytes.data(), &v, sizeof(T));
+    return e;
+  }
+  template <typename T>
+  T As() const {
+    static_assert(sizeof(T) <= 8);
+    T v;
+    std::memcpy(&v, bytes.data(), sizeof(T));
+    return v;
+  }
+};
+
+/// Apply `op` to two elements of type `t`; used by the Reduce support
+/// kernel. Associative and commutative for the supported ops, which is what
+/// allows contributions from different ranks to be folded in arrival order.
+Element ApplyReduceOp(ReduceOp op, DataType t, const Element& a,
+                      const Element& b);
+
+/// Identity element of `op` over datatype `t` (0 for add, type min/max for
+/// max/min).
+Element ReduceIdentity(ReduceOp op, DataType t);
+
+}  // namespace smi::core
+
+#endif  // SMI_CORE_TYPES_H

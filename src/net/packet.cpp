@@ -1,0 +1,45 @@
+#include "net/packet.h"
+
+#include <cstdio>
+
+namespace smi::net {
+
+const char* OpTypeName(OpType op) {
+  switch (op) {
+    case OpType::kData: return "data";
+    case OpType::kSync: return "sync";
+    case OpType::kCredit: return "credit";
+  }
+  return "?";
+}
+
+std::array<std::uint8_t, kPacketBytes> Packet::ToWire() const {
+  std::array<std::uint8_t, kPacketBytes> wire{};
+  const std::uint32_t h = hdr.Encode();
+  wire[0] = static_cast<std::uint8_t>(h & 0xff);
+  wire[1] = static_cast<std::uint8_t>((h >> 8) & 0xff);
+  wire[2] = static_cast<std::uint8_t>((h >> 16) & 0xff);
+  wire[3] = static_cast<std::uint8_t>((h >> 24) & 0xff);
+  std::memcpy(wire.data() + kHeaderBytes, payload.data(), kPayloadBytes);
+  return wire;
+}
+
+Packet Packet::FromWire(const std::array<std::uint8_t, kPacketBytes>& wire) {
+  Packet p;
+  const std::uint32_t h = static_cast<std::uint32_t>(wire[0]) |
+                          (static_cast<std::uint32_t>(wire[1]) << 8) |
+                          (static_cast<std::uint32_t>(wire[2]) << 16) |
+                          (static_cast<std::uint32_t>(wire[3]) << 24);
+  p.hdr = Header::Decode(h);
+  std::memcpy(p.payload.data(), wire.data() + kHeaderBytes, kPayloadBytes);
+  return p;
+}
+
+std::string Packet::DebugString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "Packet{%s src=%u dst=%u port=%u count=%u}",
+                OpTypeName(hdr.op), hdr.src, hdr.dst, hdr.port, hdr.count);
+  return buf;
+}
+
+}  // namespace smi::net

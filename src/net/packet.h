@@ -1,0 +1,104 @@
+#ifndef SMI_NET_PACKET_H
+#define SMI_NET_PACKET_H
+
+/// \file packet.h
+/// The network packet: the minimal unit of routing in SMI's transport layer.
+///
+/// Following §4.2 of the paper, a packet is as wide as the BSP's I/O channel
+/// interface — 32 bytes (256 bits) — split into a 4-byte header and a
+/// 28-byte payload:
+///
+///   * source rank       8 bits
+///   * destination rank  8 bits
+///   * port              8 bits
+///   * operation type    3 bits
+///   * valid items       5 bits  (number of data elements in the payload)
+///
+/// Rank and port are truncated to 8 bits on the wire exactly as in the
+/// reference implementation ("we truncate the rank and port information
+/// ... to mitigate the penalty of packet switching"); the API-level types
+/// are wider, and the transport refuses to build fabrics that exceed the
+/// wire limits.
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace smi::net {
+
+inline constexpr std::size_t kPacketBytes = 32;
+inline constexpr std::size_t kHeaderBytes = 4;
+inline constexpr std::size_t kPayloadBytes = kPacketBytes - kHeaderBytes;
+
+/// Maximum rank/port representable in the 8-bit wire header fields.
+inline constexpr int kMaxWireRank = 255;
+inline constexpr int kMaxWirePort = 255;
+/// Maximum payload item count representable in the 5-bit field.
+inline constexpr unsigned kMaxWireCount = 31;
+
+/// Operation type (3-bit field).
+enum class OpType : std::uint8_t {
+  kData = 0,    ///< point-to-point or collective payload data
+  kSync = 1,    ///< collective rendezvous: ready-to-receive / grant
+  kCredit = 2,  ///< reduce flow control: credit for the next tile
+};
+
+const char* OpTypeName(OpType op);
+
+/// Decoded packet header. `Encode`/`Decode` implement the exact wire layout.
+struct Header {
+  std::uint8_t src = 0;
+  std::uint8_t dst = 0;
+  std::uint8_t port = 0;
+  OpType op = OpType::kData;
+  std::uint8_t count = 0;  ///< valid data items in the payload (<= 31)
+
+  /// Pack into the 32-bit wire representation.
+  std::uint32_t Encode() const {
+    return static_cast<std::uint32_t>(src) |
+           (static_cast<std::uint32_t>(dst) << 8) |
+           (static_cast<std::uint32_t>(port) << 16) |
+           (static_cast<std::uint32_t>(op) << 24) |
+           (static_cast<std::uint32_t>(count & kMaxWireCount) << 27);
+  }
+
+  static Header Decode(std::uint32_t wire) {
+    Header h;
+    h.src = static_cast<std::uint8_t>(wire & 0xff);
+    h.dst = static_cast<std::uint8_t>((wire >> 8) & 0xff);
+    h.port = static_cast<std::uint8_t>((wire >> 16) & 0xff);
+    h.op = static_cast<OpType>((wire >> 24) & 0x7);
+    h.count = static_cast<std::uint8_t>((wire >> 27) & kMaxWireCount);
+    return h;
+  }
+
+  friend bool operator==(const Header& a, const Header& b) {
+    return a.Encode() == b.Encode();
+  }
+};
+
+/// A 32-byte network packet.
+struct Packet {
+  Header hdr;
+  std::array<std::uint8_t, kPayloadBytes> payload{};
+
+  /// Store `size` bytes of `data` at payload offset `offset`.
+  void StoreBytes(std::size_t offset, const void* data, std::size_t size) {
+    std::memcpy(payload.data() + offset, data, size);
+  }
+  /// Load `size` bytes at payload offset `offset` into `data`.
+  void LoadBytes(std::size_t offset, void* data, std::size_t size) const {
+    std::memcpy(data, payload.data() + offset, size);
+  }
+
+  /// Serialize to the 32-byte wire image (header little-endian first).
+  std::array<std::uint8_t, kPacketBytes> ToWire() const;
+  static Packet FromWire(const std::array<std::uint8_t, kPacketBytes>& wire);
+
+  std::string DebugString() const;
+};
+
+}  // namespace smi::net
+
+#endif  // SMI_NET_PACKET_H

@@ -1,0 +1,333 @@
+#include "net/routing.h"
+
+#include <algorithm>
+#include <array>
+#include <queue>
+
+#include "common/error.h"
+
+namespace smi::net {
+
+RoutingTable::RoutingTable(int num_ranks) : num_ranks_(num_ranks) {
+  table_.assign(
+      static_cast<std::size_t>(num_ranks) * static_cast<std::size_t>(num_ranks),
+      -1);
+}
+
+int RoutingTable::next_port(int rank, int dst) const {
+  return table_[static_cast<std::size_t>(rank) *
+                    static_cast<std::size_t>(num_ranks_) +
+                static_cast<std::size_t>(dst)];
+}
+
+void RoutingTable::set_next_port(int rank, int dst, int port) {
+  table_[static_cast<std::size_t>(rank) *
+             static_cast<std::size_t>(num_ranks_) +
+         static_cast<std::size_t>(dst)] = port;
+}
+
+std::vector<int> RoutingTable::Path(const Topology& topo, int src,
+                                    int dst) const {
+  std::vector<int> path{src};
+  int at = src;
+  while (at != dst) {
+    const int port = next_port(at, dst);
+    if (port < 0) {
+      throw RoutingError("no route from rank " + std::to_string(at) +
+                         " to rank " + std::to_string(dst));
+    }
+    const std::optional<PortId> peer = topo.Peer(PortId{at, port});
+    if (!peer) {
+      throw RoutingError("routing table points at unwired port " +
+                         std::to_string(port) + " of rank " +
+                         std::to_string(at));
+    }
+    at = peer->rank;
+    path.push_back(at);
+    if (path.size() > static_cast<std::size_t>(topo.num_ranks()) + 1) {
+      throw RoutingError("routing loop detected from rank " +
+                         std::to_string(src) + " to rank " +
+                         std::to_string(dst));
+    }
+  }
+  return path;
+}
+
+int RoutingTable::HopCount(const Topology& topo, int src, int dst) const {
+  return static_cast<int>(Path(topo, src, dst).size()) - 1;
+}
+
+json::Value RoutingTable::ToJson() const {
+  json::Object root;
+  root["ranks"] = json::Value(num_ranks_);
+  json::Array rows;
+  for (int r = 0; r < num_ranks_; ++r) {
+    json::Array row;
+    for (int d = 0; d < num_ranks_; ++d) {
+      row.push_back(json::Value(next_port(r, d)));
+    }
+    rows.push_back(json::Value(std::move(row)));
+  }
+  root["next_port"] = json::Value(std::move(rows));
+  return json::Value(std::move(root));
+}
+
+RoutingTable RoutingTable::FromJson(const json::Value& v) {
+  const int ranks = static_cast<int>(v.at("ranks").as_int());
+  RoutingTable t(ranks);
+  const json::Array& rows = v.at("next_port").as_array();
+  if (rows.size() != static_cast<std::size_t>(ranks)) {
+    throw ParseError("routing table row count mismatch");
+  }
+  for (int r = 0; r < ranks; ++r) {
+    const json::Array& row = rows[static_cast<std::size_t>(r)].as_array();
+    if (row.size() != static_cast<std::size_t>(ranks)) {
+      throw ParseError("routing table column count mismatch");
+    }
+    for (int d = 0; d < ranks; ++d) {
+      t.set_next_port(r, d,
+                      static_cast<int>(row[static_cast<std::size_t>(d)].as_int()));
+    }
+  }
+  return t;
+}
+
+namespace {
+
+/// BFS from `dst` backwards over the (symmetric) connection graph, filling
+/// next hops toward `dst`. Tie-breaking is deterministic: neighbours are
+/// visited in (rank, port) order, and the first discovered predecessor wins.
+void FillShortestPathsTo(const Topology& topo, int dst, RoutingTable& out) {
+  const int n = topo.num_ranks();
+  std::vector<int> dist(static_cast<std::size_t>(n), -1);
+  std::queue<int> queue;
+  dist[static_cast<std::size_t>(dst)] = 0;
+  queue.push(dst);
+  while (!queue.empty()) {
+    const int at = queue.front();
+    queue.pop();
+    for (const auto& [nbr, nbr_port_on_at] : topo.Neighbors(at)) {
+      (void)nbr_port_on_at;
+      if (dist[static_cast<std::size_t>(nbr)] == -1) {
+        dist[static_cast<std::size_t>(nbr)] =
+            dist[static_cast<std::size_t>(at)] + 1;
+        queue.push(nbr);
+      }
+    }
+  }
+  for (int r = 0; r < n; ++r) {
+    if (r == dst) continue;
+    if (dist[static_cast<std::size_t>(r)] == -1) {
+      throw RoutingError("rank " + std::to_string(r) +
+                         " cannot reach rank " + std::to_string(dst));
+    }
+    // Choose the lowest-numbered port leading to a neighbour one step
+    // closer to dst.
+    for (const auto& [nbr, port] : topo.Neighbors(r)) {
+      if (dist[static_cast<std::size_t>(nbr)] ==
+          dist[static_cast<std::size_t>(r)] - 1) {
+        out.set_next_port(r, dst, port);
+        break;
+      }
+    }
+  }
+}
+
+RoutingTable ShortestPathRoutes(const Topology& topo) {
+  RoutingTable table(topo.num_ranks());
+  for (int dst = 0; dst < topo.num_ranks(); ++dst) {
+    FillShortestPathsTo(topo, dst, table);
+  }
+  return table;
+}
+
+/// BFS levels for the up*/down* spanning tree rooted at rank 0.
+std::vector<int> BfsLevels(const Topology& topo) {
+  const int n = topo.num_ranks();
+  std::vector<int> level(static_cast<std::size_t>(n), -1);
+  std::queue<int> queue;
+  level[0] = 0;
+  queue.push(0);
+  while (!queue.empty()) {
+    const int at = queue.front();
+    queue.pop();
+    for (const auto& [nbr, port] : topo.Neighbors(at)) {
+      (void)port;
+      if (level[static_cast<std::size_t>(nbr)] == -1) {
+        level[static_cast<std::size_t>(nbr)] =
+            level[static_cast<std::size_t>(at)] + 1;
+        queue.push(nbr);
+      }
+    }
+  }
+  for (int r = 0; r < n; ++r) {
+    if (level[static_cast<std::size_t>(r)] == -1) {
+      throw RoutingError("topology is disconnected at rank " +
+                         std::to_string(r));
+    }
+  }
+  return level;
+}
+
+/// An edge u->v is "up" when v is closer to the root (lower level), with
+/// rank id as tie-break. Legal up*/down* paths take zero or more up edges
+/// followed by zero or more down edges, which makes the channel dependency
+/// graph acyclic by construction.
+bool IsUpEdge(const std::vector<int>& level, int u, int v) {
+  const int lu = level[static_cast<std::size_t>(u)];
+  const int lv = level[static_cast<std::size_t>(v)];
+  return lv < lu || (lv == lu && v < u);
+}
+
+RoutingTable UpDownRoutes(const Topology& topo) {
+  const int n = topo.num_ranks();
+  const std::vector<int> level = BfsLevels(topo);
+  RoutingTable table(n);
+  // For each destination, BFS backwards over legal up*/down* transitions.
+  // State: (rank, phase) with phase 0 = still allowed to go up, 1 = already
+  // went down. We search forward from every source instead: BFS over states
+  // from (src, up) until dst is reached, remembering the first hop.
+  for (int src = 0; src < n; ++src) {
+    for (int dst = 0; dst < n; ++dst) {
+      if (src == dst) continue;
+      struct State {
+        int rank;
+        int phase;  // 0 = up phase, 1 = down phase
+      };
+      std::vector<std::array<int, 2>> first_port(
+          static_cast<std::size_t>(n), std::array<int, 2>{-1, -1});
+      std::vector<std::array<bool, 2>> seen(static_cast<std::size_t>(n),
+                                            std::array<bool, 2>{false, false});
+      std::queue<State> queue;
+      queue.push(State{src, 0});
+      seen[static_cast<std::size_t>(src)][0] = true;
+      int found_port = -1;
+      while (!queue.empty() && found_port == -1) {
+        const State s = queue.front();
+        queue.pop();
+        for (const auto& [nbr, port] : topo.Neighbors(s.rank)) {
+          const bool up = IsUpEdge(level, s.rank, nbr);
+          int next_phase;
+          if (up) {
+            if (s.phase == 1) continue;  // down->up is illegal
+            next_phase = 0;
+          } else {
+            next_phase = 1;
+          }
+          if (seen[static_cast<std::size_t>(nbr)]
+                  [static_cast<std::size_t>(next_phase)]) {
+            continue;
+          }
+          seen[static_cast<std::size_t>(nbr)]
+              [static_cast<std::size_t>(next_phase)] = true;
+          const int fp = (s.rank == src)
+                             ? port
+                             : first_port[static_cast<std::size_t>(s.rank)]
+                                         [static_cast<std::size_t>(s.phase)];
+          first_port[static_cast<std::size_t>(nbr)]
+                    [static_cast<std::size_t>(next_phase)] = fp;
+          if (nbr == dst) {
+            found_port = fp;
+            break;
+          }
+          queue.push(State{nbr, next_phase});
+        }
+      }
+      if (found_port == -1) {
+        throw RoutingError("no up*/down* route from rank " +
+                           std::to_string(src) + " to rank " +
+                           std::to_string(dst));
+      }
+      table.set_next_port(src, dst, found_port);
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+bool IsDeadlockFree(const Topology& topo, const RoutingTable& routes) {
+  // Channels are directed cable traversals, identified by the sending
+  // (rank, port). Build dependency edges: for every route, consecutive
+  // channel uses depend on each other.
+  const int n = topo.num_ranks();
+  const int p = topo.ports_per_rank();
+  const int channels = n * p;
+  std::vector<std::vector<int>> deps(static_cast<std::size_t>(channels));
+  const auto chan_id = [p](int rank, int port) { return rank * p + port; };
+
+  for (int src = 0; src < n; ++src) {
+    for (int dst = 0; dst < n; ++dst) {
+      if (src == dst) continue;
+      int at = src;
+      int prev_chan = -1;
+      while (at != dst) {
+        const int port = routes.next_port(at, dst);
+        if (port < 0) {
+          throw RoutingError("incomplete routing table at rank " +
+                             std::to_string(at));
+        }
+        const int cur_chan = chan_id(at, port);
+        if (prev_chan != -1) {
+          deps[static_cast<std::size_t>(prev_chan)].push_back(cur_chan);
+        }
+        prev_chan = cur_chan;
+        at = topo.Peer(PortId{at, port})->rank;
+      }
+    }
+  }
+
+  // DFS cycle detection on the dependency graph.
+  enum class Mark : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<Mark> mark(static_cast<std::size_t>(channels), Mark::kWhite);
+  std::vector<std::pair<int, std::size_t>> stack;
+  for (int start = 0; start < channels; ++start) {
+    if (mark[static_cast<std::size_t>(start)] != Mark::kWhite) continue;
+    stack.emplace_back(start, 0);
+    mark[static_cast<std::size_t>(start)] = Mark::kGray;
+    while (!stack.empty()) {
+      auto& [node, edge] = stack.back();
+      if (edge < deps[static_cast<std::size_t>(node)].size()) {
+        const int next = deps[static_cast<std::size_t>(node)][edge++];
+        if (mark[static_cast<std::size_t>(next)] == Mark::kGray) {
+          return false;  // back edge: cycle
+        }
+        if (mark[static_cast<std::size_t>(next)] == Mark::kWhite) {
+          mark[static_cast<std::size_t>(next)] = Mark::kGray;
+          stack.emplace_back(next, 0);
+        }
+      } else {
+        mark[static_cast<std::size_t>(node)] = Mark::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return true;
+}
+
+RoutingTable ComputeRoutes(const Topology& topo, RoutingScheme scheme) {
+  if (!topo.IsConnected()) {
+    throw RoutingError("topology is not connected");
+  }
+  switch (scheme) {
+    case RoutingScheme::kShortestPath: {
+      RoutingTable table = ShortestPathRoutes(topo);
+      if (!IsDeadlockFree(topo, table)) {
+        throw RoutingError(
+            "shortest-path routing has a cyclic channel dependency graph on "
+            "this topology; use kUpDown or kAuto");
+      }
+      return table;
+    }
+    case RoutingScheme::kUpDown:
+      return UpDownRoutes(topo);
+    case RoutingScheme::kAuto: {
+      RoutingTable table = ShortestPathRoutes(topo);
+      if (IsDeadlockFree(topo, table)) return table;
+      return UpDownRoutes(topo);
+    }
+  }
+  throw ConfigError("unknown routing scheme");
+}
+
+}  // namespace smi::net

@@ -1,0 +1,76 @@
+#ifndef SMI_NET_ROUTING_H
+#define SMI_NET_ROUTING_H
+
+/// \file routing.h
+/// Static routing for the SMI transport layer.
+///
+/// Following §4.3 of the paper, routes between all rank pairs are computed
+/// offline from the topology using a deadlock-free routing scheme (the paper
+/// cites Domke et al.'s deadlock-free oblivious routing) and uploaded to the
+/// communication kernels at runtime; changing the topology or rank count
+/// never requires rebuilding the fabric.
+///
+/// Two schemes are provided:
+///  * shortest-path (BFS with deterministic tie-breaking), verified
+///    deadlock-free via a channel-dependency-graph acyclicity check;
+///  * up*/down* routing over a BFS spanning tree, which is deadlock-free by
+///    construction on any connected topology and is used as the fallback
+///    when shortest-path routing has a cyclic channel dependency graph.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "net/topology.h"
+
+namespace smi::net {
+
+/// Next-hop routing: `next_port(r, d)` is the network port rank `r` uses to
+/// forward a packet whose destination is rank `d`; -1 when r == d.
+class RoutingTable {
+ public:
+  RoutingTable(int num_ranks);
+
+  int next_port(int rank, int dst) const;
+  void set_next_port(int rank, int dst, int port);
+
+  int num_ranks() const { return num_ranks_; }
+
+  /// Full path of ranks from src to dst (inclusive) under this table.
+  /// Throws RoutingError if the walk does not terminate (broken table).
+  std::vector<int> Path(const Topology& topo, int src, int dst) const;
+
+  /// Number of link traversals from src to dst.
+  int HopCount(const Topology& topo, int src, int dst) const;
+
+  /// JSON round-trip so routing tables can be written next to the bitstream
+  /// and uploaded at application start, as in the paper's workflow.
+  json::Value ToJson() const;
+  static RoutingTable FromJson(const json::Value& v);
+
+ private:
+  int num_ranks_;
+  std::vector<int> table_;  // rank-major [rank * num_ranks + dst]
+};
+
+enum class RoutingScheme {
+  kShortestPath,  ///< BFS shortest path, deterministic tie-break
+  kUpDown,        ///< up*/down* over a BFS spanning tree
+  kAuto,          ///< shortest path if its CDG is acyclic, else up*/down*
+};
+
+/// Compute a routing table for `topo` with the given scheme. Throws
+/// RoutingError if the topology is disconnected, or if kShortestPath is
+/// requested explicitly and its channel dependency graph has a cycle.
+RoutingTable ComputeRoutes(const Topology& topo, RoutingScheme scheme);
+
+/// Build the channel dependency graph of `routes` over `topo` and check it
+/// for cycles. Channels are directed cable traversals; an edge connects two
+/// channels used consecutively by some route. Acyclicity implies freedom
+/// from routing-induced deadlock (Dally & Seitz).
+bool IsDeadlockFree(const Topology& topo, const RoutingTable& routes);
+
+}  // namespace smi::net
+
+#endif  // SMI_NET_ROUTING_H

@@ -1,0 +1,175 @@
+#include "net/topology.h"
+
+#include <queue>
+
+#include "common/error.h"
+
+namespace smi::net {
+
+Topology::Topology(int num_ranks, int ports_per_rank)
+    : num_ranks_(num_ranks), ports_per_rank_(ports_per_rank) {
+  if (num_ranks < 1) throw ConfigError("topology needs at least one rank");
+  if (ports_per_rank < 1) {
+    throw ConfigError("topology needs at least one port per rank");
+  }
+  peer_.resize(static_cast<std::size_t>(num_ranks) *
+               static_cast<std::size_t>(ports_per_rank));
+}
+
+int Topology::Index(PortId p) const {
+  if (p.rank < 0 || p.rank >= num_ranks_ || p.port < 0 ||
+      p.port >= ports_per_rank_) {
+    throw ConfigError("port out of range: rank " + std::to_string(p.rank) +
+                      " port " + std::to_string(p.port));
+  }
+  return p.rank * ports_per_rank_ + p.port;
+}
+
+void Topology::Connect(PortId a, PortId b) {
+  const int ia = Index(a);
+  const int ib = Index(b);
+  if (ia == ib) throw ConfigError("cannot connect a port to itself");
+  if (a.rank == b.rank) {
+    throw ConfigError("cannot cable two ports of the same rank");
+  }
+  if (peer_[static_cast<std::size_t>(ia)] ||
+      peer_[static_cast<std::size_t>(ib)]) {
+    throw ConfigError("port already wired");
+  }
+  peer_[static_cast<std::size_t>(ia)] = b;
+  peer_[static_cast<std::size_t>(ib)] = a;
+}
+
+std::optional<PortId> Topology::Peer(PortId p) const {
+  return peer_[static_cast<std::size_t>(Index(p))];
+}
+
+std::vector<std::pair<PortId, PortId>> Topology::Connections() const {
+  std::vector<std::pair<PortId, PortId>> out;
+  for (int r = 0; r < num_ranks_; ++r) {
+    for (int q = 0; q < ports_per_rank_; ++q) {
+      const PortId a{r, q};
+      const std::optional<PortId> b = Peer(a);
+      if (b && a < *b) out.emplace_back(a, *b);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<int, int>> Topology::Neighbors(int rank) const {
+  std::vector<std::pair<int, int>> out;
+  for (int q = 0; q < ports_per_rank_; ++q) {
+    const std::optional<PortId> b = Peer(PortId{rank, q});
+    if (b) out.emplace_back(b->rank, q);
+  }
+  return out;
+}
+
+bool Topology::IsConnected() const {
+  std::vector<bool> seen(static_cast<std::size_t>(num_ranks_), false);
+  std::queue<int> queue;
+  queue.push(0);
+  seen[0] = true;
+  int count = 1;
+  while (!queue.empty()) {
+    const int r = queue.front();
+    queue.pop();
+    for (const auto& [nbr, port] : Neighbors(r)) {
+      if (!seen[static_cast<std::size_t>(nbr)]) {
+        seen[static_cast<std::size_t>(nbr)] = true;
+        ++count;
+        queue.push(nbr);
+      }
+    }
+  }
+  return count == num_ranks_;
+}
+
+Topology Topology::Torus2D(int rows, int cols) {
+  if (rows < 2 || cols < 2) {
+    throw ConfigError("2D torus needs at least 2x2 ranks");
+  }
+  Topology t(rows * cols, 4);
+  const auto id = [cols](int r, int c) { return r * cols + c; };
+  // Port plan: 0=north, 1=east, 2=south, 3=west. Each cable connects a
+  // south port to the north port of the rank below, and an east port to the
+  // west port of the rank to the right (with wraparound).
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const int south = id((r + 1) % rows, c);
+      const int east = id(r, (c + 1) % cols);
+      t.Connect(PortId{id(r, c), 2}, PortId{south, 0});
+      t.Connect(PortId{id(r, c), 1}, PortId{east, 3});
+    }
+  }
+  return t;
+}
+
+Topology Topology::Bus(int n, int ports_per_rank) {
+  if (n < 2) throw ConfigError("bus needs at least 2 ranks");
+  if (ports_per_rank < 2) throw ConfigError("bus needs >= 2 ports per rank");
+  Topology t(n, ports_per_rank);
+  for (int r = 0; r + 1 < n; ++r) {
+    t.Connect(PortId{r, 1}, PortId{r + 1, 0});
+  }
+  return t;
+}
+
+Topology Topology::Ring(int n, int ports_per_rank) {
+  if (n < 3) throw ConfigError("ring needs at least 3 ranks");
+  Topology t = Bus(n, ports_per_rank);
+  t.Connect(PortId{n - 1, 1}, PortId{0, 0});
+  return t;
+}
+
+Topology Topology::Clique(int n) {
+  if (n < 2) throw ConfigError("clique needs at least 2 ranks");
+  Topology t(n, n - 1);
+  // Port q of rank r connects to the q-th other rank (skipping r itself);
+  // this uses every port exactly once.
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      t.Connect(PortId{a, b - 1}, PortId{b, a});
+    }
+  }
+  return t;
+}
+
+Topology Topology::FromJson(const json::Value& v) {
+  const int ranks = static_cast<int>(v.at("ranks").as_int());
+  const int ports = static_cast<int>(v.at("ports_per_rank").as_int());
+  Topology t(ranks, ports);
+  for (const json::Value& conn : v.at("connections").as_array()) {
+    const json::Array& a = conn.at("a").as_array();
+    const json::Array& b = conn.at("b").as_array();
+    if (a.size() != 2 || b.size() != 2) {
+      throw ParseError("connection endpoints must be [rank, port] pairs");
+    }
+    t.Connect(PortId{static_cast<int>(a[0].as_int()),
+                     static_cast<int>(a[1].as_int())},
+              PortId{static_cast<int>(b[0].as_int()),
+                     static_cast<int>(b[1].as_int())});
+  }
+  return t;
+}
+
+Topology Topology::LoadFile(const std::string& path) {
+  return FromJson(json::ParseFile(path));
+}
+
+json::Value Topology::ToJson() const {
+  json::Object root;
+  root["ranks"] = json::Value(num_ranks_);
+  root["ports_per_rank"] = json::Value(ports_per_rank_);
+  json::Array conns;
+  for (const auto& [a, b] : Connections()) {
+    json::Object c;
+    c["a"] = json::Value(json::Array{json::Value(a.rank), json::Value(a.port)});
+    c["b"] = json::Value(json::Array{json::Value(b.rank), json::Value(b.port)});
+    conns.push_back(json::Value(std::move(c)));
+  }
+  root["connections"] = json::Value(std::move(conns));
+  return json::Value(std::move(root));
+}
+
+}  // namespace smi::net

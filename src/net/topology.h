@@ -1,0 +1,92 @@
+#ifndef SMI_NET_TOPOLOGY_H
+#define SMI_NET_TOPOLOGY_H
+
+/// \file topology.h
+/// Cluster interconnect description.
+///
+/// A topology is a set of ranks (one per FPGA), each with a fixed number of
+/// network ports (QSFP interfaces), plus a list of point-to-point cable
+/// connections between ports. This mirrors the JSON connection list the
+/// paper's route generator consumes ("the topology is provided as a JSON
+/// file, which describes connections between FPGA network ports"), and can
+/// be changed at runtime without rebuilding the fabric.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace smi::net {
+
+/// A network port endpoint: (rank, port index).
+struct PortId {
+  int rank = -1;
+  int port = -1;
+
+  friend bool operator==(const PortId& a, const PortId& b) {
+    return a.rank == b.rank && a.port == b.port;
+  }
+  friend bool operator<(const PortId& a, const PortId& b) {
+    return a.rank != b.rank ? a.rank < b.rank : a.port < b.port;
+  }
+};
+
+class Topology {
+ public:
+  /// `num_ranks` FPGAs with `ports_per_rank` network ports each.
+  Topology(int num_ranks, int ports_per_rank);
+
+  /// Wire a bidirectional cable between two ports. Throws ConfigError if
+  /// either port is out of range, already wired, or the two ends coincide.
+  void Connect(PortId a, PortId b);
+
+  int num_ranks() const { return num_ranks_; }
+  int ports_per_rank() const { return ports_per_rank_; }
+
+  /// The port on the far end of the cable plugged into `p`, if any.
+  std::optional<PortId> Peer(PortId p) const;
+
+  /// All wired connections, each reported once (a < b).
+  std::vector<std::pair<PortId, PortId>> Connections() const;
+
+  /// Neighbouring ranks of `rank` with the local out-port used to reach
+  /// them; a neighbour appears once per connecting cable.
+  std::vector<std::pair<int, int>> Neighbors(int rank) const;  // (nbr, port)
+
+  /// True if the connection graph is connected (ignoring isolated ranks is
+  /// NOT allowed: every rank must be reachable from rank 0).
+  bool IsConnected() const;
+
+  /// --- Builders for the paper's experimental configurations ---
+
+  /// 2D torus of `rows` x `cols` ranks, 4 ports per rank
+  /// (0=north, 1=east, 2=south, 3=west). The paper's cluster is 2x4.
+  static Topology Torus2D(int rows, int cols);
+
+  /// Linear bus of `n` ranks: rank i's port 1 connects to rank i+1's port 0.
+  /// Used by the paper to vary network distance without recabling.
+  static Topology Bus(int n, int ports_per_rank = 4);
+
+  /// Ring: like Bus plus a wrap-around cable.
+  static Topology Ring(int n, int ports_per_rank = 4);
+
+  /// Fully connected clique of `n` ranks (requires n-1 ports per rank).
+  static Topology Clique(int n);
+
+  /// --- JSON (de)serialization, route-generator compatible ---
+  static Topology FromJson(const json::Value& v);
+  static Topology LoadFile(const std::string& path);
+  json::Value ToJson() const;
+
+ private:
+  int Index(PortId p) const;
+
+  int num_ranks_;
+  int ports_per_rank_;
+  std::vector<std::optional<PortId>> peer_;  // indexed rank*P+port
+};
+
+}  // namespace smi::net
+
+#endif  // SMI_NET_TOPOLOGY_H

@@ -1,0 +1,35 @@
+#ifndef SMI_SIM_COMPONENT_H
+#define SMI_SIM_COMPONENT_H
+
+/// \file component.h
+/// Clocked component interface. Fixed-function hardware blocks (CKS/CKR,
+/// links, memory banks) are modelled as components whose `Step` method is
+/// invoked exactly once per cycle, after parked kernels have been polled and
+/// before FIFOs commit. A component may perform at most one operation per
+/// FIFO port per cycle — the FIFO enforces this.
+
+#include <string>
+
+#include "sim/clock.h"
+
+namespace smi::sim {
+
+class Component {
+ public:
+  explicit Component(std::string name) : name_(std::move(name)) {}
+  virtual ~Component() = default;
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Advance one clock cycle.
+  virtual void Step(Cycle now) = 0;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace smi::sim
+
+#endif  // SMI_SIM_COMPONENT_H

@@ -1,0 +1,124 @@
+#include "sim/engine.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace smi::sim {
+
+Engine::Engine(EngineConfig config) : config_(config) {}
+
+Engine::~Engine() = default;
+
+void Engine::AddKernel(Kernel kernel, std::string name, bool daemon) {
+  if (!kernel.valid()) {
+    throw ConfigError("attempted to register an invalid kernel: " + name);
+  }
+  kernel.promise().now = &now_;
+  kernels_.push_back(KernelSlot{std::move(kernel), std::move(name), daemon,
+                                /*done=*/false});
+}
+
+void Engine::CheckKernelException(KernelSlot& slot) {
+  if (slot.kernel.done()) {
+    slot.done = true;
+    if (slot.kernel.promise().exception) {
+      std::rethrow_exception(slot.kernel.promise().exception);
+    }
+  }
+}
+
+bool Engine::AllAppKernelsDone() const {
+  for (const KernelSlot& slot : kernels_) {
+    if (!slot.daemon && !slot.done) return false;
+  }
+  return true;
+}
+
+std::size_t Engine::pending_kernels() const {
+  std::size_t pending = 0;
+  for (const KernelSlot& slot : kernels_) {
+    if (!slot.done) ++pending;
+  }
+  return pending;
+}
+
+bool Engine::StepCycle() {
+  bool progress = false;
+
+  // Phase 1: poll parked kernels; resume the ones whose operation succeeds.
+  for (KernelSlot& slot : kernels_) {
+    if (slot.done) continue;
+    Kernel::promise_type& promise = slot.kernel.promise();
+    if (promise.blocker != nullptr) {
+      if (!promise.blocker->TryComplete(now_)) continue;
+      promise.blocker = nullptr;
+    }
+    // Either never started, or its blocked operation just completed.
+    ++kernel_resumes_;
+    progress = true;
+    slot.kernel.Resume();
+    CheckKernelException(slot);
+  }
+
+  // Phase 2: step clocked components.
+  for (const std::unique_ptr<Component>& component : components_) {
+    component->Step(now_);
+  }
+
+  // Phase 3: commit FIFOs; collect progress information.
+  for (const std::unique_ptr<FifoBase>& fifo : fifos_) {
+    progress |= fifo->Commit();
+  }
+
+  ++now_;
+  return progress;
+}
+
+void Engine::RaiseDeadlock() {
+  std::ostringstream oss;
+  oss << "simulated deadlock: no progress for " << config_.watchdog_cycles
+      << " cycles at cycle " << now_ << "; blocked kernels:";
+  for (const KernelSlot& slot : kernels_) {
+    if (slot.done) continue;
+    oss << "\n  - " << slot.name;
+    const Blocker* blocker = slot.kernel.promise().blocker;
+    if (blocker != nullptr) {
+      oss << " waiting on " << blocker->Describe();
+    } else {
+      oss << " (not yet started)";
+    }
+    if (slot.daemon) oss << " [daemon]";
+  }
+  throw DeadlockError(oss.str());
+}
+
+RunStats Engine::Run() {
+  while (!AllAppKernelsDone()) {
+    const bool progress = StepCycle();
+    if (progress) {
+      idle_cycles_ = 0;
+    } else if (++idle_cycles_ >= config_.watchdog_cycles) {
+      RaiseDeadlock();
+    }
+    if (config_.max_cycles != 0 && now_ >= config_.max_cycles) {
+      throw Error("engine exceeded max_cycles=" +
+                  std::to_string(config_.max_cycles));
+    }
+  }
+  RunStats stats;
+  stats.cycles = now_;
+  stats.seconds = config_.clock.CyclesToSeconds(now_);
+  stats.kernel_resumes = kernel_resumes_;
+  return stats;
+}
+
+bool Engine::RunFor(Cycle cycles) {
+  for (Cycle i = 0; i < cycles && !AllAppKernelsDone(); ++i) {
+    StepCycle();
+  }
+  return AllAppKernelsDone();
+}
+
+}  // namespace smi::sim

@@ -1,0 +1,122 @@
+#ifndef SMI_SIM_ENGINE_H
+#define SMI_SIM_ENGINE_H
+
+/// \file engine.h
+/// The synchronous cycle engine that drives a simulated FPGA fabric.
+///
+/// Each cycle proceeds in three phases:
+///   1. every parked kernel's blocker is polled and, if the operation
+///      succeeds, the kernel coroutine is resumed until it parks again or
+///      finishes;
+///   2. every clocked component steps once;
+///   3. every FIFO commits, making this cycle's pushes/pops visible.
+///
+/// Readiness checks in phases 1 and 2 only observe state committed at the
+/// previous boundary, so results do not depend on registration order.
+/// A watchdog raises DeadlockError when nothing moves for a configurable
+/// number of cycles while non-daemon kernels are still pending — the
+/// simulated analogue of the user-caused communication deadlocks the paper
+/// warns about in §3.3.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/clock.h"
+#include "sim/component.h"
+#include "sim/fifo.h"
+#include "sim/kernel.h"
+
+namespace smi::sim {
+
+struct EngineConfig {
+  ClockConfig clock;
+  /// Cycles without any FIFO transfer or kernel resume before the watchdog
+  /// declares deadlock. Must comfortably exceed the longest structural
+  /// latency in the fabric (links are ~100 cycles).
+  Cycle watchdog_cycles = 100000;
+  /// Hard cap on simulated cycles (0 = unlimited). A safety net for tests.
+  Cycle max_cycles = 0;
+};
+
+/// Result of a completed run.
+struct RunStats {
+  Cycle cycles = 0;
+  double seconds = 0.0;
+  std::uint64_t kernel_resumes = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config = {});
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const EngineConfig& config() const { return config_; }
+  Cycle now() const { return now_; }
+  /// Stable address of the cycle counter, wired into kernel promises.
+  const Cycle* now_ptr() const { return &now_; }
+
+  /// Create and register a FIFO owned by the engine.
+  template <typename T>
+  Fifo<T>& MakeFifo(std::string name, std::size_t capacity) {
+    auto fifo = std::make_unique<Fifo<T>>(std::move(name), capacity);
+    Fifo<T>& ref = *fifo;
+    fifos_.push_back(std::move(fifo));
+    return ref;
+  }
+
+  /// Register a component; the engine takes ownership and steps it once per
+  /// cycle in registration order.
+  template <typename C, typename... Args>
+  C& MakeComponent(Args&&... args) {
+    auto component = std::make_unique<C>(std::forward<Args>(args)...);
+    C& ref = *component;
+    components_.push_back(std::move(component));
+    return ref;
+  }
+
+  /// Register a kernel coroutine. Daemon kernels (transport support kernels)
+  /// do not keep the simulation alive: the run ends when every non-daemon
+  /// kernel has finished.
+  void AddKernel(Kernel kernel, std::string name, bool daemon = false);
+
+  /// Run until all non-daemon kernels complete. Throws DeadlockError if the
+  /// watchdog fires and rethrows any exception raised inside a kernel.
+  RunStats Run();
+
+  /// Step at most `cycles` cycles (for incremental tests); returns true if
+  /// all non-daemon kernels are done.
+  bool RunFor(Cycle cycles);
+
+  /// Number of registered kernels that have not finished (incl. daemons).
+  std::size_t pending_kernels() const;
+
+ private:
+  struct KernelSlot {
+    Kernel kernel;
+    std::string name;
+    bool daemon = false;
+    bool done = false;
+  };
+
+  /// One simulation cycle; returns true if any progress happened.
+  bool StepCycle();
+  bool AllAppKernelsDone() const;
+  void CheckKernelException(KernelSlot& slot);
+  [[noreturn]] void RaiseDeadlock();
+
+  EngineConfig config_;
+  Cycle now_ = 0;
+  Cycle idle_cycles_ = 0;
+  std::uint64_t kernel_resumes_ = 0;
+  std::vector<std::unique_ptr<FifoBase>> fifos_;
+  std::vector<std::unique_ptr<Component>> components_;
+  std::vector<KernelSlot> kernels_;
+};
+
+}  // namespace smi::sim
+
+#endif  // SMI_SIM_ENGINE_H

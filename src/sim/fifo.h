@@ -1,0 +1,155 @@
+#ifndef SMI_SIM_FIFO_H
+#define SMI_SIM_FIFO_H
+
+/// \file fifo.h
+/// Hardware FIFO model with cycle-boundary commit semantics.
+///
+/// Every on-chip connection in the simulated fabric — application endpoint to
+/// communication kernel, CK crossbar edge, link interface, memory stream —
+/// is a `Fifo<T>`. Two properties make the simulation deterministic and
+/// hardware-faithful:
+///
+///  1. *Commit semantics*: pushes and pops performed during cycle `c` become
+///     visible to readiness checks only from cycle `c+1`. Readiness therefore
+///     depends only on the state committed at the previous cycle boundary,
+///     never on the order in which components and kernels execute within a
+///     cycle. Every FIFO consequently has a minimum latency of one cycle,
+///     like a registered hardware FIFO.
+///  2. *Port limits*: a FIFO has one write port and one read port; at most
+///     one push and one pop can be accepted per cycle. This is what enforces
+///     initiation interval 1 on the kernels that use it.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "sim/clock.h"
+
+namespace smi::sim {
+
+/// Type-erased base so the engine can commit all FIFOs at cycle boundaries.
+class FifoBase {
+ public:
+  FifoBase(std::string name, std::size_t capacity)
+      : name_(std::move(name)), capacity_(capacity) {
+    if (capacity_ == 0) {
+      throw ConfigError("FIFO capacity must be >= 1: " + name_);
+    }
+  }
+  virtual ~FifoBase() = default;
+  FifoBase(const FifoBase&) = delete;
+  FifoBase& operator=(const FifoBase&) = delete;
+
+  const std::string& name() const { return name_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Total pushes/pops over the whole run (for traffic statistics).
+  std::uint64_t total_pushes() const { return tail_; }
+  std::uint64_t total_pops() const { return head_; }
+
+  /// Elements currently stored (committed or staged).
+  std::size_t occupancy() const {
+    return static_cast<std::size_t>(tail_ - head_);
+  }
+
+  /// True if a push can be accepted at cycle `now`: a free slot exists among
+  /// slots committed free at the last boundary, and the write port is unused
+  /// this cycle. (`push_used_` is cleared at every commit, so it means
+  /// "the write port was used since the last cycle boundary".)
+  bool CanPush(Cycle /*now*/) const {
+    return (tail_ - visible_head_) < capacity_ && !push_used_;
+  }
+
+  /// True if a pop can be accepted at cycle `now`: a committed element is
+  /// available and the read port is unused this cycle.
+  bool CanPop(Cycle /*now*/) const {
+    return head_ < visible_tail_ && !pop_used_;
+  }
+
+  /// Commit staged pushes/pops: called by the engine at each cycle boundary.
+  /// Returns true if any transfer happened during the elapsed cycle (used by
+  /// the deadlock watchdog's progress detection).
+  bool Commit() {
+    const bool active = (visible_tail_ != tail_) || (visible_head_ != head_);
+    visible_tail_ = tail_;
+    visible_head_ = head_;
+    push_used_ = false;
+    pop_used_ = false;
+    return active;
+  }
+
+ protected:
+  void RecordPush(Cycle /*now*/) {
+    push_used_ = true;
+    ++tail_;
+  }
+  void RecordPop(Cycle /*now*/) {
+    pop_used_ = true;
+    ++head_;
+  }
+
+  std::uint64_t head_ = 0;          ///< next pop position (live)
+  std::uint64_t tail_ = 0;          ///< next push position (live)
+  std::uint64_t visible_head_ = 0;  ///< head at last cycle boundary
+  std::uint64_t visible_tail_ = 0;  ///< tail at last cycle boundary
+
+ private:
+  std::string name_;
+  std::size_t capacity_;
+  bool push_used_ = false;
+  bool pop_used_ = false;
+};
+
+/// Typed hardware FIFO. Storage is a power-of-two ring buffer sized to the
+/// configured capacity.
+template <typename T>
+class Fifo final : public FifoBase {
+ public:
+  Fifo(std::string name, std::size_t capacity)
+      : FifoBase(std::move(name), capacity), mask_(RingSize(capacity) - 1) {
+    ring_.resize(RingSize(capacity));
+  }
+
+  /// Push `value`; the caller must have checked CanPush(now).
+  void Push(const T& value, Cycle now) {
+    if (!CanPush(now)) {
+      throw ConfigError("push on full/busy FIFO: " + name());
+    }
+    ring_[static_cast<std::size_t>(tail_) & mask_] = value;
+    RecordPush(now);
+  }
+
+  /// Pop the head element; the caller must have checked CanPop(now).
+  T Pop(Cycle now) {
+    if (!CanPop(now)) {
+      throw ConfigError("pop on empty/busy FIFO: " + name());
+    }
+    T value = std::move(ring_[static_cast<std::size_t>(head_) & mask_]);
+    RecordPop(now);
+    return value;
+  }
+
+  /// Peek the head element without consuming it (combinational read of the
+  /// FIFO output register — free in hardware). Caller must check CanPop.
+  const T& Front(Cycle now) const {
+    if (!CanPop(now)) {
+      throw ConfigError("front on empty/busy FIFO: " + name());
+    }
+    return ring_[static_cast<std::size_t>(head_) & mask_];
+  }
+
+ private:
+  static std::size_t RingSize(std::size_t capacity) {
+    std::size_t n = 1;
+    while (n < capacity) n <<= 1;
+    return n;
+  }
+
+  std::vector<T> ring_;
+  std::size_t mask_;
+};
+
+}  // namespace smi::sim
+
+#endif  // SMI_SIM_FIFO_H

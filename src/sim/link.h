@@ -1,0 +1,69 @@
+#ifndef SMI_SIM_LINK_H
+#define SMI_SIM_LINK_H
+
+/// \file link.h
+/// Serial link model. A link moves one payload per cycle (at the fabric
+/// clock, one 256-bit packet per cycle = 40 Gbit/s line rate) through a
+/// fixed-latency pipeline, connecting the sending rank's network interface
+/// FIFO to the receiving rank's. The QSFP transceivers on the paper's boards
+/// implement error correction and credit-based flow control in the BSP
+/// shell; accordingly the model is lossless and stalls (backpressures)
+/// instead of dropping when the receiver FIFO is full.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "sim/clock.h"
+#include "sim/component.h"
+#include "sim/fifo.h"
+
+namespace smi::sim {
+
+template <typename T>
+class Link final : public Component {
+ public:
+  /// `latency` is the pipeline depth in cycles (serialization + transceiver
+  /// + deserialization), i.e. the cycle count between a payload leaving the
+  /// TX FIFO and arriving in the RX FIFO, exclusive of FIFO latencies.
+  Link(std::string name, Fifo<T>& tx, Fifo<T>& rx, Cycle latency)
+      : Component(std::move(name)), tx_(&tx), rx_(&rx), latency_(latency) {}
+
+  void Step(Cycle now) override {
+    // Deliver the head of the pipeline if it has matured and the RX FIFO can
+    // accept it. If the RX FIFO is full the pipeline stalls: hardware flow
+    // control guarantees losslessness.
+    if (!in_flight_.empty() && in_flight_.front().ready_at <= now &&
+        rx_->CanPush(now)) {
+      rx_->Push(in_flight_.front().payload, now);
+      in_flight_.pop_front();
+      ++delivered_;
+    }
+    // Accept at most one payload per cycle from the TX FIFO. The stall
+    // condition bounds the number of payloads in flight to the pipeline
+    // depth, mirroring the credit window of the physical transceiver.
+    if (in_flight_.size() < static_cast<std::size_t>(latency_) + 1 &&
+        tx_->CanPop(now)) {
+      in_flight_.push_back(Slot{tx_->Pop(now), now + latency_});
+    }
+  }
+
+  std::uint64_t delivered() const { return delivered_; }
+  Cycle latency() const { return latency_; }
+
+ private:
+  struct Slot {
+    T payload;
+    Cycle ready_at;
+  };
+
+  Fifo<T>* tx_;
+  Fifo<T>* rx_;
+  Cycle latency_;
+  std::deque<Slot> in_flight_;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace smi::sim
+
+#endif  // SMI_SIM_LINK_H

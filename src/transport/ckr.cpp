@@ -1,0 +1,47 @@
+#include "transport/ckr.h"
+
+#include "common/error.h"
+
+namespace smi::transport {
+
+PacketFifo* Ckr::Route(const net::Packet& pkt) const {
+  if (pkt.hdr.dst != local_rank_) {
+    // Intermediate hop: hand over to the paired CKS, which owns the
+    // rank-level routing table.
+    if (to_cks_ == nullptr) {
+      throw ConfigError(name() + ": transit packet without paired CKS");
+    }
+    return to_cks_;
+  }
+  const int app_port = pkt.hdr.port;
+  const auto ep = endpoints_.find(app_port);
+  if (ep != endpoints_.end()) return ep->second;
+  const auto owner = port_owner_.find(app_port);
+  if (owner == port_owner_.end()) {
+    throw ConfigError(name() + ": packet for unknown port " +
+                      std::to_string(app_port) + " (" + pkt.DebugString() +
+                      ")");
+  }
+  const int q = owner->second;
+  if (static_cast<std::size_t>(q) >= to_ckr_.size() ||
+      to_ckr_[static_cast<std::size_t>(q)] == nullptr) {
+    throw ConfigError(name() + ": no crossbar output toward CKR " +
+                      std::to_string(q));
+  }
+  return to_ckr_[static_cast<std::size_t>(q)];
+}
+
+void Ckr::Step(sim::Cycle now) {
+  PacketFifo* in = arbiter_.Select(now);
+  if (in == nullptr) return;
+  PacketFifo* out = Route(in->Front(now));
+  if (!out->CanPush(now)) {
+    arbiter_.Stalled();
+    return;
+  }
+  out->Push(in->Pop(now), now);
+  ++forwarded_;
+  arbiter_.Serviced();
+}
+
+}  // namespace smi::transport

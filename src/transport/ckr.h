@@ -1,0 +1,72 @@
+#ifndef SMI_TRANSPORT_CKR_H
+#define SMI_TRANSPORT_CKR_H
+
+/// \file ckr.h
+/// CKR — the receive communication kernel (§4.2–4.3).
+///
+/// One CKR manages one network interface of the rank. Its inputs are the
+/// network port, the paired CKS (local deliveries from applications on this
+/// rank), and the other local CKR modules. Routing:
+///   * destination != local rank -> the paired CKS (this rank is an
+///     intermediate hop);
+///   * destination == local rank -> by the packet's port: either to the
+///     application endpoint connected to this CKR, or to the CKR that owns
+///     the destination port.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/component.h"
+#include "transport/arbiter.h"
+
+namespace smi::transport {
+
+class Ckr final : public sim::Component {
+ public:
+  Ckr(std::string name, int local_rank, int port_index, int poll_r)
+      : Component(std::move(name)),
+        local_rank_(local_rank),
+        port_index_(port_index),
+        arbiter_(poll_r) {}
+
+  /// --- fabric wiring ---
+  void AddInput(PacketFifo& fifo) { arbiter_.AddInput(fifo); }
+  void SetPairedCksOutput(PacketFifo& fifo) { to_cks_ = &fifo; }
+  void SetCkrOutput(int q, PacketFifo& fifo) {
+    if (to_ckr_.size() <= static_cast<std::size_t>(q)) {
+      to_ckr_.resize(static_cast<std::size_t>(q) + 1, nullptr);
+    }
+    to_ckr_[static_cast<std::size_t>(q)] = &fifo;
+  }
+  /// Application endpoint for `app_port`, connected directly to this CKR.
+  void AttachEndpoint(int app_port, PacketFifo& fifo) {
+    endpoints_[app_port] = &fifo;
+  }
+  /// Declare that `app_port` is owned by the CKR at network port `q`.
+  void SetPortOwner(int app_port, int owner_ckr) {
+    port_owner_[app_port] = owner_ckr;
+  }
+
+  void Step(sim::Cycle now) override;
+
+  std::uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  PacketFifo* Route(const net::Packet& pkt) const;
+
+  int local_rank_;
+  int port_index_;
+  PollingArbiter arbiter_;
+  PacketFifo* to_cks_ = nullptr;
+  std::vector<PacketFifo*> to_ckr_;
+  std::map<int, PacketFifo*> endpoints_;
+  std::map<int, int> port_owner_;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace smi::transport
+
+#endif  // SMI_TRANSPORT_CKR_H

@@ -1,0 +1,55 @@
+#include "transport/cks.h"
+
+#include "common/error.h"
+
+namespace smi::transport {
+
+PacketFifo* Cks::Route(const net::Packet& pkt) const {
+  const int dst = pkt.hdr.dst;
+  if (dst == local_rank_) {
+    if (to_ckr_ == nullptr) {
+      throw ConfigError(name() + ": local delivery without paired CKR");
+    }
+    return to_ckr_;
+  }
+  if (next_port_.empty()) {
+    throw ConfigError(name() + ": no routing table uploaded");
+  }
+  if (dst < 0 || dst >= static_cast<int>(next_port_.size())) {
+    throw ConfigError(name() + ": packet for out-of-range rank " +
+                      std::to_string(dst));
+  }
+  const int q = next_port_[static_cast<std::size_t>(dst)];
+  if (q < 0) {
+    throw ConfigError(name() + ": routing table has no route to rank " +
+                      std::to_string(dst));
+  }
+  if (q == port_index_) {
+    if (to_net_ == nullptr) {
+      throw ConfigError(name() + ": route uses unwired network port " +
+                        std::to_string(q));
+    }
+    return to_net_;
+  }
+  if (static_cast<std::size_t>(q) >= to_cks_.size() ||
+      to_cks_[static_cast<std::size_t>(q)] == nullptr) {
+    throw ConfigError(name() + ": no crossbar output toward CKS " +
+                      std::to_string(q));
+  }
+  return to_cks_[static_cast<std::size_t>(q)];
+}
+
+void Cks::Step(sim::Cycle now) {
+  PacketFifo* in = arbiter_.Select(now);
+  if (in == nullptr) return;
+  PacketFifo* out = Route(in->Front(now));
+  if (!out->CanPush(now)) {
+    arbiter_.Stalled();
+    return;
+  }
+  out->Push(in->Pop(now), now);
+  ++forwarded_;
+  arbiter_.Serviced();
+}
+
+}  // namespace smi::transport

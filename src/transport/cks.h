@@ -1,0 +1,75 @@
+#ifndef SMI_TRANSPORT_CKS_H
+#define SMI_TRANSPORT_CKS_H
+
+/// \file cks.h
+/// CKS — the send communication kernel (§4.2–4.3).
+///
+/// One CKS manages one network interface of the rank. Its inputs are the
+/// FIFOs of the application send endpoints assigned to it, the paired CKR
+/// (packets transiting this rank toward another), and the other local CKS
+/// modules. Each accepted packet is forwarded according to the routing
+/// table, indexed by destination rank:
+///   * destination == local rank  -> the paired CKR (local delivery);
+///   * route's out-port == own port -> the network interface;
+///   * otherwise -> the CKS that owns the route's out-port.
+/// The table is uploaded at runtime and can be replaced without rebuilding
+/// the fabric.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/component.h"
+#include "transport/arbiter.h"
+
+namespace smi::transport {
+
+class Cks final : public sim::Component {
+ public:
+  Cks(std::string name, int local_rank, int port_index, int poll_r)
+      : Component(std::move(name)),
+        local_rank_(local_rank),
+        port_index_(port_index),
+        arbiter_(poll_r) {}
+
+  /// --- fabric wiring (called once at construction time) ---
+  void AddInput(PacketFifo& fifo) { arbiter_.AddInput(fifo); }
+  void SetNetworkOutput(PacketFifo& fifo) { to_net_ = &fifo; }
+  void SetPairedCkrOutput(PacketFifo& fifo) { to_ckr_ = &fifo; }
+  /// Output toward the local CKS owning network port `q`.
+  void SetCksOutput(int q, PacketFifo& fifo) {
+    if (to_cks_.size() <= static_cast<std::size_t>(q)) {
+      to_cks_.resize(static_cast<std::size_t>(q) + 1, nullptr);
+    }
+    to_cks_[static_cast<std::size_t>(q)] = &fifo;
+  }
+
+  /// --- runtime routing upload ---
+  /// `next_port[d]` = network port this rank uses toward rank d (may be -1
+  /// for d == local rank).
+  void UploadRoutes(std::vector<int> next_port) {
+    next_port_ = std::move(next_port);
+  }
+
+  void Step(sim::Cycle now) override;
+
+  std::uint64_t forwarded() const { return forwarded_; }
+  int port_index() const { return port_index_; }
+
+ private:
+  PacketFifo* Route(const net::Packet& pkt) const;
+
+  int local_rank_;
+  int port_index_;
+  PollingArbiter arbiter_;
+  PacketFifo* to_net_ = nullptr;
+  PacketFifo* to_ckr_ = nullptr;
+  std::vector<PacketFifo*> to_cks_;
+  std::vector<int> next_port_;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace smi::transport
+
+#endif  // SMI_TRANSPORT_CKS_H

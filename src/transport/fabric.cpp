@@ -1,0 +1,196 @@
+#include "transport/fabric.h"
+
+#include "common/error.h"
+
+namespace smi::transport {
+
+namespace {
+
+std::string FifoName(const std::string& kind, int rank, int a, int b = -1) {
+  std::string name = kind + ".r" + std::to_string(rank) + "." +
+                     std::to_string(a);
+  if (b >= 0) name += "->" + std::to_string(b);
+  return name;
+}
+
+}  // namespace
+
+Fabric::Fabric(sim::Engine& engine, const net::Topology& topology,
+               std::vector<RankEndpoints> endpoints, FabricConfig config)
+    : num_ranks_(topology.num_ranks()),
+      ports_per_rank_(topology.ports_per_rank()),
+      config_(config) {
+  if (num_ranks_ > net::kMaxWireRank + 1) {
+    throw ConfigError("fabric exceeds the 8-bit wire rank field");
+  }
+  if (endpoints.size() != static_cast<std::size_t>(num_ranks_)) {
+    throw ConfigError("endpoint specs must cover every rank");
+  }
+  for (const RankEndpoints& eps : endpoints) {
+    for (const int p : eps.send_ports) {
+      if (p < 0 || p > net::kMaxWirePort) {
+        throw ConfigError("send port outside the 8-bit wire port field");
+      }
+    }
+    for (const int p : eps.recv_ports) {
+      if (p < 0 || p > net::kMaxWirePort) {
+        throw ConfigError("recv port outside the 8-bit wire port field");
+      }
+    }
+  }
+
+  ranks_.resize(static_cast<std::size_t>(num_ranks_));
+  for (int r = 0; r < num_ranks_; ++r) {
+    BuildRank(engine, r, endpoints[static_cast<std::size_t>(r)]);
+  }
+  BuildLinks(engine, topology);
+}
+
+void Fabric::BuildRank(sim::Engine& engine, int r, const RankEndpoints& eps) {
+  Rank& rank = ranks_[static_cast<std::size_t>(r)];
+  const int P = ports_per_rank_;
+  const std::string prefix = "r" + std::to_string(r) + ".";
+
+  // Create the CK modules.
+  for (int q = 0; q < P; ++q) {
+    rank.cks.push_back(&engine.MakeComponent<Cks>(
+        prefix + "cks" + std::to_string(q), r, q, config_.poll_r));
+    rank.ckr.push_back(&engine.MakeComponent<Ckr>(
+        prefix + "ckr" + std::to_string(q), r, q, config_.poll_r));
+  }
+
+  // Application send endpoints: port p is served by CKS (p mod P). These are
+  // added as the *first* arbiter inputs, matching the paper's input order
+  // (application, paired CKR, other CKS).
+  for (const int p : eps.send_ports) {
+    const int q = p % P;
+    PacketFifo& fifo = engine.MakeFifo<net::Packet>(
+        FifoName("app->cks", r, p), config_.endpoint_fifo_depth);
+    rank.cks[static_cast<std::size_t>(q)]->AddInput(fifo);
+    rank.send_endpoints[p] = &fifo;
+  }
+
+  // Application receive endpoints: port p is owned by CKR (p mod P).
+  for (const int p : eps.recv_ports) {
+    const int q = p % P;
+    PacketFifo& fifo = engine.MakeFifo<net::Packet>(
+        FifoName("ckr->app", r, p), config_.endpoint_fifo_depth);
+    rank.ckr[static_cast<std::size_t>(q)]->AttachEndpoint(p, fifo);
+    rank.recv_endpoints[p] = &fifo;
+    // Every CKR must know the owner so mis-delivered local packets can be
+    // forwarded across the CKR crossbar.
+    for (int other = 0; other < P; ++other) {
+      rank.ckr[static_cast<std::size_t>(other)]->SetPortOwner(p, q);
+    }
+  }
+
+  // Paired CKR -> CKS (transit packets) and CKS -> paired CKR (local
+  // deliveries).
+  for (int q = 0; q < P; ++q) {
+    PacketFifo& ckr_to_cks = engine.MakeFifo<net::Packet>(
+        FifoName("ckr->cks", r, q), config_.crossbar_fifo_depth);
+    rank.ckr[static_cast<std::size_t>(q)]->SetPairedCksOutput(ckr_to_cks);
+    rank.cks[static_cast<std::size_t>(q)]->AddInput(ckr_to_cks);
+
+    PacketFifo& cks_to_ckr = engine.MakeFifo<net::Packet>(
+        FifoName("cks->ckr", r, q), config_.crossbar_fifo_depth);
+    rank.cks[static_cast<std::size_t>(q)]->SetPairedCkrOutput(cks_to_ckr);
+    rank.ckr[static_cast<std::size_t>(q)]->AddInput(cks_to_ckr);
+  }
+
+  // CKS crossbar (packets needing a different network port) and CKR
+  // crossbar (local packets whose destination port lives on another CKR).
+  for (int q = 0; q < P; ++q) {
+    for (int o = 0; o < P; ++o) {
+      if (q == o) continue;
+      PacketFifo& cks_x = engine.MakeFifo<net::Packet>(
+          FifoName("cks->cks", r, q, o), config_.crossbar_fifo_depth);
+      rank.cks[static_cast<std::size_t>(q)]->SetCksOutput(o, cks_x);
+      rank.cks[static_cast<std::size_t>(o)]->AddInput(cks_x);
+
+      PacketFifo& ckr_x = engine.MakeFifo<net::Packet>(
+          FifoName("ckr->ckr", r, q, o), config_.crossbar_fifo_depth);
+      rank.ckr[static_cast<std::size_t>(q)]->SetCkrOutput(o, ckr_x);
+      rank.ckr[static_cast<std::size_t>(o)]->AddInput(ckr_x);
+    }
+  }
+}
+
+void Fabric::BuildLinks(sim::Engine& engine, const net::Topology& topology) {
+  for (const auto& [a, b] : topology.Connections()) {
+    // Two directed links per cable, each with its own interface FIFOs.
+    for (const auto& [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
+      PacketFifo& tx = engine.MakeFifo<net::Packet>(
+          FifoName("cks->net", from.rank, from.port), config_.net_fifo_depth);
+      PacketFifo& rx = engine.MakeFifo<net::Packet>(
+          FifoName("net->ckr", to.rank, to.port), config_.net_fifo_depth);
+      ranks_[static_cast<std::size_t>(from.rank)]
+          .cks[static_cast<std::size_t>(from.port)]
+          ->SetNetworkOutput(tx);
+      ranks_[static_cast<std::size_t>(to.rank)]
+          .ckr[static_cast<std::size_t>(to.port)]
+          ->AddInput(rx);
+      links_.push_back(&engine.MakeComponent<sim::Link<net::Packet>>(
+          "link." + std::to_string(from.rank) + ":" +
+              std::to_string(from.port) + "->" + std::to_string(to.rank) +
+              ":" + std::to_string(to.port),
+          tx, rx, config_.link_latency));
+    }
+  }
+}
+
+PacketFifo& Fabric::SendEndpoint(int rank, int port) {
+  const auto it =
+      ranks_[static_cast<std::size_t>(rank)].send_endpoints.find(port);
+  if (it == ranks_[static_cast<std::size_t>(rank)].send_endpoints.end()) {
+    throw ConfigError("rank " + std::to_string(rank) +
+                      " has no send endpoint on port " + std::to_string(port));
+  }
+  return *it->second;
+}
+
+PacketFifo& Fabric::RecvEndpoint(int rank, int port) {
+  const auto it =
+      ranks_[static_cast<std::size_t>(rank)].recv_endpoints.find(port);
+  if (it == ranks_[static_cast<std::size_t>(rank)].recv_endpoints.end()) {
+    throw ConfigError("rank " + std::to_string(rank) +
+                      " has no recv endpoint on port " + std::to_string(port));
+  }
+  return *it->second;
+}
+
+void Fabric::UploadRoutes(const net::RoutingTable& routes) {
+  if (routes.num_ranks() != num_ranks_) {
+    throw ConfigError("routing table rank count does not match fabric");
+  }
+  for (int r = 0; r < num_ranks_; ++r) {
+    std::vector<int> next_port(static_cast<std::size_t>(num_ranks_));
+    for (int d = 0; d < num_ranks_; ++d) {
+      next_port[static_cast<std::size_t>(d)] = routes.next_port(r, d);
+    }
+    for (Cks* cks : ranks_[static_cast<std::size_t>(r)].cks) {
+      cks->UploadRoutes(next_port);
+    }
+  }
+  routes_uploaded_ = true;
+}
+
+std::uint64_t Fabric::TotalLinkPackets() const {
+  std::uint64_t total = 0;
+  for (const sim::Link<net::Packet>* link : links_) {
+    total += link->delivered();
+  }
+  return total;
+}
+
+const Cks& Fabric::cks(int rank, int port) const {
+  return *ranks_[static_cast<std::size_t>(rank)]
+              .cks[static_cast<std::size_t>(port)];
+}
+
+const Ckr& Fabric::ckr(int rank, int port) const {
+  return *ranks_[static_cast<std::size_t>(rank)]
+              .ckr[static_cast<std::size_t>(port)];
+}
+
+}  // namespace smi::transport

@@ -1,0 +1,101 @@
+#ifndef SMI_TRANSPORT_FABRIC_H
+#define SMI_TRANSPORT_FABRIC_H
+
+/// \file fabric.h
+/// Builds the complete SMI transport layer for a multi-FPGA cluster inside a
+/// simulation engine: per rank, one CKS/CKR pair per network port, the
+/// crossbar FIFOs between them (Fig. 7), the application endpoint FIFOs, and
+/// the serial links between ranks as cabled by the topology.
+///
+/// The set of application endpoints per rank is part of the fabric — in the
+/// paper it is baked into the bitstream by the code generator — while the
+/// routing tables are uploaded afterwards and can be replaced at runtime
+/// (`UploadRoutes`), allowing topology/rank-count changes without
+/// "rebuilding the bitstream".
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/routing.h"
+#include "net/topology.h"
+#include "sim/engine.h"
+#include "sim/link.h"
+#include "transport/ckr.h"
+#include "transport/cks.h"
+
+namespace smi::transport {
+
+struct FabricConfig {
+  /// Polling burst parameter R of the communication kernels (§4.3).
+  int poll_r = 8;
+  /// Depth of application endpoint FIFOs — the "asynchronicity degree" k of
+  /// §3.3, a per-build optimization parameter.
+  std::size_t endpoint_fifo_depth = 16;
+  /// Depth of the CK crossbar FIFOs.
+  std::size_t crossbar_fifo_depth = 8;
+  /// Depth of the FIFOs between CKs and the network interfaces.
+  std::size_t net_fifo_depth = 16;
+  /// Serial link pipeline latency in cycles. 105 cycles at 156.25 MHz
+  /// (0.67 us) calibrates the per-hop latency to the paper's Table 3.
+  sim::Cycle link_latency = 105;
+};
+
+/// Which application endpoints exist on a rank. In the paper this is the
+/// metadata the code generator extracts from the user's kernels.
+struct RankEndpoints {
+  std::set<int> send_ports;
+  std::set<int> recv_ports;
+};
+
+class Fabric {
+ public:
+  /// Build the transport fabric into `engine`. `endpoints[r]` lists the
+  /// application endpoints of rank r (use a single-element vector replicated
+  /// by the caller for SPMD programs).
+  Fabric(sim::Engine& engine, const net::Topology& topology,
+         std::vector<RankEndpoints> endpoints, FabricConfig config = {});
+
+  /// FIFO an application pushes packets into to send on (rank, port).
+  PacketFifo& SendEndpoint(int rank, int port);
+  /// FIFO an application pops received packets from on (rank, port).
+  PacketFifo& RecvEndpoint(int rank, int port);
+
+  /// Upload next-hop routing tables to every CKS (runtime-configurable).
+  void UploadRoutes(const net::RoutingTable& routes);
+
+  int num_ranks() const { return num_ranks_; }
+  int ports_per_rank() const { return ports_per_rank_; }
+  const FabricConfig& config() const { return config_; }
+
+  /// Total packets delivered over all serial links (traffic statistic).
+  std::uint64_t TotalLinkPackets() const;
+  /// Packets forwarded by a specific CKS, e.g. to measure injection rates.
+  const Cks& cks(int rank, int port) const;
+  const Ckr& ckr(int rank, int port) const;
+
+ private:
+  struct Rank {
+    std::vector<Cks*> cks;
+    std::vector<Ckr*> ckr;
+    std::map<int, PacketFifo*> send_endpoints;  // app port -> FIFO
+    std::map<int, PacketFifo*> recv_endpoints;
+  };
+
+  void BuildRank(sim::Engine& engine, int r, const RankEndpoints& eps);
+  void BuildLinks(sim::Engine& engine, const net::Topology& topology);
+
+  int num_ranks_;
+  int ports_per_rank_;
+  FabricConfig config_;
+  std::vector<Rank> ranks_;
+  std::vector<sim::Link<net::Packet>*> links_;
+  bool routes_uploaded_ = false;
+};
+
+}  // namespace smi::transport
+
+#endif  // SMI_TRANSPORT_FABRIC_H

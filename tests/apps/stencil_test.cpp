@@ -1,0 +1,102 @@
+#include "apps/stencil.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/reference.h"
+
+namespace smi::apps {
+namespace {
+
+void ExpectMatchesReference(const StencilConfig& config,
+                            const std::vector<float>& grid) {
+  const std::vector<float> expect = ReferenceStencil(
+      MakeStencilGrid(config.nx_global, config.ny_global, config.seed),
+      static_cast<std::size_t>(config.nx_global),
+      static_cast<std::size_t>(config.ny_global), config.timesteps);
+  ASSERT_EQ(grid.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    ASSERT_EQ(grid[i], expect[i]) << "cell " << i;
+  }
+}
+
+StencilConfig SmallConfig(int nx, int ny, int rx, int ry, int steps) {
+  StencilConfig config;
+  config.nx_global = nx;
+  config.ny_global = ny;
+  config.rx = rx;
+  config.ry = ry;
+  config.timesteps = steps;
+  config.banks = 1;
+  config.seed = 3;
+  return config;
+}
+
+TEST(Stencil, SingleRankMatchesReference) {
+  const StencilConfig config = SmallConfig(32, 32, 1, 1, 3);
+  ExpectMatchesReference(config, RunStencilSmi(config).grid);
+}
+
+class StencilDecompositions
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(StencilDecompositions, MatchesReference) {
+  const auto [rx, ry, steps] = GetParam();
+  const StencilConfig config = SmallConfig(32 * rx, 32 * ry, rx, ry, steps);
+  ExpectMatchesReference(config, RunStencilSmi(config).grid);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, StencilDecompositions,
+                         ::testing::Values(std::tuple{1, 2, 3},
+                                           std::tuple{2, 1, 3},
+                                           std::tuple{2, 2, 4},
+                                           std::tuple{1, 4, 2},
+                                           std::tuple{2, 4, 3}));
+
+TEST(Stencil, MultipleBanksProduceSameResultFaster) {
+  StencilConfig config = SmallConfig(64, 64, 2, 2, 4);
+  const StencilResult one_bank = RunStencilSmi(config);
+  config.banks = 4;
+  const StencilResult four_banks = RunStencilSmi(config);
+  ASSERT_EQ(one_bank.grid.size(), four_banks.grid.size());
+  for (std::size_t i = 0; i < one_bank.grid.size(); ++i) {
+    ASSERT_EQ(one_bank.grid[i], four_banks.grid[i]);
+  }
+  EXPECT_LT(four_banks.run.cycles, one_bank.run.cycles);
+}
+
+TEST(Stencil, StrongScalingShape) {
+  // Fig. 15's pattern at reduced scale: 4 ranks with the same per-rank
+  // bandwidth should run ~4x faster than 1 rank; 4 banks give another ~4x.
+  StencilConfig base = SmallConfig(128, 128, 1, 1, 4);
+  const auto t_1r_1b = RunStencilSmi(base).run.cycles;
+
+  StencilConfig four_banks = base;
+  four_banks.banks = 4;
+  const auto t_1r_4b = RunStencilSmi(four_banks).run.cycles;
+
+  StencilConfig four_ranks = SmallConfig(128, 128, 2, 2, 4);
+  const auto t_4r_1b = RunStencilSmi(four_ranks).run.cycles;
+
+  StencilConfig four_four = four_ranks;
+  four_four.banks = 4;
+  const auto t_4r_4b = RunStencilSmi(four_four).run.cycles;
+
+  const double s_banks = static_cast<double>(t_1r_1b) /
+                         static_cast<double>(t_1r_4b);
+  const double s_ranks = static_cast<double>(t_1r_1b) /
+                         static_cast<double>(t_4r_1b);
+  const double s_both = static_cast<double>(t_1r_1b) /
+                        static_cast<double>(t_4r_4b);
+  EXPECT_GT(s_banks, 2.5);
+  EXPECT_GT(s_ranks, 2.5);
+  EXPECT_GT(s_both, s_banks);
+  EXPECT_GT(s_both, s_ranks);
+}
+
+TEST(Stencil, RejectsBadShapes) {
+  EXPECT_THROW(RunStencilSmi(SmallConfig(30, 32, 4, 1, 1)), ConfigError);
+  EXPECT_THROW(RunStencilSmi(SmallConfig(32, 24, 1, 2, 1)), ConfigError);
+}
+
+}  // namespace
+}  // namespace smi::apps

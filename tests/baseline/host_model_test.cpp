@@ -1,0 +1,79 @@
+#include "baseline/host_model.h"
+
+#include <gtest/gtest.h>
+
+namespace smi::baseline {
+namespace {
+
+TEST(HostModel, SmallMessageLatencyMatchesPaperAnchor) {
+  // Table 3: MPI+OpenCL ping-pong latency of a small message is 36.61 us.
+  const HostModel model;
+  EXPECT_NEAR(model.LatencyUs(4), 36.61, 1.0);
+}
+
+TEST(HostModel, LargeMessageBandwidthIsAboutOneThirdOfSmi) {
+  // Fig. 9: the host path tops out around a third of SMI's ~32 Gbit/s
+  // despite the 100 Gbit/s interconnect, because of the copy chain.
+  const HostModel model;
+  const double bw = model.BandwidthGbps(256ull << 20);
+  EXPECT_GT(bw, 9.0);
+  EXPECT_LT(bw, 14.0);
+}
+
+TEST(HostModel, BandwidthIsMonotonicInMessageSize) {
+  const HostModel model;
+  double prev = 0.0;
+  for (std::uint64_t bytes = 1024; bytes <= (256ull << 20); bytes *= 4) {
+    const double bw = model.BandwidthGbps(bytes);
+    EXPECT_GT(bw, prev);
+    prev = bw;
+  }
+}
+
+TEST(HostModel, TransferTimeScalesLinearly) {
+  const HostModel model;
+  const double t1 = model.TransferUs(1 << 20);
+  const double t4 = model.TransferUs(4 << 20);
+  // Subtracting the fixed overhead, 4x the bytes costs 4x the time.
+  const double o = model.config().overhead_us;
+  EXPECT_NEAR((t4 - o) / (t1 - o), 4.0, 0.01);
+}
+
+TEST(HostModel, BcastScalesLinearlyInRanks) {
+  const HostModel model;
+  const double t4 = model.BcastUs(1 << 20, 4);
+  const double t8 = model.BcastUs(1 << 20, 8);
+  // Doubling the rank count adds one host-level send per extra rank; the
+  // PCIe readback/write terms are rank-independent.
+  EXPECT_GT(t8 / t4, 1.2);
+  EXPECT_LT(t8 / t4, 7.0 / 3.0);
+}
+
+TEST(HostModel, CollectivesDegenerateGracefully) {
+  const HostModel model;
+  EXPECT_EQ(model.BcastUs(1024, 1), 0.0);
+  EXPECT_EQ(model.ReduceUs(1024, 1), 0.0);
+  EXPECT_GT(model.ReduceUs(1024, 2), 0.0);
+}
+
+TEST(HostModel, SmallCollectivesAreOverheadDominated) {
+  // At one element, the cost is the base overhead plus the per-destination
+  // OpenCL/MPI fixed costs — no bandwidth term.
+  const HostModel model;
+  const double t = model.BcastUs(4, 8);
+  const double fixed =
+      model.config().overhead_us +
+      7.0 * (model.config().ocl_per_rank_us + model.config().mpi_hop_us);
+  EXPECT_NEAR(t, fixed, 1.0);
+}
+
+TEST(HostModel, LargeBcastSlowerThanP2pTransfer) {
+  // The per-destination readback+send loop makes an 8-rank broadcast of a
+  // large buffer several times the cost of a single p2p transfer.
+  const HostModel model;
+  const std::uint64_t bytes = 4ull << 20;
+  EXPECT_GT(model.BcastUs(bytes, 8), 3.0 * model.TransferUs(bytes));
+}
+
+}  // namespace
+}  // namespace smi::baseline

@@ -1,0 +1,74 @@
+#include "codegen/planner.h"
+
+#include <gtest/gtest.h>
+
+namespace smi::codegen {
+namespace {
+
+using core::DataType;
+using core::OpSpec;
+using core::ProgramSpec;
+
+ProgramSpec ExampleSpec() {
+  ProgramSpec spec;
+  spec.Add(OpSpec::Send(0, DataType::kInt));
+  spec.Add(OpSpec::Recv(5, DataType::kFloat));
+  spec.Add(OpSpec::Bcast(2, DataType::kFloat));
+  spec.Add(OpSpec::Reduce(3, DataType::kFloat));
+  return spec;
+}
+
+TEST(Planner, AssignsEndpointsRoundRobin) {
+  const FabricPlan plan = Plan(ExampleSpec(), 4);
+  // send port 0 -> CK 0; recv port 5 -> CK 1; collectives get both
+  // directions on their port's CK.
+  ASSERT_EQ(plan.endpoints.size(), 6u);  // 1 send + 1 recv + 2x2 collective
+  EXPECT_EQ(plan.endpoints[0].app_port, 0);
+  EXPECT_TRUE(plan.endpoints[0].is_send);
+  EXPECT_EQ(plan.endpoints[0].ck_index, 0);
+  EXPECT_EQ(plan.endpoints[1].app_port, 5);
+  EXPECT_FALSE(plan.endpoints[1].is_send);
+  EXPECT_EQ(plan.endpoints[1].ck_index, 1);
+  ASSERT_EQ(plan.support_kernels.size(), 2u);
+  EXPECT_EQ(plan.support_kernels[0].kind, core::CollKind::kBcast);
+  EXPECT_EQ(plan.support_kernels[1].kind, core::CollKind::kReduce);
+}
+
+TEST(Planner, SinglePortFabric) {
+  const FabricPlan plan = Plan(ExampleSpec(), 1);
+  for (const EndpointPlan& ep : plan.endpoints) {
+    EXPECT_EQ(ep.ck_index, 0);
+  }
+}
+
+TEST(Planner, ResourceEstimateIncludesSupportKernels) {
+  const FabricPlan with_colls = Plan(ExampleSpec(), 4);
+  ProgramSpec p2p_only;
+  p2p_only.Add(OpSpec::Send(0, DataType::kInt));
+  const FabricPlan without = Plan(p2p_only, 4);
+  EXPECT_GT(with_colls.EstimateResources().luts,
+            without.EstimateResources().luts);
+  EXPECT_EQ(with_colls.EstimateResources().dsps, 6);  // Reduce FP32 SUM
+}
+
+TEST(Planner, JsonRoundTrip) {
+  const FabricPlan plan = Plan(ExampleSpec(), 4, 32);
+  const FabricPlan again = FabricPlan::FromJson(plan.ToJson());
+  EXPECT_EQ(again.ports_per_rank, plan.ports_per_rank);
+  EXPECT_EQ(again.endpoint_fifo_depth, 32u);
+  ASSERT_EQ(again.endpoints.size(), plan.endpoints.size());
+  for (std::size_t i = 0; i < plan.endpoints.size(); ++i) {
+    EXPECT_EQ(again.endpoints[i].app_port, plan.endpoints[i].app_port);
+    EXPECT_EQ(again.endpoints[i].is_send, plan.endpoints[i].is_send);
+    EXPECT_EQ(again.endpoints[i].ck_index, plan.endpoints[i].ck_index);
+    EXPECT_EQ(again.endpoints[i].type, plan.endpoints[i].type);
+  }
+  ASSERT_EQ(again.support_kernels.size(), plan.support_kernels.size());
+}
+
+TEST(Planner, RejectsInvalidPortCount) {
+  EXPECT_THROW(Plan(ExampleSpec(), 0), smi::ConfigError);
+}
+
+}  // namespace
+}  // namespace smi::codegen

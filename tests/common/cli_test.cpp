@@ -1,0 +1,70 @@
+#include "common/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace smi {
+namespace {
+
+std::vector<char*> MakeArgv(std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& a : args) argv.push_back(a.data());
+  return argv;
+}
+
+TEST(Cli, DefaultsApply) {
+  CliParser cli("prog", "test");
+  cli.AddInt("n", 42, "count");
+  cli.AddString("mode", "fast", "mode");
+  cli.AddFlag("verbose", "verbosity");
+  cli.AddDouble("rate", 0.5, "rate");
+  std::vector<std::string> args = {"prog"};
+  auto argv = MakeArgv(args);
+  ASSERT_TRUE(cli.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.GetInt("n"), 42);
+  EXPECT_EQ(cli.GetString("mode"), "fast");
+  EXPECT_FALSE(cli.GetFlag("verbose"));
+  EXPECT_DOUBLE_EQ(cli.GetDouble("rate"), 0.5);
+}
+
+TEST(Cli, ParsesBothSyntaxes) {
+  CliParser cli("prog", "test");
+  cli.AddInt("n", 0, "count");
+  cli.AddString("mode", "", "mode");
+  cli.AddFlag("verbose", "verbosity");
+  std::vector<std::string> args = {"prog", "--n", "7", "--mode=slow",
+                                   "--verbose"};
+  auto argv = MakeArgv(args);
+  ASSERT_TRUE(cli.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.GetInt("n"), 7);
+  EXPECT_EQ(cli.GetString("mode"), "slow");
+  EXPECT_TRUE(cli.GetFlag("verbose"));
+}
+
+TEST(Cli, RejectsUnknownOption) {
+  CliParser cli("prog", "test");
+  std::vector<std::string> args = {"prog", "--bogus", "1"};
+  auto argv = MakeArgv(args);
+  EXPECT_FALSE(cli.Parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser cli("prog", "test");
+  std::vector<std::string> args = {"prog", "--help"};
+  auto argv = MakeArgv(args);
+  EXPECT_FALSE(cli.Parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, TypeMismatchThrows) {
+  CliParser cli("prog", "test");
+  cli.AddInt("n", 0, "count");
+  EXPECT_THROW(cli.GetString("n"), ConfigError);
+  EXPECT_THROW(cli.GetInt("unregistered"), ConfigError);
+}
+
+}  // namespace
+}  // namespace smi

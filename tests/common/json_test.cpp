@@ -1,0 +1,105 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace smi::json {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Parse("null").is_null());
+  EXPECT_EQ(Parse("true").as_bool(), true);
+  EXPECT_EQ(Parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(Parse("3.25").as_double(), 3.25);
+  EXPECT_EQ(Parse("-17").as_int(), -17);
+  EXPECT_EQ(Parse("\"hello\"").as_string(), "hello");
+}
+
+TEST(Json, ParsesNested) {
+  const Value v = Parse(R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}})");
+  EXPECT_EQ(v.at("a").as_array().size(), 3u);
+  EXPECT_EQ(v.at("a").as_array()[2].at("b").as_string(), "c");
+  EXPECT_TRUE(v.at("d").at("e").is_null());
+}
+
+TEST(Json, ParsesEscapes) {
+  const Value v = Parse(R"("line\nbreak \"quoted\" A")");
+  EXPECT_EQ(v.as_string(), "line\nbreak \"quoted\" A");
+}
+
+TEST(Json, ParsesScientificNumbers) {
+  EXPECT_DOUBLE_EQ(Parse("1.5e3").as_double(), 1500.0);
+  EXPECT_DOUBLE_EQ(Parse("-2E-2").as_double(), -0.02);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(Parse(""), smi::ParseError);
+  EXPECT_THROW(Parse("{"), smi::ParseError);
+  EXPECT_THROW(Parse("[1,]"), smi::ParseError);
+  EXPECT_THROW(Parse("{\"a\" 1}"), smi::ParseError);
+  EXPECT_THROW(Parse("tru"), smi::ParseError);
+  EXPECT_THROW(Parse("1 2"), smi::ParseError);
+  EXPECT_THROW(Parse("\"unterminated"), smi::ParseError);
+}
+
+TEST(Json, ErrorMessagesCarryLocation) {
+  try {
+    Parse("{\n  \"a\": ###\n}");
+    FAIL();
+  } catch (const smi::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Value v = Parse("[1]");
+  EXPECT_THROW(v.as_object(), smi::ParseError);
+  EXPECT_THROW(v.as_string(), smi::ParseError);
+  EXPECT_THROW(Parse("1.5").as_int(), smi::ParseError);
+  EXPECT_THROW(Parse("{}").at("missing"), smi::ParseError);
+}
+
+TEST(Json, DefaultsViaGetters) {
+  const Value v = Parse(R"({"n": 4, "s": "x", "b": true, "d": 0.5})");
+  EXPECT_EQ(v.get_int("n", 9), 4);
+  EXPECT_EQ(v.get_int("missing", 9), 9);
+  EXPECT_EQ(v.get_string("s", "y"), "x");
+  EXPECT_EQ(v.get_string("missing", "y"), "y");
+  EXPECT_EQ(v.get_bool("b", false), true);
+  EXPECT_DOUBLE_EQ(v.get_double("d", 0.0), 0.5);
+}
+
+TEST(Json, RoundTripsThroughDump) {
+  const std::string text =
+      R"({"list":[1,2.5,"three",null,true],"nested":{"k":[{"x":1}]}})";
+  const Value v = Parse(text);
+  const Value again = Parse(v.dump());
+  EXPECT_EQ(v, again);
+  // Pretty-printed output parses back to the same value too.
+  EXPECT_EQ(Parse(v.dump(2)), v);
+}
+
+TEST(Json, DumpsIntegersWithoutDecimalPoint) {
+  EXPECT_EQ(Value(42).dump(), "42");
+  EXPECT_EQ(Value(-3).dump(), "-3");
+  EXPECT_EQ(Value(2.5).dump(), "2.5");
+}
+
+TEST(Json, BuildsProgrammatically) {
+  Object obj;
+  obj["ranks"] = Value(Array{Value(0), Value(1)});
+  obj["name"] = Value("torus");
+  const Value v{std::move(obj)};
+  EXPECT_EQ(v.at("ranks").as_array().size(), 2u);
+  EXPECT_EQ(Parse(v.dump()), v);
+}
+
+TEST(Json, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/smi_json_test.json";
+  const Value v = Parse(R"({"topology": "torus", "ranks": 8})");
+  WriteFile(path, v);
+  EXPECT_EQ(ParseFile(path), v);
+  EXPECT_THROW(ParseFile("/nonexistent/nope.json"), smi::ParseError);
+}
+
+}  // namespace
+}  // namespace smi::json

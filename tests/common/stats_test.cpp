@@ -1,0 +1,79 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace smi {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(OnlineStats, BasicMoments) {
+  OnlineStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesCombinedStream) {
+  OnlineStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.37 * i - 3.0;
+    (i % 2 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, empty;
+  a.Add(1.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.mean(), 1.0);
+}
+
+TEST(SampleStats, MedianOddEven) {
+  SampleStats odd;
+  for (const double x : {5.0, 1.0, 3.0}) odd.Add(x);
+  EXPECT_DOUBLE_EQ(odd.median(), 3.0);
+  SampleStats even;
+  for (const double x : {4.0, 1.0, 3.0, 2.0}) even.Add(x);
+  EXPECT_DOUBLE_EQ(even.median(), 2.5);
+}
+
+TEST(SampleStats, Percentiles) {
+  SampleStats s;
+  for (int i = 0; i <= 100; ++i) s.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(25), 25.0);
+  EXPECT_DOUBLE_EQ(s.median(), 50.0);
+}
+
+TEST(SampleStats, SingleSample) {
+  SampleStats s;
+  s.Add(7.5);
+  EXPECT_DOUBLE_EQ(s.median(), 7.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.5);
+  EXPECT_DOUBLE_EQ(s.min(), 7.5);
+  EXPECT_DOUBLE_EQ(s.max(), 7.5);
+}
+
+}  // namespace
+}  // namespace smi

@@ -1,0 +1,41 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace smi {
+namespace {
+
+TEST(StringUtil, Split) {
+  const auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\nabc\r "), "abc");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-", "--"));
+}
+
+TEST(StringUtil, FormatBytes) {
+  EXPECT_EQ(FormatBytes(32), "32B");
+  EXPECT_EQ(FormatBytes(1024), "1KiB");
+  EXPECT_EQ(FormatBytes(4 * 1024 * 1024), "4MiB");
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+}  // namespace
+}  // namespace smi

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/smi.h"
+
+namespace smi::core {
+namespace {
+
+using net::Topology;
+using sim::Kernel;
+
+ProgramSpec SpecFor(DataType type) {
+  ProgramSpec spec;
+  spec.Add(OpSpec::Send(0, type));
+  spec.Add(OpSpec::Recv(0, type));
+  return spec;
+}
+
+template <typename T>
+Kernel SendSeq(Context& ctx, DataType type, int n) {
+  SendChannel ch = ctx.OpenSendChannel(n, type, 1, 0, ctx.world());
+  for (int i = 0; i < n; ++i) {
+    co_await ch.Push<T>(static_cast<T>(i % 100));
+  }
+}
+
+template <typename T>
+Kernel RecvSeq(Context& ctx, DataType type, int n, std::vector<T>& sink) {
+  RecvChannel ch = ctx.OpenRecvChannel(n, type, 0, 0, ctx.world());
+  for (int i = 0; i < n; ++i) {
+    sink.push_back(co_await ch.Pop<T>());
+  }
+}
+
+template <typename T>
+void RoundTrip(DataType type, int n) {
+  Cluster cluster(Topology::Bus(2), SpecFor(type));
+  std::vector<T> sink;
+  cluster.AddKernel(0, SendSeq<T>(cluster.context(0), type, n), "s");
+  cluster.AddKernel(1, RecvSeq<T>(cluster.context(1), type, n, sink), "r");
+  cluster.Run();
+  ASSERT_EQ(sink.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(sink[static_cast<std::size_t>(i)], static_cast<T>(i % 100));
+  }
+}
+
+TEST(ChannelEdge, CharMessages) {
+  // 28 chars per packet; exercise full, partial and single-packet tails.
+  RoundTrip<std::int8_t>(DataType::kChar, 1);
+  RoundTrip<std::int8_t>(DataType::kChar, 28);
+  RoundTrip<std::int8_t>(DataType::kChar, 29);
+  RoundTrip<std::int8_t>(DataType::kChar, 200);
+}
+
+TEST(ChannelEdge, ShortMessages) {
+  RoundTrip<std::int16_t>(DataType::kShort, 13);
+  RoundTrip<std::int16_t>(DataType::kShort, 14);
+  RoundTrip<std::int16_t>(DataType::kShort, 15);
+}
+
+TEST(ChannelEdge, DoubleMessages) {
+  RoundTrip<double>(DataType::kDouble, 2);
+  RoundTrip<double>(DataType::kDouble, 3);
+  RoundTrip<double>(DataType::kDouble, 100);
+}
+
+TEST(ChannelEdge, ZeroLengthMessageIsImmediatelyClosed) {
+  Cluster cluster(Topology::Bus(2), SpecFor(DataType::kInt));
+  auto app = [](Context& ctx) -> Kernel {
+    SendChannel ch = ctx.OpenSendChannel(0, DataType::kInt, 1, 0,
+                                         ctx.world());
+    EXPECT_TRUE(ch.closed());
+    co_return;
+  };
+  cluster.AddKernel(0, app(cluster.context(0)), "zero");
+  cluster.Run();
+}
+
+TEST(ChannelEdge, PopBeyondCountThrows) {
+  Cluster cluster(Topology::Bus(2), SpecFor(DataType::kInt));
+  std::vector<std::int32_t> sink;
+  auto bad_recv = [](Context& ctx) -> Kernel {
+    RecvChannel ch = ctx.OpenRecvChannel(2, DataType::kInt, 0, 0,
+                                         ctx.world());
+    for (int i = 0; i < 3; ++i) {
+      (void)co_await ch.Pop<std::int32_t>();
+    }
+  };
+  cluster.AddKernel(0, SendSeq<std::int32_t>(cluster.context(0),
+                                             DataType::kInt, 2),
+                    "s");
+  cluster.AddKernel(1, bad_recv(cluster.context(1)), "bad");
+  EXPECT_THROW(cluster.Run(), ConfigError);
+}
+
+TEST(ChannelEdge, PushPacketTailSmallerThanFull) {
+  Cluster cluster(Topology::Bus(2), SpecFor(DataType::kInt));
+  std::vector<std::int32_t> sink;
+  auto send = [](Context& ctx) -> Kernel {
+    SendChannel ch = ctx.OpenSendChannel(10, DataType::kInt, 1, 0,
+                                         ctx.world());
+    std::int32_t vals[7] = {0, 1, 2, 3, 4, 5, 6};
+    co_await ch.PushPacket<std::int32_t>(vals, 7);
+    std::int32_t tail[3] = {7, 8, 9};
+    co_await ch.PushPacket<std::int32_t>(tail, 3);
+  };
+  cluster.AddKernel(0, send(cluster.context(0)), "s");
+  cluster.AddKernel(1, RecvSeq<std::int32_t>(cluster.context(1),
+                                             DataType::kInt, 10, sink),
+                    "r");
+  cluster.Run();
+  ASSERT_EQ(sink.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sink[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ChannelEdge, PushPacketOversizedThrows) {
+  Cluster cluster(Topology::Bus(2), SpecFor(DataType::kInt));
+  Context& ctx = cluster.context(0);
+  SendChannel ch = ctx.OpenSendChannel(20, DataType::kInt, 1, 0, ctx.world());
+  std::int32_t vals[8] = {};
+  EXPECT_THROW(ch.PushPacket<std::int32_t>(vals, 8), ConfigError);
+  EXPECT_THROW(ch.PushPacket<std::int32_t>(vals, 0), ConfigError);
+}
+
+TEST(ChannelEdge, MixedScalarAndWidePops) {
+  // Sender uses scalar pushes; receiver consumes whole packets.
+  Cluster cluster(Topology::Bus(2), SpecFor(DataType::kInt));
+  std::vector<std::int32_t> sink;
+  auto recv = [](Context& ctx, std::vector<std::int32_t>& s) -> Kernel {
+    RecvChannel ch = ctx.OpenRecvChannel(21, DataType::kInt, 0, 0,
+                                         ctx.world());
+    while (ch.transferred() < 21) {
+      const auto [data, n] = co_await ch.PopPacket<std::int32_t>();
+      for (int e = 0; e < n; ++e) s.push_back(data[e]);
+    }
+  };
+  cluster.AddKernel(0, SendSeq<std::int32_t>(cluster.context(0),
+                                             DataType::kInt, 21),
+                    "s");
+  cluster.AddKernel(1, recv(cluster.context(1), sink), "r");
+  cluster.Run();
+  ASSERT_EQ(sink.size(), 21u);
+  for (int i = 0; i < 21; ++i) EXPECT_EQ(sink[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ChannelEdge, BidirectionalExchangeOnOnePort) {
+  // Both ranks send and receive on port 0 simultaneously (full duplex).
+  // Note the stream-then-drain structure: SMI_Push accumulates elements
+  // until a network packet fills, so an element-interleaved ping-pong over
+  // long channels would legitimately deadlock (each side's first element
+  // sits staged while it waits for the other's) — a direct consequence of
+  // the packetized wire format of §4.2.
+  Cluster cluster(Topology::Bus(2), SpecFor(DataType::kInt));
+  std::vector<std::int32_t> sink0, sink1;
+  auto app = [](Context& ctx, int peer, std::vector<std::int32_t>& s)
+      -> Kernel {
+    SendChannel out = ctx.OpenSendChannel(50, DataType::kInt, peer, 0,
+                                          ctx.world());
+    RecvChannel in = ctx.OpenRecvChannel(50, DataType::kInt, peer, 0,
+                                         ctx.world());
+    for (int i = 0; i < 50; ++i) {
+      co_await out.Push<std::int32_t>(ctx.rank() * 1000 + i);
+    }
+    for (int i = 0; i < 50; ++i) {
+      s.push_back(co_await in.Pop<std::int32_t>());
+    }
+  };
+  cluster.AddKernel(0, app(cluster.context(0), 1, sink0), "a0");
+  cluster.AddKernel(1, app(cluster.context(1), 0, sink1), "a1");
+  cluster.Run();
+  ASSERT_EQ(sink0.size(), 50u);
+  ASSERT_EQ(sink1.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(sink0[static_cast<std::size_t>(i)], 1000 + i);
+    EXPECT_EQ(sink1[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(ChannelEdge, TinyEndpointFifosStillCorrect) {
+  // Shrink every transport buffer to near its minimum: throughput drops but
+  // correctness must not depend on buffer sizes (§4.2).
+  ClusterConfig config;
+  config.fabric.endpoint_fifo_depth = 1;
+  config.fabric.crossbar_fifo_depth = 1;
+  config.fabric.net_fifo_depth = 1;
+  Cluster cluster(Topology::Bus(4), SpecFor(DataType::kInt), config);
+  std::vector<std::int32_t> sink;
+  auto send = [](Context& ctx) -> Kernel {
+    SendChannel ch = ctx.OpenSendChannel(100, DataType::kInt, 3, 0,
+                                         ctx.world());
+    for (int i = 0; i < 100; ++i) co_await ch.Push<std::int32_t>(i);
+  };
+  auto recv = [](Context& ctx, std::vector<std::int32_t>& s) -> Kernel {
+    RecvChannel ch = ctx.OpenRecvChannel(100, DataType::kInt, 0, 0,
+                                         ctx.world());
+    for (int i = 0; i < 100; ++i) {
+      s.push_back(co_await ch.Pop<std::int32_t>());
+    }
+  };
+  cluster.AddKernel(0, send(cluster.context(0)), "s");
+  cluster.AddKernel(3, recv(cluster.context(3), sink), "r");
+  cluster.Run();
+  ASSERT_EQ(sink.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sink[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ChannelEdge, DeepEndpointFifosLetSenderRunAhead) {
+  // §3.3 asynchronicity degree k: with a buffer at least as large as the
+  // message, the sender finishes its pushes without waiting for the
+  // receiver (eager, non-local completion otherwise).
+  ClusterConfig config;
+  config.fabric.endpoint_fifo_depth = 64;
+  Cluster cluster(Topology::Bus(2), SpecFor(DataType::kInt), config);
+  const sim::Cycle* now = cluster.engine().now_ptr();
+  sim::Cycle sender_done = 0, receiver_start = 0;
+  auto send = [&](Context& ctx) -> Kernel {
+    SendChannel ch = ctx.OpenSendChannel(70, DataType::kInt, 1, 0,
+                                         ctx.world());
+    for (int i = 0; i < 70; ++i) co_await ch.Push<std::int32_t>(i);
+    sender_done = *now;
+  };
+  auto recv = [&](Context& ctx) -> Kernel {
+    // The receiver sleeps long before popping anything.
+    co_await sim::WaitCycles{5000};
+    receiver_start = *now;
+    RecvChannel ch = ctx.OpenRecvChannel(70, DataType::kInt, 0, 0,
+                                         ctx.world());
+    for (int i = 0; i < 70; ++i) {
+      (void)co_await ch.Pop<std::int32_t>();
+    }
+  };
+  cluster.AddKernel(0, send(cluster.context(0)), "s");
+  cluster.AddKernel(1, recv(cluster.context(1)), "r");
+  cluster.Run();
+  EXPECT_LT(sender_done, receiver_start);  // sender ran ahead of the popper
+}
+
+}  // namespace
+}  // namespace smi::core

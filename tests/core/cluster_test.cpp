@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "core/smi.h"
+
+namespace smi::core {
+namespace {
+
+using net::Topology;
+using sim::Kernel;
+
+ProgramSpec P2pSpec() {
+  ProgramSpec spec;
+  spec.Add(OpSpec::Send(0, DataType::kInt));
+  spec.Add(OpSpec::Recv(0, DataType::kInt));
+  return spec;
+}
+
+TEST(Cluster, MpmdNeedsOneSpecPerRank) {
+  EXPECT_THROW(Cluster(Topology::Bus(4),
+                       std::vector<ProgramSpec>{P2pSpec(), P2pSpec()}),
+               ConfigError);
+}
+
+TEST(Cluster, RankRangeChecked) {
+  Cluster cluster(Topology::Bus(2), P2pSpec());
+  EXPECT_THROW(cluster.context(-1), ConfigError);
+  EXPECT_THROW(cluster.context(2), ConfigError);
+  EXPECT_THROW(cluster.AddMemoryBanks(5, 1, 1.0), ConfigError);
+}
+
+TEST(Cluster, RouteUploadRankMismatchRejected) {
+  Cluster cluster(Topology::Bus(4), P2pSpec());
+  const net::RoutingTable wrong(3);
+  EXPECT_THROW(cluster.UploadRoutes(wrong), ConfigError);
+}
+
+TEST(Cluster, ContextExposesWorld) {
+  Cluster cluster(Topology::Torus2D(2, 4), P2pSpec());
+  EXPECT_EQ(cluster.num_ranks(), 8);
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_EQ(cluster.context(r).rank(), r);
+    EXPECT_EQ(cluster.context(r).world_size(), 8);
+    EXPECT_EQ(cluster.context(r).world().GlobalRank(r), r);
+  }
+}
+
+TEST(Cluster, MemoryBanksPerRank) {
+  Cluster cluster(Topology::Bus(2), P2pSpec());
+  cluster.AddMemoryBanks(0, 3, 0.5);
+  EXPECT_EQ(cluster.context(0).num_memory_banks(), 3);
+  EXPECT_EQ(cluster.context(1).num_memory_banks(), 0);
+  EXPECT_THROW(cluster.context(0).memory_bank(3), ConfigError);
+  EXPECT_DOUBLE_EQ(cluster.context(0).memory_bank(2).words_per_cycle(), 0.5);
+}
+
+TEST(Cluster, OpenOnUndeclaredPortFails) {
+  Cluster cluster(Topology::Bus(2), P2pSpec());
+  Context& ctx = cluster.context(0);
+  EXPECT_THROW(ctx.OpenSendChannel(1, DataType::kInt, 1, 9, ctx.world()),
+               ConfigError);
+  EXPECT_THROW(ctx.OpenRecvChannel(1, DataType::kInt, 1, 9, ctx.world()),
+               ConfigError);
+  EXPECT_THROW(ctx.OpenBcastChannel(1, DataType::kInt, 0, 0, ctx.world()),
+               ConfigError);
+}
+
+TEST(Cluster, MpmdAsymmetricSpecs) {
+  // Rank 0 only sends; rank 1 only receives. Opening the wrong direction
+  // must fail on the rank whose fabric lacks the endpoint.
+  ProgramSpec send_only;
+  send_only.Add(OpSpec::Send(0, DataType::kInt));
+  ProgramSpec recv_only;
+  recv_only.Add(OpSpec::Recv(0, DataType::kInt));
+  Cluster cluster(Topology::Bus(2),
+                  std::vector<ProgramSpec>{send_only, recv_only});
+  Context& c0 = cluster.context(0);
+  Context& c1 = cluster.context(1);
+  EXPECT_NO_THROW(c0.OpenSendChannel(1, DataType::kInt, 1, 0, c0.world()));
+  EXPECT_THROW(c0.OpenRecvChannel(1, DataType::kInt, 1, 0, c0.world()),
+               ConfigError);
+  EXPECT_NO_THROW(c1.OpenRecvChannel(1, DataType::kInt, 0, 0, c1.world()));
+  EXPECT_THROW(c1.OpenSendChannel(1, DataType::kInt, 0, 0, c1.world()),
+               ConfigError);
+}
+
+TEST(Cluster, RunReportsLinkTraffic) {
+  Cluster cluster(Topology::Bus(2), P2pSpec());
+  auto send = [](Context& ctx) -> Kernel {
+    SendChannel ch = ctx.OpenSendChannel(70, DataType::kInt, 1, 0,
+                                         ctx.world());
+    for (int i = 0; i < 70; ++i) co_await ch.Push<std::int32_t>(i);
+  };
+  auto recv = [](Context& ctx) -> Kernel {
+    RecvChannel ch = ctx.OpenRecvChannel(70, DataType::kInt, 0, 0,
+                                         ctx.world());
+    for (int i = 0; i < 70; ++i) (void)co_await ch.Pop<std::int32_t>();
+  };
+  cluster.AddKernel(0, send(cluster.context(0)), "s");
+  cluster.AddKernel(1, recv(cluster.context(1)), "r");
+  const RunResult result = cluster.Run();
+  EXPECT_EQ(result.link_packets, 10u);  // 70 ints / 7 per packet
+  EXPECT_GT(result.microseconds, 0.0);
+  EXPECT_DOUBLE_EQ(result.seconds * 1e6, result.microseconds);
+}
+
+TEST(Cluster, SameRankCommunicationNeedsNoLinks) {
+  // Single-rank "cluster": loopback traffic through CKS->CKR never touches
+  // a serial link.
+  Cluster cluster(net::Topology(1, 2), P2pSpec());
+  std::vector<std::int32_t> sink;
+  auto send = [](Context& ctx) -> Kernel {
+    SendChannel ch = ctx.OpenSendChannel(20, DataType::kInt, 0, 0,
+                                         ctx.world());
+    for (int i = 0; i < 20; ++i) co_await ch.Push<std::int32_t>(i);
+  };
+  auto recv = [](Context& ctx, std::vector<std::int32_t>& s) -> Kernel {
+    RecvChannel ch = ctx.OpenRecvChannel(20, DataType::kInt, 0, 0,
+                                         ctx.world());
+    for (int i = 0; i < 20; ++i) s.push_back(co_await ch.Pop<std::int32_t>());
+  };
+  cluster.AddKernel(0, send(cluster.context(0)), "s");
+  cluster.AddKernel(0, recv(cluster.context(0), sink), "r");
+  const RunResult result = cluster.Run();
+  EXPECT_EQ(result.link_packets, 0u);
+  ASSERT_EQ(sink.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(sink[static_cast<std::size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace smi::core

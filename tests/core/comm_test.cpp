@@ -1,0 +1,46 @@
+#include "core/comm.h"
+
+#include <gtest/gtest.h>
+
+namespace smi::core {
+namespace {
+
+TEST(Communicator, WorldIsIdentity) {
+  const Communicator world = Communicator::World(8);
+  EXPECT_EQ(world.size(), 8);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(world.GlobalRank(i), i);
+    EXPECT_EQ(world.CommRank(i), i);
+    EXPECT_TRUE(world.Contains(i));
+  }
+}
+
+TEST(Communicator, CustomMapping) {
+  const Communicator comm({5, 2, 7});
+  EXPECT_EQ(comm.size(), 3);
+  EXPECT_EQ(comm.GlobalRank(0), 5);
+  EXPECT_EQ(comm.GlobalRank(2), 7);
+  EXPECT_EQ(comm.CommRank(2), 1);
+  EXPECT_FALSE(comm.Contains(0));
+  EXPECT_THROW(comm.CommRank(0), ConfigError);
+  EXPECT_THROW(comm.GlobalRank(3), ConfigError);
+  EXPECT_THROW(comm.GlobalRank(-1), ConfigError);
+}
+
+TEST(Communicator, RejectsInvalid) {
+  EXPECT_THROW(Communicator({}), ConfigError);
+  EXPECT_THROW(Communicator({1, 1}), ConfigError);
+  EXPECT_THROW(Communicator({-2}), ConfigError);
+  EXPECT_THROW(Communicator::World(0), ConfigError);
+}
+
+TEST(Communicator, Subset) {
+  const Communicator comm({5, 2, 7, 0});
+  const Communicator sub = comm.Subset({3, 1});
+  EXPECT_EQ(sub.size(), 2);
+  EXPECT_EQ(sub.GlobalRank(0), 0);
+  EXPECT_EQ(sub.GlobalRank(1), 2);
+}
+
+}  // namespace
+}  // namespace smi::core

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "core/smi.h"
+
+namespace smi::core {
+namespace {
+
+using net::Topology;
+using sim::Kernel;
+
+/// Random-traffic property sweep: on the paper's 2x4 torus, every rank
+/// simultaneously streams a pseudo-random message to a pseudo-random
+/// destination (all on the same port, distinct source/destination pairs),
+/// while the fabric multiplexes everything over shared links. Every byte
+/// must arrive, in order, regardless of the contention pattern — the
+/// packet-switching guarantee of §4.2.
+class RandomTraffic : public ::testing::TestWithParam<int> {};
+
+Kernel SendMsg(Context& ctx, int dst, int len, unsigned seed) {
+  SendChannel ch = ctx.OpenSendChannel(len, DataType::kInt, dst, 0,
+                                       ctx.world());
+  std::mt19937 rng(seed);
+  for (int i = 0; i < len; ++i) {
+    co_await ch.Push<std::int32_t>(static_cast<std::int32_t>(rng()));
+  }
+}
+
+Kernel RecvMsg(Context& ctx, int src, int len, unsigned seed, char& ok) {
+  RecvChannel ch = ctx.OpenRecvChannel(len, DataType::kInt, src, 0,
+                                       ctx.world());
+  std::mt19937 rng(seed);
+  ok = true;
+  for (int i = 0; i < len; ++i) {
+    const std::int32_t got = co_await ch.Pop<std::int32_t>();
+    if (got != static_cast<std::int32_t>(rng())) ok = false;
+  }
+}
+
+TEST_P(RandomTraffic, AllToAllPermutationDeliversEverything) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  const int n = 8;
+  // Random permutation with no fixed points: every rank sends to exactly
+  // one other rank and receives from exactly one.
+  std::vector<int> perm(n);
+  for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  do {
+    std::shuffle(perm.begin(), perm.end(), rng);
+  } while ([&] {
+    for (int i = 0; i < n; ++i) {
+      if (perm[static_cast<std::size_t>(i)] == i) return true;
+    }
+    return false;
+  }());
+
+  ProgramSpec spec;
+  spec.Add(OpSpec::Send(0, DataType::kInt));
+  spec.Add(OpSpec::Recv(0, DataType::kInt));
+  Cluster cluster(Topology::Torus2D(2, 4), spec);
+  std::vector<char> ok(static_cast<std::size_t>(n), 0);
+  std::vector<int> lens(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    lens[static_cast<std::size_t>(r)] =
+        1 + static_cast<int>(rng() % 400u);
+  }
+  for (int r = 0; r < n; ++r) {
+    const int dst = perm[static_cast<std::size_t>(r)];
+    const int len = lens[static_cast<std::size_t>(r)];
+    const unsigned seed = static_cast<unsigned>(GetParam() * 131 + r);
+    cluster.AddKernel(r, SendMsg(cluster.context(r), dst, len, seed), "s");
+    // dst receives from r with r's length and seed.
+    char& flag = ok[static_cast<std::size_t>(dst)];
+    cluster.AddKernel(dst, RecvMsg(cluster.context(dst), r, len, seed, flag),
+                      "r");
+  }
+  cluster.Run();
+  for (int r = 0; r < n; ++r) {
+    EXPECT_TRUE(ok[static_cast<std::size_t>(r)]) << "receiver " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTraffic, ::testing::Range(0, 12));
+
+TEST(IntegrationStress, ManyToOneIncast) {
+  // All 7 other ranks stream to rank 0 on distinct ports; the receiver
+  // drains them with 7 independent kernels (incast stresses the CKR
+  // crossbar and port-level fairness).
+  const int n = 8;
+  ProgramSpec spec;
+  for (int p = 0; p < n - 1; ++p) {
+    spec.Add(OpSpec::Send(p, DataType::kInt));
+    spec.Add(OpSpec::Recv(p, DataType::kInt));
+  }
+  Cluster cluster(Topology::Torus2D(2, 4), spec);
+  std::vector<char> ok(static_cast<std::size_t>(n - 1), 0);
+  for (int src = 1; src < n; ++src) {
+    const int port = src - 1;
+    const unsigned seed = 777u + static_cast<unsigned>(src);
+    auto send = [](Context& ctx, int port_, unsigned seed_) -> Kernel {
+      SendChannel ch = ctx.OpenSendChannel(300, DataType::kInt, 0, port_,
+                                           ctx.world());
+      std::mt19937 r(seed_);
+      for (int i = 0; i < 300; ++i) {
+        co_await ch.Push<std::int32_t>(static_cast<std::int32_t>(r()));
+      }
+    };
+    auto recv = [](Context& ctx, int src_, int port_, unsigned seed_,
+                   char& flag) -> Kernel {
+      RecvChannel ch = ctx.OpenRecvChannel(300, DataType::kInt, src_, port_,
+                                           ctx.world());
+      std::mt19937 r(seed_);
+      flag = true;
+      for (int i = 0; i < 300; ++i) {
+        if (co_await ch.Pop<std::int32_t>() !=
+            static_cast<std::int32_t>(r())) {
+          flag = false;
+        }
+      }
+    };
+    cluster.AddKernel(src, send(cluster.context(src), port, seed), "s");
+    cluster.AddKernel(0, recv(cluster.context(0), src, port, seed,
+                              ok[static_cast<std::size_t>(port)]),
+                      "r");
+  }
+  cluster.Run();
+  for (int p = 0; p < n - 1; ++p) {
+    EXPECT_TRUE(ok[static_cast<std::size_t>(p)]) << "port " << p;
+  }
+}
+
+TEST(IntegrationStress, CollectiveAndP2pCoexist) {
+  // A broadcast on port 0 runs concurrently with p2p streams on port 1
+  // crossing the same links.
+  ProgramSpec spec;
+  spec.Add(OpSpec::Bcast(0, DataType::kFloat));
+  spec.Add(OpSpec::Send(1, DataType::kInt));
+  spec.Add(OpSpec::Recv(1, DataType::kInt));
+  Cluster cluster(Topology::Torus2D(2, 4), spec);
+  std::vector<std::vector<float>> bc(8);
+  std::vector<std::int32_t> p2p;
+  auto bcast = [](Context& ctx, std::vector<float>& sink) -> Kernel {
+    BcastChannel chan =
+        ctx.OpenBcastChannel(100, DataType::kFloat, 0, 0, ctx.world());
+    for (int i = 0; i < 100; ++i) {
+      float v = ctx.rank() == 0 ? static_cast<float>(i) : -1.0f;
+      co_await chan.Bcast(v);
+      sink.push_back(v);
+    }
+  };
+  auto send = [](Context& ctx) -> Kernel {
+    SendChannel ch = ctx.OpenSendChannel(200, DataType::kInt, 5, 1,
+                                         ctx.world());
+    for (int i = 0; i < 200; ++i) co_await ch.Push<std::int32_t>(i * 3);
+  };
+  auto recv = [](Context& ctx, std::vector<std::int32_t>& s) -> Kernel {
+    RecvChannel ch = ctx.OpenRecvChannel(200, DataType::kInt, 2, 1,
+                                         ctx.world());
+    for (int i = 0; i < 200; ++i) {
+      s.push_back(co_await ch.Pop<std::int32_t>());
+    }
+  };
+  for (int r = 0; r < 8; ++r) {
+    cluster.AddKernel(r, bcast(cluster.context(r),
+                               bc[static_cast<std::size_t>(r)]),
+                      "bcast");
+  }
+  cluster.AddKernel(2, send(cluster.context(2)), "p2p-send");
+  cluster.AddKernel(5, recv(cluster.context(5), p2p), "p2p-recv");
+  cluster.Run();
+  for (int r = 0; r < 8; ++r) {
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_EQ(bc[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)],
+                static_cast<float>(i));
+    }
+  }
+  ASSERT_EQ(p2p.size(), 200u);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(p2p[static_cast<std::size_t>(i)], i * 3);
+  }
+}
+
+TEST(IntegrationStress, DeterministicCyclesAcrossRepeats) {
+  auto run = [] {
+    ProgramSpec spec;
+    spec.Add(OpSpec::Reduce(0, DataType::kFloat));
+    Cluster cluster(Topology::Torus2D(2, 4), spec);
+    auto app = [](Context& ctx) -> Kernel {
+      ReduceChannel chan = ctx.OpenReduceChannel(
+          500, DataType::kFloat, ReduceOp::kAdd, 0, 0, ctx.world(), 16);
+      for (int i = 0; i < 500; ++i) {
+        float rcv = 0.0f;
+        co_await chan.Reduce(static_cast<float>(i), rcv);
+      }
+    };
+    for (int r = 0; r < 8; ++r) {
+      cluster.AddKernel(r, app(cluster.context(r)), "app");
+    }
+    return cluster.Run().cycles;
+  };
+  const sim::Cycle first = run();
+  EXPECT_EQ(run(), first);
+  EXPECT_EQ(run(), first);
+}
+
+}  // namespace
+}  // namespace smi::core

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/smi.h"
+
+namespace smi::core {
+namespace {
+
+using net::Topology;
+using sim::Kernel;
+
+/// Listing 1 of the paper: an MPMD program with two ranks. Rank 0 streams N
+/// integers to rank 1 on port 0; rank 1 receives and transforms them.
+Kernel Rank0(Context& ctx, int n) {
+  SendChannel chs = ctx.OpenSendChannel(n, DataType::kInt, /*destination=*/1,
+                                        /*port=*/0, ctx.world());
+  for (int i = 0; i < n; ++i) {
+    co_await chs.Push<std::int32_t>(i * 3);
+  }
+}
+
+Kernel Rank1(Context& ctx, int n, std::vector<std::int32_t>& sink) {
+  RecvChannel chr = ctx.OpenRecvChannel(n, DataType::kInt, /*source=*/0,
+                                        /*port=*/0, ctx.world());
+  for (int i = 0; i < n; ++i) {
+    sink.push_back(co_await chr.Pop<std::int32_t>());
+  }
+}
+
+ProgramSpec P2pSpec() {
+  ProgramSpec spec;
+  spec.Add(OpSpec::Send(0, DataType::kInt));
+  spec.Add(OpSpec::Recv(0, DataType::kInt));
+  return spec;
+}
+
+TEST(P2p, Listing1TwoRankStream) {
+  Cluster cluster(Topology::Bus(2), P2pSpec());
+  std::vector<std::int32_t> sink;
+  cluster.AddKernel(0, Rank0(cluster.context(0), 100), "rank0");
+  cluster.AddKernel(1, Rank1(cluster.context(1), 100, sink), "rank1");
+  cluster.Run();
+  ASSERT_EQ(sink.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sink[static_cast<std::size_t>(i)], i * 3);
+}
+
+TEST(P2p, MessageSmallerThanOnePacket) {
+  // 3 ints fit in a single packet (7 per packet); the tail flush must fire.
+  Cluster cluster(Topology::Bus(2), P2pSpec());
+  std::vector<std::int32_t> sink;
+  cluster.AddKernel(0, Rank0(cluster.context(0), 3), "rank0");
+  cluster.AddKernel(1, Rank1(cluster.context(1), 3, sink), "rank1");
+  cluster.Run();
+  EXPECT_EQ(sink, (std::vector<std::int32_t>{0, 3, 6}));
+}
+
+TEST(P2p, MessageNotMultipleOfPacket) {
+  Cluster cluster(Topology::Bus(2), P2pSpec());
+  std::vector<std::int32_t> sink;
+  cluster.AddKernel(0, Rank0(cluster.context(0), 23), "rank0");  // 3 packets + 2
+  cluster.AddKernel(1, Rank1(cluster.context(1), 23, sink), "rank1");
+  cluster.Run();
+  ASSERT_EQ(sink.size(), 23u);
+  EXPECT_EQ(sink[22], 66);
+}
+
+Kernel SendDoubles(Context& ctx, int dst, int n) {
+  SendChannel ch = ctx.OpenSendChannel(n, DataType::kDouble, dst, 1,
+                                       ctx.world());
+  for (int i = 0; i < n; ++i) {
+    co_await ch.Push<double>(i + 0.5);
+  }
+}
+
+Kernel RecvDoubles(Context& ctx, int src, int n, std::vector<double>& sink) {
+  RecvChannel ch = ctx.OpenRecvChannel(n, DataType::kDouble, src, 1,
+                                       ctx.world());
+  for (int i = 0; i < n; ++i) {
+    sink.push_back(co_await ch.Pop<double>());
+  }
+}
+
+TEST(P2p, DoubleDatatypePacksThreePerPacket) {
+  ProgramSpec spec;
+  spec.Add(OpSpec::Send(1, DataType::kDouble));
+  spec.Add(OpSpec::Recv(1, DataType::kDouble));
+  Cluster cluster(Topology::Bus(2), spec);
+  std::vector<double> sink;
+  cluster.AddKernel(0, SendDoubles(cluster.context(0), 1, 10), "s");
+  cluster.AddKernel(1, RecvDoubles(cluster.context(1), 0, 10, sink), "r");
+  cluster.Run();
+  ASSERT_EQ(sink.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sink[static_cast<std::size_t>(i)], i + 0.5);
+}
+
+TEST(P2p, MultiHopStreamAcrossBus) {
+  // Rank 0 -> rank 7 over a 7-hop bus: the paper's bandwidth scenario.
+  ProgramSpec spec = P2pSpec();
+  Cluster cluster(Topology::Bus(8), spec);
+  std::vector<std::int32_t> sink;
+  auto send = [](Context& ctx, int n) -> Kernel {
+    SendChannel ch = ctx.OpenSendChannel(n, DataType::kInt, 7, 0, ctx.world());
+    for (int i = 0; i < n; ++i) co_await ch.Push<std::int32_t>(i);
+  };
+  auto recv = [](Context& ctx, int n, std::vector<std::int32_t>& s) -> Kernel {
+    RecvChannel ch = ctx.OpenRecvChannel(n, DataType::kInt, 0, 0, ctx.world());
+    for (int i = 0; i < n; ++i) s.push_back(co_await ch.Pop<std::int32_t>());
+  };
+  cluster.AddKernel(0, send(cluster.context(0), 500), "s");
+  cluster.AddKernel(7, recv(cluster.context(7), 500, sink), "r");
+  cluster.Run();
+  ASSERT_EQ(sink.size(), 500u);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(sink[static_cast<std::size_t>(i)], i);
+}
+
+Kernel Relay(Context& ctx, int src, int dst, int n) {
+  RecvChannel in = ctx.OpenRecvChannel(n, DataType::kInt, src, 0, ctx.world());
+  SendChannel out = ctx.OpenSendChannel(n, DataType::kInt, dst, 0, ctx.world());
+  for (int i = 0; i < n; ++i) {
+    const std::int32_t v = co_await in.Pop<std::int32_t>();
+    co_await out.Push<std::int32_t>(v + 1);
+  }
+}
+
+TEST(P2p, ApplicationLevelPipelineAcrossRanks) {
+  // Rank 0 -> 1 -> 2 -> 3 with a +1 transformation at each hop, all on the
+  // same port: transient channels between distinct rank pairs.
+  ProgramSpec spec = P2pSpec();
+  Cluster cluster(Topology::Bus(4), spec);
+  std::vector<std::int32_t> sink;
+  auto send = [](Context& ctx, int n) -> Kernel {
+    SendChannel ch = ctx.OpenSendChannel(n, DataType::kInt, 1, 0, ctx.world());
+    for (int i = 0; i < n; ++i) co_await ch.Push<std::int32_t>(i);
+  };
+  auto recv = [](Context& ctx, int n, std::vector<std::int32_t>& s) -> Kernel {
+    RecvChannel ch = ctx.OpenRecvChannel(n, DataType::kInt, 2, 0, ctx.world());
+    for (int i = 0; i < n; ++i) s.push_back(co_await ch.Pop<std::int32_t>());
+  };
+  const int n = 64;
+  cluster.AddKernel(0, send(cluster.context(0), n), "s");
+  cluster.AddKernel(1, Relay(cluster.context(1), 0, 2, n), "relay1");
+  cluster.AddKernel(2, Relay(cluster.context(2), 1, 3, n), "relay2");
+  cluster.AddKernel(3, recv(cluster.context(3), n, sink), "r");
+  cluster.Run();
+  ASSERT_EQ(sink.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(sink[static_cast<std::size_t>(i)], i + 2);
+}
+
+TEST(P2p, SuccessiveTransientChannelsOnSamePort) {
+  // Two messages on the same port, one after the other: the second open
+  // reuses the endpoint ("transient channels").
+  ProgramSpec spec = P2pSpec();
+  Cluster cluster(Topology::Bus(2), spec);
+  std::vector<std::int32_t> sink;
+  auto send = [](Context& ctx) -> Kernel {
+    for (int msg = 0; msg < 3; ++msg) {
+      SendChannel ch =
+          ctx.OpenSendChannel(10, DataType::kInt, 1, 0, ctx.world());
+      for (int i = 0; i < 10; ++i) {
+        co_await ch.Push<std::int32_t>(msg * 100 + i);
+      }
+    }
+  };
+  auto recv = [](Context& ctx, std::vector<std::int32_t>& s) -> Kernel {
+    for (int msg = 0; msg < 3; ++msg) {
+      RecvChannel ch =
+          ctx.OpenRecvChannel(10, DataType::kInt, 0, 0, ctx.world());
+      for (int i = 0; i < 10; ++i) {
+        s.push_back(co_await ch.Pop<std::int32_t>());
+      }
+    }
+  };
+  cluster.AddKernel(0, send(cluster.context(0)), "s");
+  cluster.AddKernel(1, recv(cluster.context(1), sink), "r");
+  cluster.Run();
+  ASSERT_EQ(sink.size(), 30u);
+  EXPECT_EQ(sink[0], 0);
+  EXPECT_EQ(sink[10], 100);
+  EXPECT_EQ(sink[29], 209);
+}
+
+Kernel WideSender(Context& ctx, int n_packets) {
+  SendChannel ch = ctx.OpenSendChannel(n_packets * 7, DataType::kInt, 1, 0,
+                                       ctx.world());
+  std::int32_t vals[7];
+  for (int p = 0; p < n_packets; ++p) {
+    for (int e = 0; e < 7; ++e) vals[e] = p * 7 + e;
+    co_await ch.PushPacket<std::int32_t>(vals, 7);
+  }
+}
+
+Kernel WideReceiver(Context& ctx, int n_packets,
+                    std::vector<std::int32_t>& sink) {
+  RecvChannel ch = ctx.OpenRecvChannel(n_packets * 7, DataType::kInt, 0, 0,
+                                       ctx.world());
+  for (int p = 0; p < n_packets; ++p) {
+    const auto [data, n] = co_await ch.PopPacket<std::int32_t>();
+    for (int e = 0; e < n; ++e) sink.push_back(data[e]);
+  }
+}
+
+TEST(P2p, WideDatapathSustainsOnePacketPerCycle) {
+  ProgramSpec spec = P2pSpec();
+  Cluster cluster(Topology::Bus(2), spec);
+  std::vector<std::int32_t> sink;
+  const int packets = 1000;
+  cluster.AddKernel(0, WideSender(cluster.context(0), packets), "s");
+  cluster.AddKernel(1, WideReceiver(cluster.context(1), packets, sink), "r");
+  const RunResult result = cluster.Run();
+  ASSERT_EQ(sink.size(), 7000u);
+  for (int i = 0; i < 7000; ++i) EXPECT_EQ(sink[static_cast<std::size_t>(i)], i);
+  // Default R=8 arbitration: CKS services 8-packet bursts then scans 4
+  // other inputs, so steady state is 12 cycles per 8 packets (+ latency).
+  EXPECT_LE(result.cycles, 1000u * 12 / 8 + 400);
+}
+
+TEST(P2p, TypeMismatchThrows) {
+  ProgramSpec spec = P2pSpec();
+  Cluster cluster(Topology::Bus(2), spec);
+  auto bad = [](Context& ctx) -> Kernel {
+    SendChannel ch = ctx.OpenSendChannel(4, DataType::kInt, 1, 0, ctx.world());
+    co_await ch.Push<double>(1.0);  // declared SMI_INT
+  };
+  cluster.AddKernel(0, bad(cluster.context(0)), "bad");
+  EXPECT_THROW(cluster.Run(), ConfigError);
+}
+
+TEST(P2p, PushBeyondCountThrows) {
+  ProgramSpec spec = P2pSpec();
+  Cluster cluster(Topology::Bus(2), spec);
+  std::vector<std::int32_t> sink;
+  auto bad = [](Context& ctx) -> Kernel {
+    SendChannel ch = ctx.OpenSendChannel(2, DataType::kInt, 1, 0, ctx.world());
+    for (int i = 0; i < 3; ++i) co_await ch.Push<std::int32_t>(i);
+  };
+  cluster.AddKernel(0, bad(cluster.context(0)), "bad");
+  cluster.AddKernel(1, Rank1(cluster.context(1), 2, sink), "r");
+  EXPECT_THROW(cluster.Run(), ConfigError);
+}
+
+TEST(P2p, UnmatchedReceiveDeadlocks) {
+  // A receive with no matching send must trip the deadlock watchdog, with
+  // the port named in the diagnostic (§3.3: correctness is the user's
+  // responsibility; the tooling should at least say what hung).
+  ClusterConfig config;
+  config.engine.watchdog_cycles = 2000;
+  Cluster cluster(Topology::Bus(2), P2pSpec(), config);
+  std::vector<std::int32_t> sink;
+  cluster.AddKernel(1, Rank1(cluster.context(1), 5, sink), "orphan");
+  try {
+    cluster.Run();
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    EXPECT_NE(std::string(e.what()).find("SMI_Pop"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace smi::core

@@ -1,0 +1,67 @@
+#include "core/program.h"
+
+#include <gtest/gtest.h>
+
+namespace smi::core {
+namespace {
+
+TEST(ProgramSpec, PortDerivation) {
+  ProgramSpec spec;
+  spec.Add(OpSpec::Send(0, DataType::kInt));
+  spec.Add(OpSpec::Recv(1, DataType::kFloat));
+  spec.Add(OpSpec::Bcast(2, DataType::kFloat));
+  // send ports: p2p sends + collectives; recv: p2p recvs + collectives.
+  EXPECT_EQ(spec.SendPorts(), (std::vector<int>{0, 2}));
+  EXPECT_EQ(spec.RecvPorts(), (std::vector<int>{1, 2}));
+  EXPECT_EQ(spec.CollectiveOps().size(), 1u);
+}
+
+TEST(ProgramSpec, SendAndRecvShareAPort) {
+  // A port identifies an endpoint per direction; one send and one recv may
+  // coexist (used for bidirectional ping-pong on one port).
+  ProgramSpec spec;
+  spec.Add(OpSpec::Send(0, DataType::kInt));
+  spec.Add(OpSpec::Recv(0, DataType::kInt));
+  EXPECT_EQ(spec.SendPorts(), (std::vector<int>{0}));
+  EXPECT_EQ(spec.RecvPorts(), (std::vector<int>{0}));
+}
+
+TEST(ProgramSpec, PortConflictsRejected) {
+  ProgramSpec spec;
+  spec.Add(OpSpec::Send(0, DataType::kInt));
+  EXPECT_THROW(spec.Add(OpSpec::Send(0, DataType::kInt)), ConfigError);
+  EXPECT_THROW(spec.Add(OpSpec::Bcast(0, DataType::kInt)), ConfigError);
+  spec.Add(OpSpec::Reduce(1, DataType::kFloat));
+  EXPECT_THROW(spec.Add(OpSpec::Recv(1, DataType::kInt)), ConfigError);
+  EXPECT_THROW(spec.Add(OpSpec::Gather(1, DataType::kInt)), ConfigError);
+  EXPECT_THROW(spec.Add(OpSpec::Send(-1, DataType::kInt)), ConfigError);
+}
+
+TEST(ProgramSpec, JsonRoundTrip) {
+  ProgramSpec spec;
+  spec.Add(OpSpec::Send(0, DataType::kInt));
+  spec.Add(OpSpec::Recv(4, DataType::kDouble));
+  spec.Add(OpSpec::Reduce(2, DataType::kFloat));
+  spec.Add(OpSpec::Gather(7, DataType::kShort));
+  const ProgramSpec again = ProgramSpec::FromJson(spec.ToJson());
+  ASSERT_EQ(again.ops().size(), spec.ops().size());
+  for (std::size_t i = 0; i < spec.ops().size(); ++i) {
+    EXPECT_EQ(again.ops()[i].kind, spec.ops()[i].kind);
+    EXPECT_EQ(again.ops()[i].port, spec.ops()[i].port);
+    EXPECT_EQ(again.ops()[i].type, spec.ops()[i].type);
+  }
+}
+
+TEST(ProgramSpec, JsonRejectsUnknownKind) {
+  EXPECT_THROW(
+      ProgramSpec::FromJson(json::Parse(
+          R"({"ops":[{"kind":"sendrecv","port":0,"type":"SMI_INT"}]})")),
+      ParseError);
+  EXPECT_THROW(
+      ProgramSpec::FromJson(json::Parse(
+          R"({"ops":[{"kind":"send","port":0,"type":"SMI_BOOL"}]})")),
+      ParseError);
+}
+
+}  // namespace
+}  // namespace smi::core

@@ -1,0 +1,77 @@
+#include "core/types.h"
+
+#include <gtest/gtest.h>
+
+namespace smi::core {
+namespace {
+
+TEST(Types, SizesAndPacking) {
+  EXPECT_EQ(SizeOf(DataType::kChar), 1u);
+  EXPECT_EQ(SizeOf(DataType::kShort), 2u);
+  EXPECT_EQ(SizeOf(DataType::kInt), 4u);
+  EXPECT_EQ(SizeOf(DataType::kFloat), 4u);
+  EXPECT_EQ(SizeOf(DataType::kDouble), 8u);
+  // 28-byte payload.
+  EXPECT_EQ(ElementsPerPacket(DataType::kChar), 28u);
+  EXPECT_EQ(ElementsPerPacket(DataType::kShort), 14u);
+  EXPECT_EQ(ElementsPerPacket(DataType::kInt), 7u);
+  EXPECT_EQ(ElementsPerPacket(DataType::kFloat), 7u);
+  EXPECT_EQ(ElementsPerPacket(DataType::kDouble), 3u);
+}
+
+TEST(Types, CharCountFitsWireField) {
+  // 28 char elements per packet must fit the 5-bit count field (max 31).
+  EXPECT_LE(ElementsPerPacket(DataType::kChar), net::kMaxWireCount);
+}
+
+TEST(Types, ElementRoundTrip) {
+  EXPECT_EQ(Element::Of<float>(3.5f).As<float>(), 3.5f);
+  EXPECT_EQ(Element::Of<double>(-1e100).As<double>(), -1e100);
+  EXPECT_EQ(Element::Of<std::int32_t>(-42).As<std::int32_t>(), -42);
+  EXPECT_EQ(Element::Of<std::int8_t>(-7).As<std::int8_t>(), -7);
+}
+
+TEST(Types, ReduceOpsFloat) {
+  const Element a = Element::Of<float>(2.0f);
+  const Element b = Element::Of<float>(5.0f);
+  EXPECT_EQ(ApplyReduceOp(ReduceOp::kAdd, DataType::kFloat, a, b).As<float>(),
+            7.0f);
+  EXPECT_EQ(ApplyReduceOp(ReduceOp::kMax, DataType::kFloat, a, b).As<float>(),
+            5.0f);
+  EXPECT_EQ(ApplyReduceOp(ReduceOp::kMin, DataType::kFloat, a, b).As<float>(),
+            2.0f);
+}
+
+TEST(Types, ReduceIdentities) {
+  for (const DataType t : {DataType::kChar, DataType::kShort, DataType::kInt,
+                           DataType::kFloat, DataType::kDouble}) {
+    for (const ReduceOp op :
+         {ReduceOp::kAdd, ReduceOp::kMax, ReduceOp::kMin}) {
+      const Element id = ReduceIdentity(op, t);
+      // Folding any value with the identity returns the value.
+      const Element v = ApplyReduceOp(
+          op, t,
+          t == DataType::kDouble ? Element::Of<double>(13.0)
+          : t == DataType::kFloat ? Element::Of<float>(13.0f)
+          : t == DataType::kInt   ? Element::Of<std::int32_t>(13)
+          : t == DataType::kShort ? Element::Of<std::int16_t>(13)
+                                  : Element::Of<std::int8_t>(13),
+          id);
+      switch (t) {
+        case DataType::kDouble: EXPECT_EQ(v.As<double>(), 13.0); break;
+        case DataType::kFloat: EXPECT_EQ(v.As<float>(), 13.0f); break;
+        case DataType::kInt: EXPECT_EQ(v.As<std::int32_t>(), 13); break;
+        case DataType::kShort: EXPECT_EQ(v.As<std::int16_t>(), 13); break;
+        case DataType::kChar: EXPECT_EQ(v.As<std::int8_t>(), 13); break;
+      }
+    }
+  }
+}
+
+TEST(Types, Names) {
+  EXPECT_STREQ(DataTypeName(DataType::kFloat), "SMI_FLOAT");
+  EXPECT_STREQ(ReduceOpName(ReduceOp::kAdd), "SMI_ADD");
+}
+
+}  // namespace
+}  // namespace smi::core

@@ -1,0 +1,78 @@
+#include "net/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace smi::net {
+namespace {
+
+TEST(Packet, HeaderIsFourBytesPayloadTwentyEight) {
+  EXPECT_EQ(kPacketBytes, 32u);
+  EXPECT_EQ(kHeaderBytes, 4u);
+  EXPECT_EQ(kPayloadBytes, 28u);
+}
+
+TEST(Packet, HeaderEncodeDecodeRoundTrip) {
+  for (const std::uint8_t src : {0, 1, 7, 254, 255}) {
+    for (const std::uint8_t dst : {0, 3, 255}) {
+      for (const std::uint8_t port : {0, 5, 255}) {
+        for (const OpType op :
+             {OpType::kData, OpType::kSync, OpType::kCredit}) {
+          for (const std::uint8_t count : {0, 1, 7, 31}) {
+            Header h{src, dst, port, op, count};
+            EXPECT_EQ(Header::Decode(h.Encode()), h);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Packet, HeaderFieldsDoNotOverlap) {
+  Header h{0xAA, 0xBB, 0xCC, OpType::kCredit, 31};
+  const Header d = Header::Decode(h.Encode());
+  EXPECT_EQ(d.src, 0xAA);
+  EXPECT_EQ(d.dst, 0xBB);
+  EXPECT_EQ(d.port, 0xCC);
+  EXPECT_EQ(d.op, OpType::kCredit);
+  EXPECT_EQ(d.count, 31);
+}
+
+TEST(Packet, CountFieldIsFiveBits) {
+  Header h;
+  h.count = 31;
+  EXPECT_EQ(Header::Decode(h.Encode()).count, 31);
+  // The encoder masks anything wider than 5 bits.
+  h.count = 32;
+  EXPECT_EQ(Header::Decode(h.Encode()).count, 0);
+}
+
+TEST(Packet, PayloadStoreLoad) {
+  Packet p;
+  const double value = 3.14159;
+  p.StoreBytes(8, &value, sizeof(value));
+  double out = 0.0;
+  p.LoadBytes(8, &out, sizeof(out));
+  EXPECT_EQ(out, value);
+}
+
+TEST(Packet, WireImageRoundTrip) {
+  Packet p;
+  p.hdr = Header{12, 34, 56, OpType::kSync, 7};
+  for (std::size_t i = 0; i < kPayloadBytes; ++i) {
+    p.payload[i] = static_cast<std::uint8_t>(i * 3 + 1);
+  }
+  const Packet q = Packet::FromWire(p.ToWire());
+  EXPECT_EQ(q.hdr, p.hdr);
+  EXPECT_EQ(q.payload, p.payload);
+}
+
+TEST(Packet, DebugStringNamesFields) {
+  Packet p;
+  p.hdr = Header{1, 2, 3, OpType::kData, 4};
+  const std::string s = p.DebugString();
+  EXPECT_NE(s.find("data"), std::string::npos);
+  EXPECT_NE(s.find("dst=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smi::net

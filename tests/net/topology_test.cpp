@@ -1,0 +1,110 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+
+namespace smi::net {
+namespace {
+
+TEST(Topology, ConnectAndPeer) {
+  Topology t(4, 2);
+  t.Connect(PortId{0, 1}, PortId{1, 0});
+  ASSERT_TRUE(t.Peer(PortId{0, 1}).has_value());
+  EXPECT_EQ(t.Peer(PortId{0, 1})->rank, 1);
+  EXPECT_EQ(t.Peer(PortId{1, 0})->rank, 0);
+  EXPECT_FALSE(t.Peer(PortId{0, 0}).has_value());
+}
+
+TEST(Topology, RejectsInvalidWiring) {
+  Topology t(2, 2);
+  EXPECT_THROW(t.Connect(PortId{0, 0}, PortId{0, 1}), ConfigError);  // same rank
+  EXPECT_THROW(t.Connect(PortId{0, 0}, PortId{2, 0}), ConfigError);  // range
+  EXPECT_THROW(t.Connect(PortId{0, 5}, PortId{1, 0}), ConfigError);  // range
+  t.Connect(PortId{0, 0}, PortId{1, 0});
+  EXPECT_THROW(t.Connect(PortId{0, 0}, PortId{1, 1}), ConfigError);  // rewire
+  EXPECT_THROW(Topology(0, 1), ConfigError);
+  EXPECT_THROW(Topology(1, 0), ConfigError);
+}
+
+TEST(Topology, BusShape) {
+  const Topology t = Topology::Bus(8);
+  EXPECT_EQ(t.num_ranks(), 8);
+  EXPECT_EQ(t.Connections().size(), 7u);
+  EXPECT_TRUE(t.IsConnected());
+  // Interior rank: two neighbours; end ranks: one.
+  EXPECT_EQ(t.Neighbors(0).size(), 1u);
+  EXPECT_EQ(t.Neighbors(3).size(), 2u);
+  EXPECT_EQ(t.Neighbors(7).size(), 1u);
+}
+
+TEST(Topology, RingShape) {
+  const Topology t = Topology::Ring(6);
+  EXPECT_EQ(t.Connections().size(), 6u);
+  for (int r = 0; r < 6; ++r) EXPECT_EQ(t.Neighbors(r).size(), 2u);
+}
+
+TEST(Topology, Torus2x4MatchesPaperCluster) {
+  // The paper's cluster: 8 FPGAs in a 2D torus, all 4 QSFP ports of each
+  // FPGA wired to 4 distinct other FPGAs.
+  const Topology t = Topology::Torus2D(2, 4);
+  EXPECT_EQ(t.num_ranks(), 8);
+  EXPECT_EQ(t.ports_per_rank(), 4);
+  EXPECT_EQ(t.Connections().size(), 16u);  // 2 cables per rank average * 8
+  EXPECT_TRUE(t.IsConnected());
+  for (int r = 0; r < 8; ++r) {
+    const auto neighbors = t.Neighbors(r);
+    EXPECT_EQ(neighbors.size(), 4u);  // every port wired
+  }
+}
+
+TEST(Topology, Torus4x4EveryRankHasFourDistinctNeighbors) {
+  const Topology t = Topology::Torus2D(4, 4);
+  for (int r = 0; r < 16; ++r) {
+    std::set<int> distinct;
+    for (const auto& [nbr, port] : t.Neighbors(r)) distinct.insert(nbr);
+    EXPECT_EQ(distinct.size(), 4u);
+  }
+}
+
+TEST(Topology, CliqueShape) {
+  const Topology t = Topology::Clique(5);
+  EXPECT_EQ(t.ports_per_rank(), 4);
+  EXPECT_EQ(t.Connections().size(), 10u);
+  for (int r = 0; r < 5; ++r) EXPECT_EQ(t.Neighbors(r).size(), 4u);
+}
+
+TEST(Topology, DisconnectedIsDetected) {
+  Topology t(4, 2);
+  t.Connect(PortId{0, 0}, PortId{1, 0});
+  t.Connect(PortId{2, 0}, PortId{3, 0});
+  EXPECT_FALSE(t.IsConnected());
+}
+
+TEST(Topology, JsonRoundTrip) {
+  const Topology t = Topology::Torus2D(2, 4);
+  const Topology u = Topology::FromJson(t.ToJson());
+  EXPECT_EQ(u.num_ranks(), t.num_ranks());
+  EXPECT_EQ(u.ports_per_rank(), t.ports_per_rank());
+  EXPECT_EQ(u.Connections(), t.Connections());
+}
+
+TEST(Topology, JsonFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/smi_topo_test.json";
+  const Topology t = Topology::Bus(4);
+  json::WriteFile(path, t.ToJson());
+  const Topology u = Topology::LoadFile(path);
+  EXPECT_EQ(u.Connections(), t.Connections());
+}
+
+TEST(Topology, JsonRejectsMalformedConnections) {
+  EXPECT_THROW(
+      Topology::FromJson(json::Parse(
+          R"({"ranks":2,"ports_per_rank":1,"connections":[{"a":[0],"b":[1,0]}]})")),
+      ParseError);
+}
+
+}  // namespace
+}  // namespace smi::net

@@ -1,0 +1,86 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/component.h"
+
+namespace smi::sim {
+namespace {
+
+/// A component that forwards between two FIFOs, one element per cycle.
+class Forwarder final : public Component {
+ public:
+  Forwarder(Fifo<int>& in, Fifo<int>& out)
+      : Component("forwarder"), in_(&in), out_(&out) {}
+  void Step(Cycle now) override {
+    if (in_->CanPop(now) && out_->CanPush(now)) {
+      out_->Push(in_->Pop(now), now);
+      ++forwarded_;
+    }
+  }
+  int forwarded() const { return forwarded_; }
+
+ private:
+  Fifo<int>* in_;
+  Fifo<int>* out_;
+  int forwarded_ = 0;
+};
+
+Kernel Produce(Fifo<int>& out, int n) {
+  for (int i = 0; i < n; ++i) co_await fifo_push(out, i);
+}
+
+Kernel Consume(Fifo<int>& in, int n, int& last) {
+  for (int i = 0; i < n; ++i) last = co_await fifo_pop(in);
+}
+
+TEST(Engine, ComponentsAndKernelsInterleave) {
+  Engine engine;
+  Fifo<int>& a = engine.MakeFifo<int>("a", 4);
+  Fifo<int>& b = engine.MakeFifo<int>("b", 4);
+  Forwarder& fwd = engine.MakeComponent<Forwarder>(a, b);
+  int last = -1;
+  engine.AddKernel(Produce(a, 64), "p");
+  engine.AddKernel(Consume(b, 64, last), "c");
+  engine.Run();
+  EXPECT_EQ(fwd.forwarded(), 64);
+  EXPECT_EQ(last, 63);
+}
+
+TEST(Engine, RunForStopsEarly) {
+  Engine engine;
+  Fifo<int>& a = engine.MakeFifo<int>("a", 4);
+  int last = -1;
+  engine.AddKernel(Produce(a, 1000), "p");
+  engine.AddKernel(Consume(a, 1000, last), "c");
+  EXPECT_FALSE(engine.RunFor(10));
+  EXPECT_EQ(engine.now(), 10u);
+  EXPECT_TRUE(engine.RunFor(100000));
+}
+
+TEST(Engine, MaxCyclesGuardFires) {
+  EngineConfig config;
+  config.max_cycles = 100;
+  Engine engine(config);
+  Fifo<int>& a = engine.MakeFifo<int>("a", 1);
+  int last = -1;
+  engine.AddKernel(Produce(a, 1000), "p");
+  engine.AddKernel(Consume(a, 1000, last), "c");
+  EXPECT_THROW(engine.Run(), Error);
+}
+
+TEST(Engine, EmptyRunCompletesImmediately) {
+  Engine engine;
+  const RunStats stats = engine.Run();
+  EXPECT_EQ(stats.cycles, 0u);
+}
+
+TEST(Engine, ClockConversionMatchesFrequency) {
+  ClockConfig clock;  // 156.25 MHz default
+  EXPECT_DOUBLE_EQ(clock.CyclesToMicros(15625), 100.0);
+  // One 32 B packet per cycle at 156.25 MHz is exactly 40 Gbit/s.
+  EXPECT_DOUBLE_EQ(clock.GigabitsPerSecond(32, 1), 40.0);
+}
+
+}  // namespace
+}  // namespace smi::sim

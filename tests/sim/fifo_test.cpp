@@ -1,0 +1,143 @@
+#include "sim/fifo.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace smi::sim {
+namespace {
+
+TEST(Fifo, StartsEmpty) {
+  Fifo<int> f("f", 4);
+  EXPECT_FALSE(f.CanPop(0));
+  EXPECT_TRUE(f.CanPush(0));
+  EXPECT_EQ(f.occupancy(), 0u);
+}
+
+TEST(Fifo, PushNotVisibleUntilCommit) {
+  Fifo<int> f("f", 4);
+  f.Push(42, 0);
+  // Same cycle: the element is staged, not poppable.
+  EXPECT_FALSE(f.CanPop(0));
+  f.Commit();
+  EXPECT_TRUE(f.CanPop(1));
+  EXPECT_EQ(f.Pop(1), 42);
+}
+
+TEST(Fifo, OnePushPerCycle) {
+  Fifo<int> f("f", 4);
+  f.Push(1, 0);
+  EXPECT_FALSE(f.CanPush(0));  // write port busy this cycle
+  f.Commit();
+  EXPECT_TRUE(f.CanPush(1));
+}
+
+TEST(Fifo, OnePopPerCycle) {
+  Fifo<int> f("f", 4);
+  f.Push(1, 0);
+  f.Commit();
+  f.Push(2, 1);
+  f.Commit();
+  EXPECT_EQ(f.Pop(2), 1);
+  EXPECT_FALSE(f.CanPop(2));  // read port busy this cycle
+  f.Commit();
+  EXPECT_EQ(f.Pop(3), 2);
+}
+
+TEST(Fifo, PoppedSlotNotReusableSameCycle) {
+  Fifo<int> f("f", 1);
+  f.Push(1, 0);
+  f.Commit();
+  EXPECT_EQ(f.Pop(1), 1);
+  // Capacity 1, slot freed this cycle: a push must wait for the commit.
+  EXPECT_FALSE(f.CanPush(1));
+  f.Commit();
+  EXPECT_TRUE(f.CanPush(2));
+}
+
+TEST(Fifo, FifoOrderPreserved) {
+  Fifo<int> f("f", 8);
+  Cycle now = 0;
+  for (int i = 0; i < 8; ++i) {
+    f.Push(i, now++);
+    f.Commit();
+  }
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(f.Pop(now++), i);
+    f.Commit();
+  }
+}
+
+TEST(Fifo, BackpressureAtCapacity) {
+  Fifo<int> f("f", 3);
+  Cycle now = 0;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(f.CanPush(now));
+    f.Push(i, now++);
+    f.Commit();
+  }
+  EXPECT_FALSE(f.CanPush(now));
+  EXPECT_EQ(f.Pop(now++), 0);
+  f.Commit();
+  EXPECT_TRUE(f.CanPush(now));
+}
+
+TEST(Fifo, IllegalOperationsThrow) {
+  Fifo<int> f("f", 1);
+  EXPECT_THROW(f.Pop(0), ConfigError);
+  f.Push(1, 0);
+  EXPECT_THROW(f.Push(2, 0), ConfigError);
+  EXPECT_THROW((Fifo<int>("zero", 0)), ConfigError);
+}
+
+TEST(Fifo, FrontPeeksWithoutConsuming) {
+  Fifo<int> f("f", 2);
+  f.Push(7, 0);
+  f.Commit();
+  EXPECT_EQ(f.Front(1), 7);
+  EXPECT_EQ(f.Front(1), 7);  // peek is repeatable
+  EXPECT_EQ(f.Pop(1), 7);
+}
+
+TEST(Fifo, CommitReportsActivity) {
+  Fifo<int> f("f", 2);
+  EXPECT_FALSE(f.Commit());
+  f.Push(1, 1);
+  EXPECT_TRUE(f.Commit());
+  EXPECT_FALSE(f.Commit());
+  (void)f.Pop(3);
+  EXPECT_TRUE(f.Commit());
+}
+
+TEST(Fifo, CountersTrackTraffic) {
+  Fifo<int> f("f", 4);
+  Cycle now = 0;
+  for (int i = 0; i < 5; ++i) {
+    f.Push(i, now++);
+    f.Commit();
+    (void)f.Pop(now++);
+    f.Commit();
+  }
+  EXPECT_EQ(f.total_pushes(), 5u);
+  EXPECT_EQ(f.total_pops(), 5u);
+}
+
+TEST(Fifo, NonPowerOfTwoCapacityWrapsCorrectly) {
+  Fifo<int> f("f", 5);
+  Cycle now = 0;
+  // Push/pop more than 2x the ring size to exercise wraparound.
+  int next_push = 0;
+  int next_pop = 0;
+  for (int round = 0; round < 20; ++round) {
+    if (f.CanPush(now)) f.Push(next_push++, now);
+    if (f.CanPop(now)) {
+      EXPECT_EQ(f.Pop(now), next_pop++);
+    }
+    f.Commit();
+    ++now;
+  }
+  EXPECT_GT(next_pop, 10);
+}
+
+}  // namespace
+}  // namespace smi::sim

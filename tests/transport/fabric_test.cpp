@@ -1,0 +1,248 @@
+#include "transport/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/error.h"
+
+namespace smi::transport {
+namespace {
+
+using net::Header;
+using net::OpType;
+using net::Packet;
+using net::RoutingScheme;
+using net::RoutingTable;
+using net::Topology;
+using sim::Cycle;
+using sim::Engine;
+using sim::Kernel;
+using sim::fifo_pop;
+using sim::fifo_push;
+
+Packet MakePacket(int src, int dst, int port, std::uint32_t seq) {
+  Packet p;
+  p.hdr = Header{static_cast<std::uint8_t>(src),
+                 static_cast<std::uint8_t>(dst),
+                 static_cast<std::uint8_t>(port), OpType::kData, 7};
+  p.StoreBytes(0, &seq, sizeof(seq));
+  return p;
+}
+
+std::uint32_t Seq(const Packet& p) {
+  std::uint32_t seq = 0;
+  p.LoadBytes(0, &seq, sizeof(seq));
+  return seq;
+}
+
+Kernel SendPackets(PacketFifo& out, int src, int dst, int port, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await fifo_push(out, MakePacket(src, dst, port, static_cast<std::uint32_t>(i)));
+  }
+}
+
+Kernel RecvPackets(PacketFifo& in, int n, std::vector<std::uint32_t>& sink) {
+  for (int i = 0; i < n; ++i) {
+    sink.push_back(Seq(co_await fifo_pop(in)));
+  }
+}
+
+/// A fabric over `topo` with one send endpoint at `src_port` on every rank
+/// and one recv endpoint at the same port number.
+Fabric MakeSimpleFabric(Engine& engine, const Topology& topo, int port,
+                        FabricConfig config = {}) {
+  RankEndpoints eps;
+  eps.send_ports.insert(port);
+  eps.recv_ports.insert(port);
+  std::vector<RankEndpoints> all(static_cast<std::size_t>(topo.num_ranks()),
+                                 eps);
+  Fabric fabric(engine, topo, std::move(all), config);
+  fabric.UploadRoutes(net::ComputeRoutes(topo, RoutingScheme::kAuto));
+  return fabric;
+}
+
+TEST(Fabric, OneHopDelivery) {
+  Engine engine;
+  const Topology topo = Topology::Bus(2);
+  Fabric fabric = MakeSimpleFabric(engine, topo, 0);
+  std::vector<std::uint32_t> sink;
+  engine.AddKernel(SendPackets(fabric.SendEndpoint(0, 0), 0, 1, 0, 50), "s");
+  engine.AddKernel(RecvPackets(fabric.RecvEndpoint(1, 0), 50, sink), "r");
+  engine.Run();
+  ASSERT_EQ(sink.size(), 50u);
+  for (std::uint32_t i = 0; i < 50; ++i) EXPECT_EQ(sink[i], i);
+}
+
+TEST(Fabric, MultiHopDeliveryOnBus) {
+  Engine engine;
+  const Topology topo = Topology::Bus(8);
+  Fabric fabric = MakeSimpleFabric(engine, topo, 0);
+  std::vector<std::uint32_t> sink;
+  engine.AddKernel(SendPackets(fabric.SendEndpoint(0, 0), 0, 7, 0, 100), "s");
+  engine.AddKernel(RecvPackets(fabric.RecvEndpoint(7, 0), 100, sink), "r");
+  engine.Run();
+  ASSERT_EQ(sink.size(), 100u);
+  for (std::uint32_t i = 0; i < 100; ++i) EXPECT_EQ(sink[i], i);
+}
+
+TEST(Fabric, SameRankLoopback) {
+  // §3.1: channels can communicate between two applications within the same
+  // rank using matching ports.
+  Engine engine;
+  const Topology topo = Topology::Bus(2);
+  Fabric fabric = MakeSimpleFabric(engine, topo, 3);
+  std::vector<std::uint32_t> sink;
+  engine.AddKernel(SendPackets(fabric.SendEndpoint(0, 3), 0, 0, 3, 20), "s");
+  engine.AddKernel(RecvPackets(fabric.RecvEndpoint(0, 3), 20, sink), "r");
+  engine.Run();
+  ASSERT_EQ(sink.size(), 20u);
+}
+
+TEST(Fabric, CrossCkrPortForwarding) {
+  // Recv port 5 is owned by CKR 1 (5 mod 4); a packet arriving on a
+  // different network interface must cross the CKR crossbar to reach it.
+  Engine engine;
+  const Topology topo = Topology::Torus2D(2, 4);
+  RankEndpoints eps;
+  eps.send_ports.insert(5);
+  eps.recv_ports.insert(5);
+  std::vector<RankEndpoints> all(8, eps);
+  Fabric fabric(engine, topo, std::move(all));
+  fabric.UploadRoutes(net::ComputeRoutes(topo, RoutingScheme::kAuto));
+  std::vector<std::uint32_t> sink;
+  engine.AddKernel(SendPackets(fabric.SendEndpoint(0, 5), 0, 6, 5, 40), "s");
+  engine.AddKernel(RecvPackets(fabric.RecvEndpoint(6, 5), 40, sink), "r");
+  engine.Run();
+  ASSERT_EQ(sink.size(), 40u);
+  for (std::uint32_t i = 0; i < 40; ++i) EXPECT_EQ(sink[i], i);
+}
+
+TEST(Fabric, AllPairsOnTorus) {
+  // Every (src, dst) pair on the paper's 2x4 torus must deliver, in order.
+  Engine engine;
+  const Topology topo = Topology::Torus2D(2, 4);
+  Fabric fabric = MakeSimpleFabric(engine, topo, 0);
+  // One pair at a time to keep the check simple and deterministic.
+  for (int src = 0; src < 8; ++src) {
+    for (int dst = 0; dst < 8; ++dst) {
+      if (src == dst) continue;
+      Engine e2;
+      Fabric f2 = MakeSimpleFabric(e2, topo, 0);
+      std::vector<std::uint32_t> sink;
+      e2.AddKernel(SendPackets(f2.SendEndpoint(src, 0), src, dst, 0, 10), "s");
+      e2.AddKernel(RecvPackets(f2.RecvEndpoint(dst, 0), 10, sink), "r");
+      e2.Run();
+      ASSERT_EQ(sink.size(), 10u) << "src=" << src << " dst=" << dst;
+      for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(sink[i], i);
+    }
+  }
+}
+
+TEST(Fabric, TwoStreamsShareALinkFairly) {
+  // Two senders on rank 0 and rank 1, both sending to rank 3 on a bus:
+  // rank 1's CKS must interleave transit packets with local ones (packet
+  // switching, §4.2) and both streams must arrive completely.
+  Engine engine;
+  const Topology topo = Topology::Bus(4);
+  RankEndpoints eps;
+  eps.send_ports.insert(0);
+  eps.send_ports.insert(1);
+  eps.recv_ports.insert(0);
+  eps.recv_ports.insert(1);
+  std::vector<RankEndpoints> all(4, eps);
+  Fabric fabric(engine, topo, std::move(all));
+  fabric.UploadRoutes(net::ComputeRoutes(topo, RoutingScheme::kAuto));
+  std::vector<std::uint32_t> sink0, sink1;
+  engine.AddKernel(SendPackets(fabric.SendEndpoint(0, 0), 0, 3, 0, 200), "s0");
+  engine.AddKernel(SendPackets(fabric.SendEndpoint(1, 1), 1, 3, 1, 200), "s1");
+  engine.AddKernel(RecvPackets(fabric.RecvEndpoint(3, 0), 200, sink0), "r0");
+  engine.AddKernel(RecvPackets(fabric.RecvEndpoint(3, 1), 200, sink1), "r1");
+  engine.Run();
+  ASSERT_EQ(sink0.size(), 200u);
+  ASSERT_EQ(sink1.size(), 200u);
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(sink0[i], i);  // per-channel FIFO order preserved
+    EXPECT_EQ(sink1[i], i);
+  }
+}
+
+TEST(Fabric, RoutesReplaceableWithoutRebuild) {
+  // "If the interconnection topology changes ... the routing scheme merely
+  // needs to be recomputed and uploaded": replace torus routes with routes
+  // computed for a bus overlay of the same cabling subset.
+  Engine engine;
+  const Topology topo = Topology::Bus(4);
+  Fabric fabric = MakeSimpleFabric(engine, topo, 0);
+  // Upload a *different* valid table (recomputed; identical topology here,
+  // but exercising the upload path twice).
+  fabric.UploadRoutes(net::ComputeRoutes(topo, RoutingScheme::kUpDown));
+  std::vector<std::uint32_t> sink;
+  engine.AddKernel(SendPackets(fabric.SendEndpoint(0, 0), 0, 3, 0, 30), "s");
+  engine.AddKernel(RecvPackets(fabric.RecvEndpoint(3, 0), 30, sink), "r");
+  engine.Run();
+  EXPECT_EQ(sink.size(), 30u);
+}
+
+TEST(Fabric, MissingEndpointThrows) {
+  Engine engine;
+  const Topology topo = Topology::Bus(2);
+  Fabric fabric = MakeSimpleFabric(engine, topo, 0);
+  EXPECT_THROW(fabric.SendEndpoint(0, 9), ConfigError);
+  EXPECT_THROW(fabric.RecvEndpoint(1, 9), ConfigError);
+}
+
+TEST(Fabric, RejectsOversizedWireFields) {
+  Engine engine;
+  RankEndpoints eps;
+  eps.send_ports.insert(300);  // > 255
+  const Topology topo = Topology::Bus(2);
+  std::vector<RankEndpoints> all(2, eps);
+  EXPECT_THROW(Fabric(engine, topo, std::move(all)), ConfigError);
+}
+
+TEST(Fabric, InjectionLatencyIsFiveCyclesAtREqualsOne) {
+  // Table 4, R=1: the CKS has 5 incoming connections (1 application, the
+  // paired CKR, 3 other CKS) and polls one per cycle, so a lone saturating
+  // sender is serviced once every 5 cycles.
+  Engine engine;
+  const Topology topo = Topology::Torus2D(2, 4);
+  FabricConfig config;
+  config.poll_r = 1;
+  Fabric fabric = MakeSimpleFabric(engine, topo, 0, config);
+  std::vector<std::uint32_t> sink;
+  const int n = 400;
+  engine.AddKernel(SendPackets(fabric.SendEndpoint(0, 0), 0, 1, 0, n), "s");
+  engine.AddKernel(RecvPackets(fabric.RecvEndpoint(1, 0), n, sink), "r");
+  const sim::RunStats stats = engine.Run();
+  const double cycles_per_packet =
+      static_cast<double>(stats.cycles) / static_cast<double>(n);
+  EXPECT_NEAR(cycles_per_packet, 5.0, 0.5);
+}
+
+TEST(Fabric, HigherRImprovesInjectionRate) {
+  const Topology topo = Topology::Torus2D(2, 4);
+  auto measure = [&](int r) {
+    Engine engine;
+    FabricConfig config;
+    config.poll_r = r;
+    Fabric fabric = MakeSimpleFabric(engine, topo, 0, config);
+    std::vector<std::uint32_t> sink;
+    const int n = 800;
+    engine.AddKernel(SendPackets(fabric.SendEndpoint(0, 0), 0, 1, 0, n), "s");
+    engine.AddKernel(RecvPackets(fabric.RecvEndpoint(1, 0), n, sink), "r");
+    const sim::RunStats stats = engine.Run();
+    return static_cast<double>(stats.cycles) / static_cast<double>(n);
+  };
+  const double r1 = measure(1);
+  const double r4 = measure(4);
+  const double r8 = measure(8);
+  const double r16 = measure(16);
+  EXPECT_GT(r1, r4);
+  EXPECT_GT(r4, r8);
+  EXPECT_GE(r8, r16 - 0.01);
+}
+
+}  // namespace
+}  // namespace smi::transport
