@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bcast.dir/bench_bcast.cpp.o"
+  "CMakeFiles/bench_bcast.dir/bench_bcast.cpp.o.d"
+  "CMakeFiles/bench_bcast.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_bcast.dir/bench_common.cpp.o.d"
+  "bench_bcast"
+  "bench_bcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_collective_tree.dir/bench_collective_tree.cpp.o"
+  "CMakeFiles/bench_collective_tree.dir/bench_collective_tree.cpp.o.d"
+  "CMakeFiles/bench_collective_tree.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_collective_tree.dir/bench_common.cpp.o.d"
+  "bench_collective_tree"
+  "bench_collective_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_collective_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fifo_depth.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fifo_depth.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fifo_depth.dir/bench_fifo_depth.cpp.o"
+  "CMakeFiles/bench_fifo_depth.dir/bench_fifo_depth.cpp.o.d"
+  "bench_fifo_depth"
+  "bench_fifo_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fifo_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gesummv.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_gesummv.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_gesummv.dir/bench_gesummv.cpp.o"
+  "CMakeFiles/bench_gesummv.dir/bench_gesummv.cpp.o.d"
+  "bench_gesummv"
+  "bench_gesummv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gesummv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

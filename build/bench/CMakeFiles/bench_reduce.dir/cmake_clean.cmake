@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reduce.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_reduce.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_reduce.dir/bench_reduce.cpp.o"
+  "CMakeFiles/bench_reduce.dir/bench_reduce.cpp.o.d"
+  "bench_reduce"
+  "bench_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

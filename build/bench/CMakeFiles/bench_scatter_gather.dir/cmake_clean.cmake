@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scatter_gather.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_scatter_gather.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_scatter_gather.dir/bench_scatter_gather.cpp.o"
+  "CMakeFiles/bench_scatter_gather.dir/bench_scatter_gather.cpp.o.d"
+  "bench_scatter_gather"
+  "bench_scatter_gather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scatter_gather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stencil_strong.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_stencil_strong.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_stencil_strong.dir/bench_stencil_strong.cpp.o"
+  "CMakeFiles/bench_stencil_strong.dir/bench_stencil_strong.cpp.o.d"
+  "bench_stencil_strong"
+  "bench_stencil_strong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stencil_strong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

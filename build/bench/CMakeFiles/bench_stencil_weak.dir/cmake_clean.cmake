@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stencil_weak.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_stencil_weak.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_stencil_weak.dir/bench_stencil_weak.cpp.o"
+  "CMakeFiles/bench_stencil_weak.dir/bench_stencil_weak.cpp.o.d"
+  "bench_stencil_weak"
+  "bench_stencil_weak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stencil_weak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

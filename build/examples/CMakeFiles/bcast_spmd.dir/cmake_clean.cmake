@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcast_spmd.dir/bcast_spmd.cpp.o"
+  "CMakeFiles/bcast_spmd.dir/bcast_spmd.cpp.o.d"
+  "bcast_spmd"
+  "bcast_spmd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcast_spmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

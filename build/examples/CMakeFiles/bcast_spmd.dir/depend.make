@@ -1,0 +1,2 @@
+# Empty dependencies file for bcast_spmd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/gesummv.cpp" "examples/CMakeFiles/gesummv.dir/gesummv.cpp.o" "gcc" "examples/CMakeFiles/gesummv.dir/gesummv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codegen/CMakeFiles/smi_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/smi_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/smi_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/smi_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/smi_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/smi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/smi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gesummv.dir/gesummv.cpp.o"
+  "CMakeFiles/gesummv.dir/gesummv.cpp.o.d"
+  "gesummv"
+  "gesummv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gesummv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gesummv.
+# This may be replaced when dependencies are built.

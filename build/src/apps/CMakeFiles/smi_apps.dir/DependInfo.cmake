@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/gesummv.cpp" "src/apps/CMakeFiles/smi_apps.dir/gesummv.cpp.o" "gcc" "src/apps/CMakeFiles/smi_apps.dir/gesummv.cpp.o.d"
+  "/root/repo/src/apps/reference.cpp" "src/apps/CMakeFiles/smi_apps.dir/reference.cpp.o" "gcc" "src/apps/CMakeFiles/smi_apps.dir/reference.cpp.o.d"
+  "/root/repo/src/apps/stencil.cpp" "src/apps/CMakeFiles/smi_apps.dir/stencil.cpp.o" "gcc" "src/apps/CMakeFiles/smi_apps.dir/stencil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/smi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/smi_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/smi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/smi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

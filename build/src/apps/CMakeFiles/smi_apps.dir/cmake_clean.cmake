@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smi_apps.dir/gesummv.cpp.o"
+  "CMakeFiles/smi_apps.dir/gesummv.cpp.o.d"
+  "CMakeFiles/smi_apps.dir/reference.cpp.o"
+  "CMakeFiles/smi_apps.dir/reference.cpp.o.d"
+  "CMakeFiles/smi_apps.dir/stencil.cpp.o"
+  "CMakeFiles/smi_apps.dir/stencil.cpp.o.d"
+  "libsmi_apps.a"
+  "libsmi_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smi_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

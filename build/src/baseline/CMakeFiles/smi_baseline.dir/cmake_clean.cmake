@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smi_baseline.dir/host_model.cpp.o"
+  "CMakeFiles/smi_baseline.dir/host_model.cpp.o.d"
+  "libsmi_baseline.a"
+  "libsmi_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smi_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smi_codegen.dir/planner.cpp.o"
+  "CMakeFiles/smi_codegen.dir/planner.cpp.o.d"
+  "libsmi_codegen.a"
+  "libsmi_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smi_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

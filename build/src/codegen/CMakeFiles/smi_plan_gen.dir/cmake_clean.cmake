@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smi_plan_gen.dir/plan_gen_main.cpp.o"
+  "CMakeFiles/smi_plan_gen.dir/plan_gen_main.cpp.o.d"
+  "smi_plan_gen"
+  "smi_plan_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smi_plan_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

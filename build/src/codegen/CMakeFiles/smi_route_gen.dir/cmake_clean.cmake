@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smi_route_gen.dir/route_gen_main.cpp.o"
+  "CMakeFiles/smi_route_gen.dir/route_gen_main.cpp.o.d"
+  "smi_route_gen"
+  "smi_route_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smi_route_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

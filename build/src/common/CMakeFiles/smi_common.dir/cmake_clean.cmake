@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smi_common.dir/cli.cpp.o"
+  "CMakeFiles/smi_common.dir/cli.cpp.o.d"
+  "CMakeFiles/smi_common.dir/json.cpp.o"
+  "CMakeFiles/smi_common.dir/json.cpp.o.d"
+  "CMakeFiles/smi_common.dir/logging.cpp.o"
+  "CMakeFiles/smi_common.dir/logging.cpp.o.d"
+  "CMakeFiles/smi_common.dir/stats.cpp.o"
+  "CMakeFiles/smi_common.dir/stats.cpp.o.d"
+  "CMakeFiles/smi_common.dir/string_util.cpp.o"
+  "CMakeFiles/smi_common.dir/string_util.cpp.o.d"
+  "libsmi_common.a"
+  "libsmi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster.cpp" "src/core/CMakeFiles/smi_core.dir/cluster.cpp.o" "gcc" "src/core/CMakeFiles/smi_core.dir/cluster.cpp.o.d"
+  "/root/repo/src/core/coll_tree.cpp" "src/core/CMakeFiles/smi_core.dir/coll_tree.cpp.o" "gcc" "src/core/CMakeFiles/smi_core.dir/coll_tree.cpp.o.d"
+  "/root/repo/src/core/comm.cpp" "src/core/CMakeFiles/smi_core.dir/comm.cpp.o" "gcc" "src/core/CMakeFiles/smi_core.dir/comm.cpp.o.d"
+  "/root/repo/src/core/context.cpp" "src/core/CMakeFiles/smi_core.dir/context.cpp.o" "gcc" "src/core/CMakeFiles/smi_core.dir/context.cpp.o.d"
+  "/root/repo/src/core/program.cpp" "src/core/CMakeFiles/smi_core.dir/program.cpp.o" "gcc" "src/core/CMakeFiles/smi_core.dir/program.cpp.o.d"
+  "/root/repo/src/core/support.cpp" "src/core/CMakeFiles/smi_core.dir/support.cpp.o" "gcc" "src/core/CMakeFiles/smi_core.dir/support.cpp.o.d"
+  "/root/repo/src/core/support_tree.cpp" "src/core/CMakeFiles/smi_core.dir/support_tree.cpp.o" "gcc" "src/core/CMakeFiles/smi_core.dir/support_tree.cpp.o.d"
+  "/root/repo/src/core/types.cpp" "src/core/CMakeFiles/smi_core.dir/types.cpp.o" "gcc" "src/core/CMakeFiles/smi_core.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/smi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/smi_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smi_core.dir/cluster.cpp.o"
+  "CMakeFiles/smi_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/smi_core.dir/coll_tree.cpp.o"
+  "CMakeFiles/smi_core.dir/coll_tree.cpp.o.d"
+  "CMakeFiles/smi_core.dir/comm.cpp.o"
+  "CMakeFiles/smi_core.dir/comm.cpp.o.d"
+  "CMakeFiles/smi_core.dir/context.cpp.o"
+  "CMakeFiles/smi_core.dir/context.cpp.o.d"
+  "CMakeFiles/smi_core.dir/program.cpp.o"
+  "CMakeFiles/smi_core.dir/program.cpp.o.d"
+  "CMakeFiles/smi_core.dir/support.cpp.o"
+  "CMakeFiles/smi_core.dir/support.cpp.o.d"
+  "CMakeFiles/smi_core.dir/support_tree.cpp.o"
+  "CMakeFiles/smi_core.dir/support_tree.cpp.o.d"
+  "CMakeFiles/smi_core.dir/types.cpp.o"
+  "CMakeFiles/smi_core.dir/types.cpp.o.d"
+  "libsmi_core.a"
+  "libsmi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smi_net.dir/packet.cpp.o"
+  "CMakeFiles/smi_net.dir/packet.cpp.o.d"
+  "CMakeFiles/smi_net.dir/routing.cpp.o"
+  "CMakeFiles/smi_net.dir/routing.cpp.o.d"
+  "CMakeFiles/smi_net.dir/topology.cpp.o"
+  "CMakeFiles/smi_net.dir/topology.cpp.o.d"
+  "libsmi_net.a"
+  "libsmi_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smi_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resources/model.cpp" "src/resources/CMakeFiles/smi_resources.dir/model.cpp.o" "gcc" "src/resources/CMakeFiles/smi_resources.dir/model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/smi_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/smi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smi_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smi_resources.dir/model.cpp.o"
+  "CMakeFiles/smi_resources.dir/model.cpp.o.d"
+  "libsmi_resources.a"
+  "libsmi_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smi_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

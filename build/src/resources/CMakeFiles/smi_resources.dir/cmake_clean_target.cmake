@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmi_resources.a"
+)

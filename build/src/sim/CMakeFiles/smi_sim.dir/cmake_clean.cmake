@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smi_sim.dir/engine.cpp.o"
+  "CMakeFiles/smi_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/smi_sim.dir/memory.cpp.o"
+  "CMakeFiles/smi_sim.dir/memory.cpp.o.d"
+  "libsmi_sim.a"
+  "libsmi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/ckr.cpp" "src/transport/CMakeFiles/smi_transport.dir/ckr.cpp.o" "gcc" "src/transport/CMakeFiles/smi_transport.dir/ckr.cpp.o.d"
+  "/root/repo/src/transport/cks.cpp" "src/transport/CMakeFiles/smi_transport.dir/cks.cpp.o" "gcc" "src/transport/CMakeFiles/smi_transport.dir/cks.cpp.o.d"
+  "/root/repo/src/transport/fabric.cpp" "src/transport/CMakeFiles/smi_transport.dir/fabric.cpp.o" "gcc" "src/transport/CMakeFiles/smi_transport.dir/fabric.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/smi_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smi_transport.dir/ckr.cpp.o"
+  "CMakeFiles/smi_transport.dir/ckr.cpp.o.d"
+  "CMakeFiles/smi_transport.dir/cks.cpp.o"
+  "CMakeFiles/smi_transport.dir/cks.cpp.o.d"
+  "CMakeFiles/smi_transport.dir/fabric.cpp.o"
+  "CMakeFiles/smi_transport.dir/fabric.cpp.o.d"
+  "libsmi_transport.a"
+  "libsmi_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smi_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_collective.dir/core/collective_test.cpp.o"
+  "CMakeFiles/test_core_collective.dir/core/collective_test.cpp.o.d"
+  "CMakeFiles/test_core_collective.dir/core/comm_test.cpp.o"
+  "CMakeFiles/test_core_collective.dir/core/comm_test.cpp.o.d"
+  "CMakeFiles/test_core_collective.dir/core/program_test.cpp.o"
+  "CMakeFiles/test_core_collective.dir/core/program_test.cpp.o.d"
+  "CMakeFiles/test_core_collective.dir/core/tree_collective_test.cpp.o"
+  "CMakeFiles/test_core_collective.dir/core/tree_collective_test.cpp.o.d"
+  "CMakeFiles/test_core_collective.dir/core/types_test.cpp.o"
+  "CMakeFiles/test_core_collective.dir/core/types_test.cpp.o.d"
+  "test_core_collective"
+  "test_core_collective.pdb"
+  "test_core_collective[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

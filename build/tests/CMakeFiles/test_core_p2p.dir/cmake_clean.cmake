@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_p2p.dir/core/channel_edge_test.cpp.o"
+  "CMakeFiles/test_core_p2p.dir/core/channel_edge_test.cpp.o.d"
+  "CMakeFiles/test_core_p2p.dir/core/cluster_test.cpp.o"
+  "CMakeFiles/test_core_p2p.dir/core/cluster_test.cpp.o.d"
+  "CMakeFiles/test_core_p2p.dir/core/integration_stress_test.cpp.o"
+  "CMakeFiles/test_core_p2p.dir/core/integration_stress_test.cpp.o.d"
+  "CMakeFiles/test_core_p2p.dir/core/p2p_test.cpp.o"
+  "CMakeFiles/test_core_p2p.dir/core/p2p_test.cpp.o.d"
+  "test_core_p2p"
+  "test_core_p2p.pdb"
+  "test_core_p2p[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
