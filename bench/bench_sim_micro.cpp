@@ -57,6 +57,61 @@ void BM_EngineCyclesPerSecond(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineCyclesPerSecond)->Unit(benchmark::kMillisecond);
 
+// An idle-heavy stencil-like pattern on the paper's 8-rank torus: each rank
+// "computes" for ~1500 cycles (WaitCycles), then exchanges one small message
+// with its neighbour, repeated for a fixed number of timesteps. Nearly every
+// simulated cycle is idle, which is exactly what the event-driven scheduler
+// exploits — the synchronous scheduler still walks all ~800 FIFOs and 64
+// components on each of them. Arg(0) = synchronous, Arg(1) = event-driven.
+sim::Kernel IdleStencilRank(core::Context& ctx, int steps, int compute_cycles,
+                            std::uint64_t& sink) {
+  const int n = ctx.world().size();
+  const int right = (ctx.rank() + 1) % n;
+  for (int t = 0; t < steps; ++t) {
+    co_await sim::WaitCycles{static_cast<sim::Cycle>(compute_cycles)};
+    core::SendChannel chs = ctx.OpenSendChannel(
+        4, core::DataType::kInt, right, /*port=*/0, ctx.world());
+    core::RecvChannel chr = ctx.OpenRecvChannel(
+        4, core::DataType::kInt, (ctx.rank() + n - 1) % n, /*port=*/0,
+        ctx.world());
+    for (int i = 0; i < 4; ++i) {
+      co_await chs.Push<std::int32_t>(t * 4 + i);
+    }
+    for (int i = 0; i < 4; ++i) {
+      sink += static_cast<std::uint64_t>(co_await chr.Pop<std::int32_t>());
+    }
+  }
+}
+
+void BM_IdleHeavyStencil(benchmark::State& state) {
+  const auto kind = state.range(0) == 0 ? sim::SchedulerKind::kSynchronous
+                                        : sim::SchedulerKind::kEventDriven;
+  const net::Topology topo = net::Topology::Torus2D(2, 4);
+  std::uint64_t total_cycles = 0;
+  for (auto _ : state) {
+    core::ClusterConfig config;
+    config.engine.scheduler = kind;
+    core::Cluster cluster(topo, bench::P2pSpec(), config);
+    std::uint64_t sink = 0;
+    for (int r = 0; r < topo.num_ranks(); ++r) {
+      cluster.AddKernel(r,
+                        IdleStencilRank(cluster.context(r), /*steps=*/20,
+                                        /*compute_cycles=*/1500, sink),
+                        "stencil");
+    }
+    const core::RunResult result = cluster.Run();
+    total_cycles += result.cycles;
+    benchmark::DoNotOptimize(sink);
+  }
+  state.counters["sim_cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(total_cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_IdleHeavyStencil)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("event")
+    ->Unit(benchmark::kMillisecond);
+
 void BM_RouteGeneration(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const net::Topology topo =

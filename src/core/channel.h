@@ -44,6 +44,11 @@ class ChannelBase {
   /// implicitly closed (§3.1.1).
   bool closed() const { return transferred_ >= count_; }
 
+  /// True if the channel already performed its one operation of cycle `now`
+  /// (the II=1 guard). Used by the awaitables' wake hints: this is the only
+  /// failure mode that clears without endpoint-FIFO activity.
+  bool OpThisCycle(sim::Cycle now) const { return last_op_cycle_ == now; }
+
  protected:
   template <typename T>
   void CheckType() const {
@@ -114,6 +119,9 @@ class SendChannel : public ChannelBase {
     return detail::PushPacketAwaitable<T>(this, values, n);
   }
 
+  /// Endpoint FIFO backing this channel (for blocker wake hints).
+  const PacketFifo* endpoint_fifo() const { return fifo_; }
+
  private:
   template <typename T>
   friend struct detail::PushAwaitable;
@@ -156,6 +164,9 @@ class RecvChannel : public ChannelBase {
     CheckType<T>();
     return detail::PopPacketAwaitable<T>(this);
   }
+
+  /// Endpoint FIFO backing this channel (for blocker wake hints).
+  const PacketFifo* endpoint_fifo() const { return fifo_; }
 
  private:
   template <typename T>
@@ -292,6 +303,12 @@ struct PushAwaitable final : sim::detail::AwaitableBase<PushAwaitable<T>> {
   std::string Describe() const override {
     return "SMI_Push on port " + std::to_string(chan->port());
   }
+  void WatchFifos(std::vector<const sim::FifoBase*>& out) const override {
+    out.push_back(chan->endpoint_fifo());
+  }
+  sim::Cycle NextPollCycle(sim::Cycle now) const override {
+    return chan->OpThisCycle(now) ? now + 1 : sim::kNeverCycle;
+  }
   void await_resume() const noexcept {}
 };
 
@@ -303,6 +320,12 @@ struct PopAwaitable final : sim::detail::AwaitableBase<PopAwaitable<T>> {
   bool TryComplete(sim::Cycle now) override { return chan->TryPop(now, value); }
   std::string Describe() const override {
     return "SMI_Pop on port " + std::to_string(chan->port());
+  }
+  void WatchFifos(std::vector<const sim::FifoBase*>& out) const override {
+    out.push_back(chan->endpoint_fifo());
+  }
+  sim::Cycle NextPollCycle(sim::Cycle now) const override {
+    return chan->OpThisCycle(now) ? now + 1 : sim::kNeverCycle;
   }
   T await_resume() noexcept { return value; }
 };
@@ -325,6 +348,12 @@ struct PushPacketAwaitable final
   std::string Describe() const override {
     return "SMI_Push (wide) on port " + std::to_string(chan->port());
   }
+  void WatchFifos(std::vector<const sim::FifoBase*>& out) const override {
+    out.push_back(chan->endpoint_fifo());
+  }
+  sim::Cycle NextPollCycle(sim::Cycle now) const override {
+    return chan->OpThisCycle(now) ? now + 1 : sim::kNeverCycle;
+  }
   void await_resume() const noexcept {}
 };
 
@@ -340,6 +369,12 @@ struct PopPacketAwaitable final
   }
   std::string Describe() const override {
     return "SMI_Pop (wide) on port " + std::to_string(chan->port());
+  }
+  void WatchFifos(std::vector<const sim::FifoBase*>& out) const override {
+    out.push_back(chan->endpoint_fifo());
+  }
+  sim::Cycle NextPollCycle(sim::Cycle now) const override {
+    return chan->OpThisCycle(now) ? now + 1 : sim::kNeverCycle;
   }
   /// Returns (pointer, count); the data lives in the awaitable frame.
   std::pair<const T*, int> await_resume() noexcept {

@@ -32,12 +32,8 @@ void Cluster::Build(const net::Topology& topology,
       static_cast<std::size_t>(num_ranks_));
   for (int r = 0; r < num_ranks_; ++r) {
     const ProgramSpec& spec = specs[static_cast<std::size_t>(r)];
-    for (const int p : spec.SendPorts()) {
-      endpoints[static_cast<std::size_t>(r)].send_ports.insert(p);
-    }
-    for (const int p : spec.RecvPorts()) {
-      endpoints[static_cast<std::size_t>(r)].recv_ports.insert(p);
-    }
+    endpoints[static_cast<std::size_t>(r)].send_ports = spec.SendPorts();
+    endpoints[static_cast<std::size_t>(r)].recv_ports = spec.RecvPorts();
   }
   fabric_ = std::make_unique<transport::Fabric>(*engine_, topology,
                                                 std::move(endpoints),

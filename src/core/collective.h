@@ -189,6 +189,18 @@ class GatherChannel : public CollChannelBase {
 
 namespace detail {
 
+/// Wake-hint mixin shared by the collective awaitables: every failure path
+/// in their TryComplete is a CanPush on app_in or a CanPop on app_out, so
+/// watching those two FIFOs is sufficient and no timed poll is needed.
+template <typename Channel>
+struct CollWakeHints {
+  static void Watch(Channel* chan,
+                    std::vector<const sim::FifoBase*>& out) {
+    out.push_back(&chan->app_in());
+    out.push_back(&chan->app_out());
+  }
+};
+
 template <typename T>
 struct BcastAwaitable final : sim::detail::AwaitableBase<BcastAwaitable<T>> {
   BcastAwaitable(BcastChannel* c, T* d) : chan(c), data(d) {}
@@ -210,6 +222,12 @@ struct BcastAwaitable final : sim::detail::AwaitableBase<BcastAwaitable<T>> {
   std::string Describe() const override {
     return std::string("SMI_Bcast (") + (chan->is_root() ? "root" : "leaf") +
            ")";
+  }
+  void WatchFifos(std::vector<const sim::FifoBase*>& out) const override {
+    CollWakeHints<BcastChannel>::Watch(chan, out);
+  }
+  sim::Cycle NextPollCycle(sim::Cycle /*now*/) const override {
+    return sim::kNeverCycle;
   }
   void await_resume() const noexcept {}
 };
@@ -241,6 +259,12 @@ struct ReduceAwaitable final
   std::string Describe() const override {
     return std::string("SMI_Reduce (") + (chan->is_root() ? "root" : "leaf") +
            (pushed ? ", awaiting result)" : ", sending)");
+  }
+  void WatchFifos(std::vector<const sim::FifoBase*>& out) const override {
+    CollWakeHints<ReduceChannel>::Watch(chan, out);
+  }
+  sim::Cycle NextPollCycle(sim::Cycle /*now*/) const override {
+    return sim::kNeverCycle;
   }
   void await_resume() const noexcept {}
 };
@@ -283,6 +307,12 @@ struct ScatterAwaitable final
     return true;
   }
   std::string Describe() const override { return "SMI Scatter"; }
+  void WatchFifos(std::vector<const sim::FifoBase*>& out) const override {
+    CollWakeHints<ScatterChannel>::Watch(chan, out);
+  }
+  sim::Cycle NextPollCycle(sim::Cycle /*now*/) const override {
+    return sim::kNeverCycle;
+  }
   /// True if *rcv was written by this call.
   bool await_resume() const noexcept { return received; }
 };
@@ -322,6 +352,12 @@ struct GatherAwaitable final
     return true;
   }
   std::string Describe() const override { return "SMI Gather"; }
+  void WatchFifos(std::vector<const sim::FifoBase*>& out) const override {
+    CollWakeHints<GatherChannel>::Watch(chan, out);
+  }
+  sim::Cycle NextPollCycle(sim::Cycle /*now*/) const override {
+    return sim::kNeverCycle;
+  }
   bool await_resume() const noexcept { return received; }
 };
 

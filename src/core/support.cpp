@@ -266,6 +266,10 @@ Kernel ReduceSupportKernel(SupportCtx ctx) {
               MakeSync(ctx, pending_credits.back(), OpType::kCredit), now);
           pending_credits.pop_back();
         }
+        // NextCycle keeps the default poll-every-cycle wake hint, so the
+        // event-driven engine polls this multi-FIFO loop each cycle exactly
+        // like the synchronous one — but only while a reduce is in flight;
+        // between collectives the kernel parks on the app_in pop above.
         co_await NextCycle{};
       }
     } else {

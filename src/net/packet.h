@@ -54,12 +54,14 @@ struct Header {
   OpType op = OpType::kData;
   std::uint8_t count = 0;  ///< valid data items in the payload (<= 31)
 
-  /// Pack into the 32-bit wire representation.
+  /// Pack into the 32-bit wire representation. `op` is masked to its 3-bit
+  /// field: an out-of-range value must not bleed into the adjacent `count`
+  /// bits (Decode(Encode(h)) == h for all field extremes).
   std::uint32_t Encode() const {
     return static_cast<std::uint32_t>(src) |
            (static_cast<std::uint32_t>(dst) << 8) |
            (static_cast<std::uint32_t>(port) << 16) |
-           (static_cast<std::uint32_t>(op) << 24) |
+           ((static_cast<std::uint32_t>(op) & 0x7u) << 24) |
            (static_cast<std::uint32_t>(count & kMaxWireCount) << 27);
   }
 

@@ -11,11 +11,16 @@
 /// latency numbers.
 
 #include <cstdint>
+#include <limits>
 
 namespace smi::sim {
 
 /// Simulated clock cycle index.
 using Cycle = std::uint64_t;
+
+/// Sentinel cycle meaning "never": used by the event-driven scheduler for
+/// wakeups that are only triggered by FIFO activity, not by time.
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
 
 /// Clock configuration; converts cycle counts to wall-clock durations.
 struct ClockConfig {

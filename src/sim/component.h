@@ -4,15 +4,36 @@
 /// \file component.h
 /// Clocked component interface. Fixed-function hardware blocks (CKS/CKR,
 /// links, memory banks) are modelled as components whose `Step` method is
-/// invoked exactly once per cycle, after parked kernels have been polled and
-/// before FIFOs commit. A component may perform at most one operation per
-/// FIFO port per cycle — the FIFO enforces this.
+/// invoked once per cycle, after parked kernels have been polled and before
+/// FIFOs commit. A component may perform at most one operation per FIFO port
+/// per cycle — the FIFO enforces this.
+///
+/// Under the event-driven scheduler (see engine.h) a component is only
+/// stepped on cycles where it can possibly act. It opts into that by
+/// declaring its input FIFOs (DeclareWakeFifos) and reporting when it next
+/// needs a timed wakeup (NextSelfWake). The defaults — no declared FIFOs and
+/// a self-wake every cycle — make unmodified components behave exactly as
+/// under the synchronous scheduler: they are stepped every cycle.
+///
+/// Contract for opting in: on any cycle where the component is *not*
+/// stepped, its Step must have been a no-op (no FIFO operation, no state
+/// change). That holds whenever
+///   * every FIFO whose state can enable an action is declared via
+///     DeclareWakeFifos (a commit with activity on one of them wakes the
+///     component on the following cycle), and
+///   * NextSelfWake returns the earliest future cycle at which the
+///     component could act without any new FIFO activity (e.g. a link
+///     pipeline slot maturing), or kNeverCycle if there is none.
+/// Extra wakeups are always safe; a missed wakeup breaks cycle accuracy.
 
 #include <string>
+#include <vector>
 
 #include "sim/clock.h"
 
 namespace smi::sim {
+
+class FifoBase;
 
 class Component {
  public:
@@ -25,6 +46,18 @@ class Component {
 
   /// Advance one clock cycle.
   virtual void Step(Cycle now) = 0;
+
+  /// Append the FIFOs whose committed activity must wake this component.
+  /// Called by the engine when a run starts; the set must stay valid for the
+  /// whole run. Default: none (combined with the NextSelfWake default this
+  /// means "step me every cycle").
+  virtual void DeclareWakeFifos(std::vector<const FifoBase*>& /*out*/) const {}
+
+  /// Earliest future cycle (> now) at which this component could act even
+  /// without new activity on its declared FIFOs, or kNeverCycle if FIFO
+  /// activity is the only thing that can enable it. Called right after each
+  /// Step, once that cycle's FIFO commits are visible.
+  virtual Cycle NextSelfWake(Cycle now) const { return now + 1; }
 
  private:
   std::string name_;

@@ -1,5 +1,6 @@
 #include "sim/engine.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/error.h"
@@ -44,7 +45,7 @@ std::size_t Engine::pending_kernels() const {
   return pending;
 }
 
-bool Engine::StepCycle() {
+bool Engine::StepCycleSync() {
   bool progress = false;
 
   // Phase 1: poll parked kernels; resume the ones whose operation succeeds.
@@ -67,13 +68,232 @@ bool Engine::StepCycle() {
     component->Step(now_);
   }
 
-  // Phase 3: commit FIFOs; collect progress information.
+  // Phase 3: commit FIFOs; collect progress information. The dirty list is
+  // not needed here (every FIFO is visited) but must be drained so a later
+  // event-driven run does not see stale entries.
   for (const std::unique_ptr<FifoBase>& fifo : fifos_) {
     progress |= fifo->Commit();
+  }
+  dirty_fifos_.clear();
+
+  ++now_;
+  return progress;
+}
+
+void Engine::ScheduleComponent(std::size_t index, Cycle cycle) {
+  if (cycle == kNeverCycle) return;
+  ComponentRec& rec = comp_recs_[index];
+  if (cycle < rec.next_wake) {
+    rec.next_wake = cycle;
+    comp_heap_.emplace(cycle, index);
+  }
+}
+
+void Engine::ScheduleKernel(std::size_t index, Cycle cycle) {
+  if (cycle == kNeverCycle) return;
+  KernelSlot& slot = kernels_[index];
+  if (cycle < slot.next_poll) {
+    slot.next_poll = cycle;
+    kernel_heap_.emplace(cycle, index);
+  }
+}
+
+void Engine::RegisterWatch(std::size_t kernel_index) {
+  KernelSlot& slot = kernels_[kernel_index];
+  watch_scratch_.clear();
+  slot.kernel.promise().blocker->WatchFifos(watch_scratch_);
+  slot.watch_effective = false;
+  for (const FifoBase* fifo : watch_scratch_) {
+    // FIFOs owned by a different engine (or none) cannot wake us through the
+    // commit phase; the caller falls back to polling every cycle.
+    if (fifo == nullptr || fifo->sched_owner() != this) continue;
+    fifo_recs_[fifo->sched_index()].kernel_watchers.push_back(kernel_index);
+    slot.watching.push_back(fifo->sched_index());
+    slot.watch_effective = true;
+  }
+}
+
+void Engine::UnregisterWatch(std::size_t kernel_index) {
+  KernelSlot& slot = kernels_[kernel_index];
+  for (std::size_t fifo_index : slot.watching) {
+    auto& watchers = fifo_recs_[fifo_index].kernel_watchers;
+    watchers.erase(std::remove(watchers.begin(), watchers.end(), kernel_index),
+                   watchers.end());
+  }
+  slot.watching.clear();
+  slot.watch_effective = false;
+}
+
+void Engine::ParkKernel(std::size_t kernel_index) {
+  KernelSlot& slot = kernels_[kernel_index];
+  Kernel::promise_type& promise = slot.kernel.promise();
+  if (promise.blocker == nullptr) {
+    // Suspended without a blocker (should not happen with the provided
+    // awaitables); poll again next cycle — always correct.
+    ScheduleKernel(kernel_index, now_ + 1);
+    return;
+  }
+  RegisterWatch(kernel_index);
+  Cycle next = promise.blocker->NextPollCycle(now_);
+  if (!slot.watch_effective && next == kNeverCycle) next = now_ + 1;
+  ScheduleKernel(kernel_index, next);
+}
+
+void Engine::PrepareEventRun() {
+  comp_recs_.assign(components_.size(), ComponentRec{});
+  fifo_recs_.assign(fifos_.size(), FifoRec{});
+  comp_heap_ = WakeHeap();
+  kernel_heap_ = WakeHeap();
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    watch_scratch_.clear();
+    components_[i]->DeclareWakeFifos(watch_scratch_);
+    for (const FifoBase* fifo : watch_scratch_) {
+      if (fifo == nullptr || fifo->sched_owner() != this) continue;
+      fifo_recs_[fifo->sched_index()].component_subs.push_back(i);
+    }
+    ScheduleComponent(i, now_);
+  }
+  for (std::size_t i = 0; i < kernels_.size(); ++i) {
+    KernelSlot& slot = kernels_[i];
+    slot.next_poll = kNeverCycle;
+    slot.watching.clear();
+    slot.watch_effective = false;
+    if (slot.done) continue;
+    if (slot.kernel.promise().blocker != nullptr) RegisterWatch(i);
+    // Scheduling everything for an immediate poll/step is always safe; the
+    // wake machinery thins the schedule out from the second cycle on.
+    ScheduleKernel(i, now_);
+  }
+}
+
+bool Engine::StepCycleEvent() {
+  bool progress = false;
+
+  // Collect the entities due this cycle. Heap entries are lazily invalidated,
+  // so an entry only counts if it matches the entity's scheduled cycle.
+  // Indices are sorted so phases run in registration order, exactly like the
+  // synchronous scheduler.
+  due_kernels_.clear();
+  while (!kernel_heap_.empty() && kernel_heap_.top().first <= now_) {
+    const auto [cycle, index] = kernel_heap_.top();
+    kernel_heap_.pop();
+    if (kernels_[index].next_poll != cycle) continue;
+    kernels_[index].next_poll = kNeverCycle;
+    due_kernels_.push_back(index);
+  }
+  std::sort(due_kernels_.begin(), due_kernels_.end());
+  due_components_.clear();
+  while (!comp_heap_.empty() && comp_heap_.top().first <= now_) {
+    const auto [cycle, index] = comp_heap_.top();
+    comp_heap_.pop();
+    if (comp_recs_[index].next_wake != cycle) continue;
+    comp_recs_[index].next_wake = kNeverCycle;
+    due_components_.push_back(index);
+  }
+  std::sort(due_components_.begin(), due_components_.end());
+
+  // Phase 1: poll due kernels; resume the ones whose operation succeeds.
+  for (const std::size_t index : due_kernels_) {
+    KernelSlot& slot = kernels_[index];
+    if (slot.done) continue;
+    Kernel::promise_type& promise = slot.kernel.promise();
+    if (promise.blocker != nullptr) {
+      if (!promise.blocker->TryComplete(now_)) {
+        // Still blocked: re-arm the timed poll; FIFO watches stay in place.
+        Cycle next = promise.blocker->NextPollCycle(now_);
+        if (!slot.watch_effective && next == kNeverCycle) next = now_ + 1;
+        ScheduleKernel(index, next);
+        continue;
+      }
+      promise.blocker = nullptr;
+      UnregisterWatch(index);
+    }
+    ++kernel_resumes_;
+    progress = true;
+    slot.kernel.Resume();
+    CheckKernelException(slot);
+    if (!slot.done) ParkKernel(index);
+  }
+
+  // Phase 2: step due components.
+  for (const std::size_t index : due_components_) {
+    components_[index]->Step(now_);
+  }
+
+  // Phase 3: commit the FIFOs touched this cycle; a committed transfer wakes
+  // subscribed components and watching kernels for the next cycle (which is
+  // exactly when the transfer becomes visible to them).
+  for (FifoBase* fifo : dirty_fifos_) {
+    if (!fifo->Commit()) continue;
+    progress = true;
+    const FifoRec& rec = fifo_recs_[fifo->sched_index()];
+    for (const std::size_t sub : rec.component_subs) {
+      ScheduleComponent(sub, now_ + 1);
+    }
+    for (const std::size_t watcher : rec.kernel_watchers) {
+      ScheduleKernel(watcher, now_ + 1);
+    }
+  }
+  dirty_fifos_.clear();
+
+  // Phase 4: timed self-wakes, asked after the commits are visible.
+  for (const std::size_t index : due_components_) {
+    ScheduleComponent(index, components_[index]->NextSelfWake(now_));
   }
 
   ++now_;
   return progress;
+}
+
+Cycle Engine::NextEventCycle() {
+  while (!comp_heap_.empty() &&
+         comp_recs_[comp_heap_.top().second].next_wake !=
+             comp_heap_.top().first) {
+    comp_heap_.pop();
+  }
+  while (!kernel_heap_.empty() &&
+         kernels_[kernel_heap_.top().second].next_poll !=
+             kernel_heap_.top().first) {
+    kernel_heap_.pop();
+  }
+  Cycle next = kNeverCycle;
+  if (!comp_heap_.empty()) next = std::min(next, comp_heap_.top().first);
+  if (!kernel_heap_.empty()) next = std::min(next, kernel_heap_.top().first);
+  return next;
+}
+
+void Engine::JumpIdleCycles(Cycle target, bool accounted) {
+  if (target <= now_) return;
+  if (!accounted) {
+    now_ = target;
+    return;
+  }
+  // The skipped cycles would each have been a no-progress StepCycle; charge
+  // them to the watchdog and max-cycles guards so both fire at exactly the
+  // cycle the synchronous scheduler would have fired at. The watchdog is
+  // checked first on ties, matching the per-cycle check order.
+  const Cycle gap = target - now_;
+  const Cycle until_watchdog = config_.watchdog_cycles > idle_cycles_
+                                   ? config_.watchdog_cycles - idle_cycles_
+                                   : 1;
+  const Cycle until_max = config_.max_cycles != 0
+                              ? (config_.max_cycles > now_
+                                     ? config_.max_cycles - now_
+                                     : 1)
+                              : kNeverCycle;
+  if (until_watchdog <= gap && until_watchdog <= until_max) {
+    now_ += until_watchdog;
+    idle_cycles_ += until_watchdog;
+    RaiseDeadlock();
+  }
+  if (until_max <= gap) {
+    now_ += until_max;
+    idle_cycles_ += until_max;
+    throw Error("engine exceeded max_cycles=" +
+                std::to_string(config_.max_cycles));
+  }
+  now_ = target;
+  idle_cycles_ += gap;
 }
 
 void Engine::RaiseDeadlock() {
@@ -94,9 +314,34 @@ void Engine::RaiseDeadlock() {
   throw DeadlockError(oss.str());
 }
 
+RunStats Engine::FinishRun() const {
+  RunStats stats;
+  stats.cycles = now_;
+  stats.seconds = config_.clock.CyclesToSeconds(now_);
+  stats.kernel_resumes = kernel_resumes_;
+  return stats;
+}
+
 RunStats Engine::Run() {
+  if (config_.scheduler == SchedulerKind::kSynchronous) {
+    while (!AllAppKernelsDone()) {
+      const bool progress = StepCycleSync();
+      if (progress) {
+        idle_cycles_ = 0;
+      } else if (++idle_cycles_ >= config_.watchdog_cycles) {
+        RaiseDeadlock();
+      }
+      if (config_.max_cycles != 0 && now_ >= config_.max_cycles) {
+        throw Error("engine exceeded max_cycles=" +
+                    std::to_string(config_.max_cycles));
+      }
+    }
+    return FinishRun();
+  }
+
+  PrepareEventRun();
   while (!AllAppKernelsDone()) {
-    const bool progress = StepCycle();
+    const bool progress = StepCycleEvent();
     if (progress) {
       idle_cycles_ = 0;
     } else if (++idle_cycles_ >= config_.watchdog_cycles) {
@@ -106,17 +351,31 @@ RunStats Engine::Run() {
       throw Error("engine exceeded max_cycles=" +
                   std::to_string(config_.max_cycles));
     }
+    if (AllAppKernelsDone()) break;
+    const Cycle next = NextEventCycle();
+    if (next > now_) JumpIdleCycles(next, /*accounted=*/true);
   }
-  RunStats stats;
-  stats.cycles = now_;
-  stats.seconds = config_.clock.CyclesToSeconds(now_);
-  stats.kernel_resumes = kernel_resumes_;
-  return stats;
+  return FinishRun();
 }
 
 bool Engine::RunFor(Cycle cycles) {
-  for (Cycle i = 0; i < cycles && !AllAppKernelsDone(); ++i) {
-    StepCycle();
+  if (config_.scheduler == SchedulerKind::kSynchronous) {
+    for (Cycle i = 0; i < cycles && !AllAppKernelsDone(); ++i) {
+      StepCycleSync();
+    }
+    return AllAppKernelsDone();
+  }
+
+  PrepareEventRun();
+  const Cycle end = now_ + cycles;
+  while (now_ < end && !AllAppKernelsDone()) {
+    StepCycleEvent();
+    // The synchronous loop stops stepping the moment the last kernel
+    // finishes, leaving `now_` at the completion cycle — so re-check before
+    // jumping ahead.
+    if (now_ >= end || AllAppKernelsDone()) break;
+    const Cycle next = NextEventCycle();
+    if (next > now_) JumpIdleCycles(std::min(next, end), /*accounted=*/false);
   }
   return AllAppKernelsDone();
 }

@@ -2,14 +2,13 @@
 #define SMI_SIM_ENGINE_H
 
 /// \file engine.h
-/// The synchronous cycle engine that drives a simulated FPGA fabric.
+/// The cycle engine that drives a simulated FPGA fabric.
 ///
-/// Each cycle proceeds in three phases:
-///   1. every parked kernel's blocker is polled and, if the operation
-///      succeeds, the kernel coroutine is resumed until it parks again or
-///      finishes;
-///   2. every clocked component steps once;
-///   3. every FIFO commits, making this cycle's pushes/pops visible.
+/// Each simulated cycle proceeds in three phases:
+///   1. parked kernels' blockers are polled and, if the operation succeeds,
+///      the kernel coroutine is resumed until it parks again or finishes;
+///   2. clocked components step;
+///   3. FIFOs commit, making this cycle's pushes/pops visible.
 ///
 /// Readiness checks in phases 1 and 2 only observe state committed at the
 /// previous boundary, so results do not depend on registration order.
@@ -17,9 +16,51 @@
 /// number of cycles while non-daemon kernels are still pending — the
 /// simulated analogue of the user-caused communication deadlocks the paper
 /// warns about in §3.3.
+///
+/// ## Schedulers
+///
+/// Two schedulers implement those semantics:
+///
+/// * `SchedulerKind::kSynchronous` — the reference implementation: every
+///   parked kernel is polled, every component is stepped, and every FIFO is
+///   committed on every cycle.
+/// * `SchedulerKind::kEventDriven` (default) — an active-set scheduler that
+///   only visits entities that can possibly act:
+///     - FIFOs append themselves to a dirty list on the first push/pop of a
+///       cycle, so the commit phase only touches FIFOs with staged work;
+///     - components are woken when a FIFO they declared through
+///       `Component::DeclareWakeFifos` commits a transfer, or at the cycle
+///       they requested through `Component::NextSelfWake` (the polling
+///       arbiter inside CKS/CKR uses this to model its R-polling cost
+///       faithfully even across idle gaps);
+///     - parked kernels are re-polled when a FIFO reported by their
+///       blocker's `Blocker::WatchFifos` commits a transfer, or at the
+///       blocker's `NextPollCycle` (timed waits sleep until their deadline);
+///     - when no entity is due, the engine jumps `now` directly to the next
+///       scheduled event, charging the skipped cycles to the idle watchdog
+///       and max-cycles accounting exactly as if they had been stepped.
+///
+/// ### Bit-identical guarantee
+///
+/// The event-driven scheduler produces results bit-identical to the
+/// synchronous one — same `RunStats`, same FIFO traffic, same deadlock
+/// diagnostics at the same cycle. The argument: skipping an entity on a
+/// cycle is only allowed when its synchronous-mode action would have been a
+/// no-op. Components and blockers guarantee this through the wake contract
+/// (see component.h and kernel.h): any state change that could enable an
+/// action either flows through a declared/watched FIFO — whose commit wakes
+/// the entity on the next cycle, exactly when the change becomes visible —
+/// or happens at a self-reported future cycle. The defaults (no declared
+/// FIFOs, wake every cycle) are always safe, so unmodified components and
+/// blockers run exactly as before; opting in is purely an optimisation.
+/// Extra wakeups never change behaviour, only cost. A differential test
+/// (tests/sim/engine_differential_test.cpp) runs both schedulers over the
+/// same traffic patterns and asserts identical cycle counts, kernel resumes
+/// and payloads.
 
 #include <cstdint>
 #include <memory>
+#include <queue>
 #include <string>
 #include <vector>
 
@@ -30,6 +71,13 @@
 
 namespace smi::sim {
 
+/// Which cycle-stepping strategy the engine uses. Both produce bit-identical
+/// results; the event-driven one is faster the idler the fabric is.
+enum class SchedulerKind {
+  kSynchronous,
+  kEventDriven,
+};
+
 struct EngineConfig {
   ClockConfig clock;
   /// Cycles without any FIFO transfer or kernel resume before the watchdog
@@ -38,6 +86,8 @@ struct EngineConfig {
   Cycle watchdog_cycles = 100000;
   /// Hard cap on simulated cycles (0 = unlimited). A safety net for tests.
   Cycle max_cycles = 0;
+  /// Scheduler selection; see the file comment.
+  SchedulerKind scheduler = SchedulerKind::kEventDriven;
 };
 
 /// Result of a completed run.
@@ -64,12 +114,14 @@ class Engine {
   Fifo<T>& MakeFifo(std::string name, std::size_t capacity) {
     auto fifo = std::make_unique<Fifo<T>>(std::move(name), capacity);
     Fifo<T>& ref = *fifo;
+    ref.AttachScheduler(this, &dirty_fifos_, fifos_.size());
     fifos_.push_back(std::move(fifo));
     return ref;
   }
 
   /// Register a component; the engine takes ownership and steps it once per
-  /// cycle in registration order.
+  /// cycle in registration order (the event-driven scheduler skips cycles
+  /// where the component's wake contract proves Step would be a no-op).
   template <typename C, typename... Args>
   C& MakeComponent(Args&&... args) {
     auto component = std::make_unique<C>(std::forward<Args>(args)...);
@@ -100,13 +152,46 @@ class Engine {
     std::string name;
     bool daemon = false;
     bool done = false;
+    // Event-driven scheduling state.
+    Cycle next_poll = kNeverCycle;  ///< scheduled poll cycle (kNever = none)
+    std::vector<std::size_t> watching;  ///< FIFO indices with a watch entry
+    bool watch_effective = false;  ///< at least one watched FIFO is ours
   };
+  struct ComponentRec {
+    Cycle next_wake = kNeverCycle;  ///< scheduled step cycle (kNever = none)
+  };
+  struct FifoRec {
+    std::vector<std::size_t> component_subs;   ///< components to wake
+    std::vector<std::size_t> kernel_watchers;  ///< parked kernels to re-poll
+  };
+  /// Min-heap of (cycle, entity index) with lazy deletion: an entry is live
+  /// iff it matches the entity's currently scheduled cycle.
+  using WakeHeap =
+      std::priority_queue<std::pair<Cycle, std::size_t>,
+                          std::vector<std::pair<Cycle, std::size_t>>,
+                          std::greater<std::pair<Cycle, std::size_t>>>;
 
-  /// One simulation cycle; returns true if any progress happened.
-  bool StepCycle();
+  /// One synchronous simulation cycle; returns true if progress happened.
+  bool StepCycleSync();
+  /// One event-driven cycle (only due entities are visited); same semantics.
+  bool StepCycleEvent();
   bool AllAppKernelsDone() const;
   void CheckKernelException(KernelSlot& slot);
   [[noreturn]] void RaiseDeadlock();
+
+  // Event-driven machinery.
+  void PrepareEventRun();
+  void ScheduleComponent(std::size_t index, Cycle cycle);
+  void ScheduleKernel(std::size_t index, Cycle cycle);
+  void RegisterWatch(std::size_t kernel_index);
+  void UnregisterWatch(std::size_t kernel_index);
+  void ParkKernel(std::size_t kernel_index);
+  /// Earliest scheduled component/kernel cycle, or kNeverCycle if none.
+  Cycle NextEventCycle();
+  /// Advance `now_` to `target` (exclusive of any step), charging the
+  /// skipped cycles to watchdog/max-cycles accounting when `accounted`.
+  void JumpIdleCycles(Cycle target, bool accounted);
+  RunStats FinishRun() const;
 
   EngineConfig config_;
   Cycle now_ = 0;
@@ -115,6 +200,18 @@ class Engine {
   std::vector<std::unique_ptr<FifoBase>> fifos_;
   std::vector<std::unique_ptr<Component>> components_;
   std::vector<KernelSlot> kernels_;
+
+  // Event-driven scheduling state. `dirty_fifos_` is populated by the FIFOs
+  // themselves (via FifoBase::AttachScheduler) on their first push/pop of a
+  // cycle and drained by the commit phase.
+  std::vector<FifoBase*> dirty_fifos_;
+  std::vector<ComponentRec> comp_recs_;
+  std::vector<FifoRec> fifo_recs_;
+  WakeHeap comp_heap_;
+  WakeHeap kernel_heap_;
+  std::vector<std::size_t> due_components_;
+  std::vector<std::size_t> due_kernels_;
+  std::vector<const FifoBase*> watch_scratch_;
 };
 
 }  // namespace smi::sim

@@ -76,17 +76,34 @@ class FifoBase {
     visible_head_ = head_;
     push_used_ = false;
     pop_used_ = false;
+    dirty_ = false;
     return active;
   }
+
+  /// Register this FIFO with a scheduler's dirty list. Any push or pop then
+  /// appends the FIFO to `dirty_list` (once per cycle), so the owner only has
+  /// to commit FIFOs that were actually touched. `index` is the owner's
+  /// bookkeeping slot for this FIFO and `owner` identifies the scheduler so
+  /// foreign FIFOs can be told apart (see sched_owner()).
+  void AttachScheduler(const void* owner, std::vector<FifoBase*>* dirty_list,
+                       std::size_t index) {
+    sched_owner_ = owner;
+    dirty_list_ = dirty_list;
+    sched_index_ = index;
+  }
+  const void* sched_owner() const { return sched_owner_; }
+  std::size_t sched_index() const { return sched_index_; }
 
  protected:
   void RecordPush(Cycle /*now*/) {
     push_used_ = true;
     ++tail_;
+    MarkDirty();
   }
   void RecordPop(Cycle /*now*/) {
     pop_used_ = true;
     ++head_;
+    MarkDirty();
   }
 
   std::uint64_t head_ = 0;          ///< next pop position (live)
@@ -95,10 +112,21 @@ class FifoBase {
   std::uint64_t visible_tail_ = 0;  ///< tail at last cycle boundary
 
  private:
+  void MarkDirty() {
+    if (dirty_list_ != nullptr && !dirty_) {
+      dirty_ = true;
+      dirty_list_->push_back(this);
+    }
+  }
+
   std::string name_;
   std::size_t capacity_;
   bool push_used_ = false;
   bool pop_used_ = false;
+  bool dirty_ = false;
+  const void* sched_owner_ = nullptr;
+  std::vector<FifoBase*>* dirty_list_ = nullptr;
+  std::size_t sched_index_ = 0;
 };
 
 /// Typed hardware FIFO. Storage is a power-of-two ring buffer sized to the

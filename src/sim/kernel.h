@@ -34,6 +34,15 @@ namespace smi::sim {
 /// Interface polled by the engine while a kernel is parked. TryComplete must
 /// perform the pending operation and return true exactly when it succeeds;
 /// it is called at most once per cycle.
+///
+/// The event-driven scheduler (engine.h) only re-polls a parked kernel when
+/// one of the FIFOs reported by WatchFifos committed a transfer, or at the
+/// cycle reported by NextPollCycle, whichever comes first. A blocker that
+/// fails at cycle `c` must therefore keep failing until one of those events:
+/// WatchFifos must cover every FIFO whose activity could make TryComplete
+/// succeed, and NextPollCycle must bound any purely time-based completion.
+/// The defaults (no watched FIFOs, poll again at now+1) are always correct —
+/// they reproduce the synchronous engine's poll-every-cycle behaviour.
 class Blocker {
  public:
   virtual ~Blocker() = default;
@@ -41,6 +50,11 @@ class Blocker {
   virtual bool TryComplete(Cycle now) = 0;
   /// Human-readable description, used in deadlock diagnostics.
   virtual std::string Describe() const = 0;
+  /// Append the FIFOs whose committed activity could unblock this operation.
+  virtual void WatchFifos(std::vector<const FifoBase*>& /*out*/) const {}
+  /// Next cycle (> now) at which TryComplete could succeed without activity
+  /// on a watched FIFO; kNeverCycle if FIFO activity is the only trigger.
+  virtual Cycle NextPollCycle(Cycle now) const { return now + 1; }
 };
 
 /// Coroutine handle for a simulated kernel; move-only owner of the frame.
@@ -130,6 +144,10 @@ struct FifoPushAwaitable final
   std::string Describe() const override {
     return "push on FIFO '" + fifo->name() + "'";
   }
+  void WatchFifos(std::vector<const FifoBase*>& out) const override {
+    out.push_back(fifo);
+  }
+  Cycle NextPollCycle(Cycle /*now*/) const override { return kNeverCycle; }
   void await_resume() const noexcept {}
 
   Fifo<T>* fifo;
@@ -149,6 +167,10 @@ struct FifoPopAwaitable final : detail::AwaitableBase<FifoPopAwaitable<T>> {
   std::string Describe() const override {
     return "pop on FIFO '" + fifo->name() + "'";
   }
+  void WatchFifos(std::vector<const FifoBase*>& out) const override {
+    out.push_back(fifo);
+  }
+  Cycle NextPollCycle(Cycle /*now*/) const override { return kNeverCycle; }
   T await_resume() noexcept { return std::move(value); }
 
   Fifo<T>* fifo;
@@ -187,6 +209,10 @@ struct WaitCycles final : detail::AwaitableBase<WaitCycles> {
     return now >= deadline;
   }
   std::string Describe() const override { return "timed wait"; }
+  Cycle NextPollCycle(Cycle now) const override {
+    if (!armed) return now + 1;
+    return deadline > now ? deadline : now + 1;
+  }
   void await_resume() const noexcept {}
 
   Cycle remaining;

@@ -48,6 +48,23 @@ class Link final : public Component {
     }
   }
 
+  /// Event-driven wake contract. Activity on either FIFO wakes the link;
+  /// the only thing that can enable an action without FIFO activity is the
+  /// pipeline head maturing, so that is the lone timed wake. A matured head
+  /// stalled on a full RX FIFO needs no timer: only an RX pop (activity) can
+  /// unstall it, and a productive step touches tx/rx itself, which re-wakes
+  /// the link for the following cycle.
+  void DeclareWakeFifos(std::vector<const FifoBase*>& out) const override {
+    out.push_back(tx_);
+    out.push_back(rx_);
+  }
+  Cycle NextSelfWake(Cycle now) const override {
+    if (!in_flight_.empty() && in_flight_.front().ready_at > now) {
+      return in_flight_.front().ready_at;
+    }
+    return kNeverCycle;
+  }
+
   std::uint64_t delivered() const { return delivered_; }
   Cycle latency() const { return latency_; }
 

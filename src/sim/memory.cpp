@@ -68,10 +68,41 @@ bool MemoryBank::TryTransfer(Stream& s, Cycle now) {
   return true;
 }
 
+void MemoryBank::DeclareWakeFifos(std::vector<const FifoBase*>& out) const {
+  for (const Stream& s : streams_) out.push_back(s.fifo);
+}
+
+Cycle MemoryBank::NextSelfWake(Cycle now) const {
+  // While any stream could transfer (FIFO side permitting), the bank must
+  // run every cycle: the budget/round-robin arbitration is cycle-stateful.
+  // Otherwise only FIFO activity can re-enable a transfer.
+  for (const Stream& s : streams_) {
+    if (s.next_word >= s.end_word) continue;
+    if (s.is_read) {
+      if (s.fifo->occupancy() < s.fifo->capacity()) return now + 1;
+    } else {
+      if (s.fifo->occupancy() > 0) return now + 1;
+    }
+  }
+  return kNeverCycle;
+}
+
 void MemoryBank::Step(Cycle now) {
   if (streams_.empty()) return;
-  budget_ = std::min(budget_ + words_per_cycle_,
-                     words_per_cycle_ * 4.0 + 1.0);  // bounded burstiness
+  const double cap = words_per_cycle_ * 4.0 + 1.0;  // bounded burstiness
+  if (stepped_ && now > last_step_ + 1) {
+    // Slept cycles could not transfer (see NextSelfWake), so the only effect
+    // the skipped Steps would have had is budget accrual. Replaying the
+    // identical min/add sequence keeps the floating-point state bit-exact;
+    // the loop exits early once the budget saturates at the cap, where
+    // further accrual is a fixed point.
+    for (Cycle c = last_step_ + 1; c < now && budget_ != cap; ++c) {
+      budget_ = std::min(budget_ + words_per_cycle_, cap);
+    }
+  }
+  stepped_ = true;
+  last_step_ = now;
+  budget_ = std::min(budget_ + words_per_cycle_, cap);
   // Round-robin arbitration: starting from next_stream_, grant one word per
   // whole unit of budget. Each stream is considered at most once per cycle
   // (its FIFO port limit would forbid more anyway).

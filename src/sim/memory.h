@@ -67,6 +67,13 @@ class MemoryBank final : public Component {
 
   void Step(Cycle now) override;
 
+  /// Event-driven wake contract: every stream FIFO is a wake source; a timed
+  /// wake is only needed while some stream could transfer (then the bank
+  /// must run every cycle so the budget arbitration stays cycle-exact).
+  /// Budget accrual for slept cycles is replayed at the start of Step.
+  void DeclareWakeFifos(std::vector<const FifoBase*>& out) const override;
+  Cycle NextSelfWake(Cycle now) const override;
+
   /// True when every registered stream has transferred its full range.
   bool AllStreamsDone() const;
 
@@ -91,6 +98,8 @@ class MemoryBank final : public Component {
 
   double words_per_cycle_;
   double budget_ = 0.0;
+  bool stepped_ = false;
+  Cycle last_step_ = 0;
   std::size_t next_stream_ = 0;
   std::uint64_t words_transferred_ = 0;
   std::vector<Stream> streams_;

@@ -40,13 +40,47 @@ class PollingArbiter {
   /// cycle and then call `Serviced()`, or call `Stalled()` if its output was
   /// full (the arbiter then retries the same connection next cycle, since
   /// hardware cannot drop the packet it has already latched).
+  ///
+  /// Skipped cycles (the event-driven engine only steps a CK when an input
+  /// can have data) are replayed as empty polls, so the connection pointer
+  /// lands exactly where per-cycle polling would have left it — this keeps
+  /// the R-polling cost model bit-identical under both schedulers.
   PacketFifo* Select(sim::Cycle now) {
     if (inputs_.empty()) return nullptr;
+    if (polled_ && now > last_poll_ + 1) {
+      FastForwardIdle(now - last_poll_ - 1);
+    }
+    polled_ = true;
+    last_poll_ = now;
     PacketFifo* in = inputs_[index_];
     if (in->CanPop(now)) return in;
     burst_ = 0;
     Advance();
     return nullptr;
+  }
+
+  /// Replay `idle` cycles in which every input was empty: each such cycle
+  /// clears the burst counter and advances the connection pointer by one.
+  void FastForwardIdle(sim::Cycle idle) {
+    if (inputs_.empty() || idle == 0) return;
+    burst_ = 0;
+    index_ = (index_ + static_cast<std::size_t>(
+                           idle % static_cast<sim::Cycle>(inputs_.size()))) %
+             inputs_.size();
+  }
+
+  /// True if any input holds a committed or staged packet. Called after the
+  /// cycle's commits, this is exactly "some input is poppable next cycle".
+  bool AnyInputHasData() const {
+    for (const PacketFifo* in : inputs_) {
+      if (in->occupancy() > 0) return true;
+    }
+    return false;
+  }
+
+  /// Append all inputs to `out` (for Component::DeclareWakeFifos).
+  void AppendInputs(std::vector<const sim::FifoBase*>& out) const {
+    for (const PacketFifo* in : inputs_) out.push_back(in);
   }
 
   void Serviced() {
@@ -66,6 +100,8 @@ class PollingArbiter {
   int r_;
   std::size_t index_ = 0;
   int burst_ = 0;
+  bool polled_ = false;
+  sim::Cycle last_poll_ = 0;
   std::vector<PacketFifo*> inputs_;
 };
 

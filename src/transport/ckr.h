@@ -52,6 +52,14 @@ class Ckr final : public sim::Component {
 
   void Step(sim::Cycle now) override;
 
+  /// Event-driven wake contract: identical to Cks — see cks.h.
+  void DeclareWakeFifos(std::vector<const sim::FifoBase*>& out) const override {
+    arbiter_.AppendInputs(out);
+  }
+  sim::Cycle NextSelfWake(sim::Cycle now) const override {
+    return arbiter_.AnyInputHasData() ? now + 1 : sim::kNeverCycle;
+  }
+
   std::uint64_t forwarded() const { return forwarded_; }
 
  private:

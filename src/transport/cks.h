@@ -54,6 +54,16 @@ class Cks final : public sim::Component {
 
   void Step(sim::Cycle now) override;
 
+  /// Event-driven wake contract: a CK can only act when one of its inputs
+  /// holds a packet. The arbiter replays the connection-pointer scan for the
+  /// slept (provably all-empty) cycles inside Select.
+  void DeclareWakeFifos(std::vector<const sim::FifoBase*>& out) const override {
+    arbiter_.AppendInputs(out);
+  }
+  sim::Cycle NextSelfWake(sim::Cycle now) const override {
+    return arbiter_.AnyInputHasData() ? now + 1 : sim::kNeverCycle;
+  }
+
   std::uint64_t forwarded() const { return forwarded_; }
   int port_index() const { return port_index_; }
 

@@ -17,9 +17,20 @@ std::string FifoName(const std::string& kind, int rank, int a, int b = -1) {
 
 Fabric::Fabric(sim::Engine& engine, const net::Topology& topology,
                std::vector<RankEndpoints> endpoints, FabricConfig config)
-    : num_ranks_(topology.num_ranks()),
-      ports_per_rank_(topology.ports_per_rank()),
+    : Fabric(engine, topology.num_ranks(), topology.ports_per_rank(),
+             topology.Connections(), std::move(endpoints), config) {}
+
+Fabric::Fabric(
+    sim::Engine& engine, int num_ranks, int ports_per_rank,
+    const std::vector<std::pair<net::PortId, net::PortId>>& connections,
+    std::vector<RankEndpoints> endpoints, FabricConfig config)
+    : num_ranks_(num_ranks),
+      ports_per_rank_(ports_per_rank),
       config_(config) {
+  if (num_ranks_ < 1) throw ConfigError("fabric needs at least one rank");
+  if (ports_per_rank_ < 1) {
+    throw ConfigError("fabric needs at least one port per rank");
+  }
   if (num_ranks_ > net::kMaxWireRank + 1) {
     throw ConfigError("fabric exceeds the 8-bit wire rank field");
   }
@@ -43,7 +54,7 @@ Fabric::Fabric(sim::Engine& engine, const net::Topology& topology,
   for (int r = 0; r < num_ranks_; ++r) {
     BuildRank(engine, r, endpoints[static_cast<std::size_t>(r)]);
   }
-  BuildLinks(engine, topology);
+  BuildLinks(engine, connections);
 }
 
 void Fabric::BuildRank(sim::Engine& engine, int r, const RankEndpoints& eps) {
@@ -61,8 +72,15 @@ void Fabric::BuildRank(sim::Engine& engine, int r, const RankEndpoints& eps) {
 
   // Application send endpoints: port p is served by CKS (p mod P). These are
   // added as the *first* arbiter inputs, matching the paper's input order
-  // (application, paired CKR, other CKS).
+  // (application, paired CKR, other CKS). A duplicate port would silently
+  // overwrite the endpoint map entry and orphan the first FIFO, so it is
+  // rejected outright.
   for (const int p : eps.send_ports) {
+    if (rank.send_endpoints.count(p) != 0) {
+      throw ConfigError("rank " + std::to_string(r) +
+                        " declares send port " + std::to_string(p) +
+                        " more than once");
+    }
     const int q = p % P;
     PacketFifo& fifo = engine.MakeFifo<net::Packet>(
         FifoName("app->cks", r, p), config_.endpoint_fifo_depth);
@@ -72,6 +90,11 @@ void Fabric::BuildRank(sim::Engine& engine, int r, const RankEndpoints& eps) {
 
   // Application receive endpoints: port p is owned by CKR (p mod P).
   for (const int p : eps.recv_ports) {
+    if (rank.recv_endpoints.count(p) != 0) {
+      throw ConfigError("rank " + std::to_string(r) +
+                        " declares recv port " + std::to_string(p) +
+                        " more than once");
+    }
     const int q = p % P;
     PacketFifo& fifo = engine.MakeFifo<net::Packet>(
         FifoName("ckr->app", r, p), config_.endpoint_fifo_depth);
@@ -116,8 +139,46 @@ void Fabric::BuildRank(sim::Engine& engine, int r, const RankEndpoints& eps) {
   }
 }
 
-void Fabric::BuildLinks(sim::Engine& engine, const net::Topology& topology) {
-  for (const auto& [a, b] : topology.Connections()) {
+void Fabric::BuildLinks(
+    sim::Engine& engine,
+    const std::vector<std::pair<net::PortId, net::PortId>>& connections) {
+  // The cable list may come from a machine-generated file rather than a
+  // validated Topology, so every index is range-checked before it is used to
+  // address the cks/ckr vectors, and each (rank, port) network interface may
+  // be wired at most once — a second SetNetworkOutput/AddInput would
+  // silently rewire the interface.
+  const auto check = [this](net::PortId p) {
+    if (p.rank < 0 || p.rank >= num_ranks_ || p.port < 0 ||
+        p.port >= ports_per_rank_) {
+      throw ConfigError("connection references port out of range: rank " +
+                        std::to_string(p.rank) + " port " +
+                        std::to_string(p.port));
+    }
+  };
+  const auto iface = [this](net::PortId p) {
+    return static_cast<std::size_t>(p.rank) *
+               static_cast<std::size_t>(ports_per_rank_) +
+           static_cast<std::size_t>(p.port);
+  };
+  std::vector<bool> wired(
+      static_cast<std::size_t>(num_ranks_) *
+          static_cast<std::size_t>(ports_per_rank_),
+      false);
+  for (const auto& [a, b] : connections) {
+    check(a);
+    check(b);
+    if (a.rank == b.rank) {
+      throw ConfigError("cannot cable two ports of the same rank: rank " +
+                        std::to_string(a.rank));
+    }
+    for (const net::PortId p : {a, b}) {
+      if (wired[iface(p)]) {
+        throw ConfigError("network interface wired twice: rank " +
+                          std::to_string(p.rank) + " port " +
+                          std::to_string(p.port));
+      }
+      wired[iface(p)] = true;
+    }
     // Two directed links per cable, each with its own interface FIFOs.
     for (const auto& [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
       PacketFifo& tx = engine.MakeFifo<net::Packet>(

@@ -15,8 +15,8 @@
 
 #include <cstdint>
 #include <map>
-#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/packet.h"
@@ -45,10 +45,12 @@ struct FabricConfig {
 };
 
 /// Which application endpoints exist on a rank. In the paper this is the
-/// metadata the code generator extracts from the user's kernels.
+/// metadata the code generator extracts from the user's kernels. Ports must
+/// be unique within each list; the fabric rejects duplicates (each port maps
+/// to exactly one endpoint FIFO).
 struct RankEndpoints {
-  std::set<int> send_ports;
-  std::set<int> recv_ports;
+  std::vector<int> send_ports;
+  std::vector<int> recv_ports;
 };
 
 class Fabric {
@@ -57,6 +59,15 @@ class Fabric {
   /// application endpoints of rank r (use a single-element vector replicated
   /// by the caller for SPMD programs).
   Fabric(sim::Engine& engine, const net::Topology& topology,
+         std::vector<RankEndpoints> endpoints, FabricConfig config = {});
+
+  /// Build from a raw cable list instead of a validated Topology — the entry
+  /// point for machine-generated cabling (e.g. deployment JSON). Every
+  /// connection is validated: rank and port indices must be in range, a
+  /// cable cannot join two ports of the same rank, and no (rank, port)
+  /// network interface may be wired twice.
+  Fabric(sim::Engine& engine, int num_ranks, int ports_per_rank,
+         const std::vector<std::pair<net::PortId, net::PortId>>& connections,
          std::vector<RankEndpoints> endpoints, FabricConfig config = {});
 
   /// FIFO an application pushes packets into to send on (rank, port).
@@ -86,7 +97,9 @@ class Fabric {
   };
 
   void BuildRank(sim::Engine& engine, int r, const RankEndpoints& eps);
-  void BuildLinks(sim::Engine& engine, const net::Topology& topology);
+  void BuildLinks(
+      sim::Engine& engine,
+      const std::vector<std::pair<net::PortId, net::PortId>>& connections);
 
   int num_ranks_;
   int ports_per_rank_;

@@ -46,6 +46,47 @@ TEST(Packet, CountFieldIsFiveBits) {
   EXPECT_EQ(Header::Decode(h.Encode()).count, 0);
 }
 
+TEST(Packet, OpFieldIsThreeBits) {
+  // An out-of-range op value (the enum is 3 bits on the wire) must be masked
+  // by the encoder: its high bits must not bleed into the adjacent count
+  // field.
+  Header h;
+  h.op = static_cast<OpType>(7);  // max in-field value
+  h.count = 31;
+  Header d = Header::Decode(h.Encode());
+  EXPECT_EQ(static_cast<int>(d.op), 7);
+  EXPECT_EQ(d.count, 31);
+
+  h.op = static_cast<OpType>(8);  // one past the field: masks to 0
+  h.count = 13;
+  d = Header::Decode(h.Encode());
+  EXPECT_EQ(static_cast<int>(d.op), 0);
+  EXPECT_EQ(d.count, 13) << "op overflow corrupted the count field";
+
+  h.op = static_cast<OpType>(0xFF);  // all bits set: masks to 7
+  h.count = 0;
+  d = Header::Decode(h.Encode());
+  EXPECT_EQ(static_cast<int>(d.op), 7);
+  EXPECT_EQ(d.count, 0) << "op overflow corrupted the count field";
+}
+
+TEST(Packet, EncodeDecodeRoundTripAtAllFieldExtremes) {
+  // Every field at min and max simultaneously, including op values that only
+  // exist after masking. Decode(Encode(h)) compares via Encode(), so this
+  // also pins down that Encode is stable under a round trip.
+  for (const std::uint8_t b : {0x00, 0xFF}) {
+    for (const int opv : {0, 7}) {
+      for (const std::uint8_t count : {std::uint8_t{0},
+                                       std::uint8_t{kMaxWireCount}}) {
+        const Header h{b, b, b, static_cast<OpType>(opv), count};
+        const Header d = Header::Decode(h.Encode());
+        EXPECT_EQ(d, h);
+        EXPECT_EQ(d.Encode(), h.Encode());
+      }
+    }
+  }
+}
+
 TEST(Packet, PayloadStoreLoad) {
   Packet p;
   const double value = 3.14159;

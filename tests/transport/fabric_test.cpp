@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.h"
@@ -54,8 +56,8 @@ Kernel RecvPackets(PacketFifo& in, int n, std::vector<std::uint32_t>& sink) {
 Fabric MakeSimpleFabric(Engine& engine, const Topology& topo, int port,
                         FabricConfig config = {}) {
   RankEndpoints eps;
-  eps.send_ports.insert(port);
-  eps.recv_ports.insert(port);
+  eps.send_ports.push_back(port);
+  eps.recv_ports.push_back(port);
   std::vector<RankEndpoints> all(static_cast<std::size_t>(topo.num_ranks()),
                                  eps);
   Fabric fabric(engine, topo, std::move(all), config);
@@ -106,8 +108,8 @@ TEST(Fabric, CrossCkrPortForwarding) {
   Engine engine;
   const Topology topo = Topology::Torus2D(2, 4);
   RankEndpoints eps;
-  eps.send_ports.insert(5);
-  eps.recv_ports.insert(5);
+  eps.send_ports.push_back(5);
+  eps.recv_ports.push_back(5);
   std::vector<RankEndpoints> all(8, eps);
   Fabric fabric(engine, topo, std::move(all));
   fabric.UploadRoutes(net::ComputeRoutes(topo, RoutingScheme::kAuto));
@@ -147,10 +149,10 @@ TEST(Fabric, TwoStreamsShareALinkFairly) {
   Engine engine;
   const Topology topo = Topology::Bus(4);
   RankEndpoints eps;
-  eps.send_ports.insert(0);
-  eps.send_ports.insert(1);
-  eps.recv_ports.insert(0);
-  eps.recv_ports.insert(1);
+  eps.send_ports.push_back(0);
+  eps.send_ports.push_back(1);
+  eps.recv_ports.push_back(0);
+  eps.recv_ports.push_back(1);
   std::vector<RankEndpoints> all(4, eps);
   Fabric fabric(engine, topo, std::move(all));
   fabric.UploadRoutes(net::ComputeRoutes(topo, RoutingScheme::kAuto));
@@ -196,10 +198,107 @@ TEST(Fabric, MissingEndpointThrows) {
 TEST(Fabric, RejectsOversizedWireFields) {
   Engine engine;
   RankEndpoints eps;
-  eps.send_ports.insert(300);  // > 255
+  eps.send_ports.push_back(300);  // > 255
   const Topology topo = Topology::Bus(2);
   std::vector<RankEndpoints> all(2, eps);
   EXPECT_THROW(Fabric(engine, topo, std::move(all)), ConfigError);
+}
+
+TEST(Fabric, RejectsDuplicateEndpointPort) {
+  // A duplicate port in an endpoint list would silently overwrite the first
+  // endpoint FIFO; construction must fail and name the rank and port.
+  Engine engine;
+  const Topology topo = Topology::Bus(2);
+  RankEndpoints eps;
+  eps.send_ports.push_back(4);
+  eps.send_ports.push_back(4);
+  std::vector<RankEndpoints> all(2, eps);
+  try {
+    Fabric fabric(engine, topo, std::move(all));
+    FAIL() << "duplicate send port accepted";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 0"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("port 4"), std::string::npos);
+  }
+
+  Engine engine2;
+  RankEndpoints reps;
+  reps.recv_ports.push_back(2);
+  reps.recv_ports.push_back(2);
+  std::vector<RankEndpoints> all2(2, reps);
+  EXPECT_THROW(Fabric(engine2, topo, std::move(all2)), ConfigError);
+}
+
+TEST(Fabric, RejectsOutOfRangeConnectionPort) {
+  // The raw cable-list constructor must bounds-check every port index
+  // against ports_per_rank before touching the CK vectors.
+  Engine engine;
+  const std::vector<std::pair<net::PortId, net::PortId>> cables = {
+      {{0, 0}, {1, 2}},  // port 2 on a 2-port fabric
+  };
+  std::vector<RankEndpoints> all(2);
+  try {
+    Fabric fabric(engine, /*num_ranks=*/2, /*ports_per_rank=*/2, cables,
+                  std::move(all));
+    FAIL() << "out-of-range connection port accepted";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 1"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("port 2"), std::string::npos);
+  }
+
+  Engine engine2;
+  const std::vector<std::pair<net::PortId, net::PortId>> bad_rank = {
+      {{0, 0}, {3, 0}},  // rank 3 on a 2-rank fabric
+  };
+  std::vector<RankEndpoints> all2(2);
+  EXPECT_THROW(Fabric(engine2, 2, 2, bad_rank, std::move(all2)), ConfigError);
+}
+
+TEST(Fabric, RejectsDoublyWiredNetworkInterface) {
+  // Each (rank, port) network interface carries exactly one cable; wiring a
+  // second cable into it would silently rewire the CKS/CKR attachment.
+  Engine engine;
+  const std::vector<std::pair<net::PortId, net::PortId>> cables = {
+      {{0, 0}, {1, 0}},
+      {{0, 0}, {2, 0}},  // (rank 0, port 0) already cabled
+  };
+  std::vector<RankEndpoints> all(3);
+  try {
+    Fabric fabric(engine, /*num_ranks=*/3, /*ports_per_rank=*/1, cables,
+                  std::move(all));
+    FAIL() << "doubly wired network interface accepted";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 0"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("port 0"), std::string::npos);
+  }
+
+  // Same-rank cable is also rejected.
+  Engine engine2;
+  const std::vector<std::pair<net::PortId, net::PortId>> self = {
+      {{0, 0}, {0, 1}},
+  };
+  std::vector<RankEndpoints> all2(2);
+  EXPECT_THROW(Fabric(engine2, 2, 2, self, std::move(all2)), ConfigError);
+}
+
+TEST(Fabric, RawConnectionListMatchesTopologyBuild) {
+  // Building from Topology::Connections() by hand must behave identically to
+  // the topology constructor: traffic still delivers end to end.
+  Engine engine;
+  const Topology topo = Topology::Bus(3);
+  RankEndpoints eps;
+  eps.send_ports.push_back(0);
+  eps.recv_ports.push_back(0);
+  std::vector<RankEndpoints> all(3, eps);
+  Fabric fabric(engine, topo.num_ranks(), topo.ports_per_rank(),
+                topo.Connections(), std::move(all));
+  fabric.UploadRoutes(net::ComputeRoutes(topo, RoutingScheme::kAuto));
+  std::vector<std::uint32_t> sink;
+  engine.AddKernel(SendPackets(fabric.SendEndpoint(0, 0), 0, 2, 0, 25), "s");
+  engine.AddKernel(RecvPackets(fabric.RecvEndpoint(2, 0), 25, sink), "r");
+  engine.Run();
+  ASSERT_EQ(sink.size(), 25u);
+  for (std::uint32_t i = 0; i < 25; ++i) EXPECT_EQ(sink[i], i);
 }
 
 TEST(Fabric, InjectionLatencyIsFiveCyclesAtREqualsOne) {
