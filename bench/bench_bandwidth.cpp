@@ -31,11 +31,18 @@ int main(int argc, char** argv) {
   cli.AddInt("max-mb", 16, "largest message in MiB");
   cli.AddInt("poll-r", 8, "CK polling parameter R for the hop series");
   cli.AddFlag("no-r-sweep", "skip the R ablation series");
+  AddJsonOption(cli);
   if (!cli.Parse(argc, argv)) return 2;
 
   const net::Topology topo = net::Topology::Bus(8);
   const sim::ClockConfig clock;
   const baseline::HostModel host;
+
+  PerfReport report("bandwidth");
+  report.SetParameter("min-kb", cli.GetInt("min-kb"));
+  report.SetParameter("max-mb", cli.GetInt("max-mb"));
+  report.SetParameter("poll-r", cli.GetInt("poll-r"));
+  report.SetParameter("ranks", topo.num_ranks());
 
   PrintTitle("Figure 9 — bandwidth vs message size [Gbit/s]");
   std::printf("%12s %14s %14s %14s %14s\n", "size", "SMI-1hop", "SMI-4hops",
@@ -57,8 +64,12 @@ int main(int argc, char** argv) {
     double bw[3] = {0, 0, 0};
     const int dsts[3] = {1, 4, 7};
     for (int h = 0; h < 3; ++h) {
+      const WallTimer timer;
       const core::RunResult r = StreamOnce(topo, 0, dsts[h], bytes, config);
       bw[h] = clock.GigabitsPerSecond(bytes, r.cycles);
+      report.AddResult(
+          std::to_string(dsts[h]) + "hops/" + FormatBytes(bytes), r.cycles,
+          clock.CyclesToMicros(r.cycles), timer.Seconds());
     }
     std::printf("%12s %14.2f %14.2f %14.2f %14.2f\n",
                 FormatBytes(bytes).c_str(), bw[0], bw[1], bw[2],
@@ -74,10 +85,14 @@ int main(int argc, char** argv) {
     for (const int r : {1, 2, 4, 8, 16, 32, 64}) {
       core::ClusterConfig rc;
       rc.fabric.poll_r = r;
+      const WallTimer timer;
       const core::RunResult res = StreamOnce(topo, 0, 1, 8ull << 20, rc);
       const double gbps = clock.GigabitsPerSecond(8ull << 20, res.cycles);
       std::printf("%8d %14.2f %21.1f%%\n", r, gbps, 100.0 * gbps / 35.0);
+      report.AddResult("r-sweep/R=" + std::to_string(r), res.cycles,
+                       clock.CyclesToMicros(res.cycles), timer.Seconds());
     }
   }
+  MaybeWriteReport(cli, report);
   return 0;
 }

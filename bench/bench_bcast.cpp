@@ -21,7 +21,8 @@ sim::Kernel BcastApp(core::Context& ctx, int count, int root) {
   }
 }
 
-double BcastUs(const net::Topology& topo, int count) {
+double BcastUs(const net::Topology& topo, int count, const std::string& label,
+               PerfReport& report) {
   core::ProgramSpec spec;
   spec.Add(core::OpSpec::Bcast(0, core::DataType::kFloat));
   core::Cluster cluster(topo, spec);
@@ -29,7 +30,11 @@ double BcastUs(const net::Topology& topo, int count) {
     cluster.AddKernel(r, BcastApp(cluster.context(r), count, /*root=*/0),
                       "bcast");
   }
-  return cluster.Run().microseconds;
+  const WallTimer timer;
+  const core::RunResult result = cluster.Run();
+  report.AddResult(label + "/" + std::to_string(count), result.cycles,
+                   result.microseconds, timer.Seconds());
+  return result.microseconds;
 }
 
 }  // namespace
@@ -37,21 +42,27 @@ double BcastUs(const net::Topology& topo, int count) {
 int main(int argc, char** argv) {
   CliParser cli("bench_bcast", "Fig. 10: Bcast time vs message size");
   cli.AddInt("max-elems", 262144, "largest message in FP32 elements");
+  AddJsonOption(cli);
   if (!cli.Parse(argc, argv)) return 2;
 
   const baseline::HostModel host;
+  PerfReport report("bcast");
+  report.SetParameter("max-elems", cli.GetInt("max-elems"));
   PrintTitle("Figure 10 — Bcast time [usecs] (lower is better)");
   std::printf("%10s %12s %12s %12s %12s %12s\n", "elems", "SMI-torus8",
               "SMI-torus4", "SMI-bus8", "SMI-bus4", "MPI+OpenCL8");
   for (int count = 1;
        count <= static_cast<int>(cli.GetInt("max-elems")); count *= 4) {
-    const double torus8 = BcastUs(net::Topology::Torus2D(2, 4), count);
-    const double torus4 = BcastUs(net::Topology::Torus2D(2, 2), count);
-    const double bus8 = BcastUs(net::Topology::Bus(8), count);
-    const double bus4 = BcastUs(net::Topology::Bus(4), count);
+    const double torus8 =
+        BcastUs(net::Topology::Torus2D(2, 4), count, "torus8", report);
+    const double torus4 =
+        BcastUs(net::Topology::Torus2D(2, 2), count, "torus4", report);
+    const double bus8 = BcastUs(net::Topology::Bus(8), count, "bus8", report);
+    const double bus4 = BcastUs(net::Topology::Bus(4), count, "bus4", report);
     const double mpi = host.BcastUs(static_cast<std::uint64_t>(count) * 4, 8);
     std::printf("%10d %12.2f %12.2f %12.2f %12.2f %12.2f\n", count, torus8,
                 torus4, bus8, bus4, mpi);
   }
+  MaybeWriteReport(cli, report);
   return 0;
 }

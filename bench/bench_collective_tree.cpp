@@ -32,7 +32,8 @@ sim::Kernel ReduceApp(core::Context& ctx, int count, int root) {
   }
 }
 
-double RunUs(core::CollKind kind, core::CollAlgo algo, int count) {
+double RunUs(core::CollKind kind, core::CollAlgo algo, int count,
+             const std::string& label, PerfReport& report) {
   core::ProgramSpec spec;
   spec.Add(kind == core::CollKind::kBcast
                ? core::OpSpec::Bcast(0, core::DataType::kFloat, algo)
@@ -45,7 +46,11 @@ double RunUs(core::CollKind kind, core::CollAlgo algo, int count) {
       cluster.AddKernel(r, ReduceApp(cluster.context(r), count, 0), "app");
     }
   }
-  return cluster.Run().microseconds;
+  const WallTimer timer;
+  const core::RunResult result = cluster.Run();
+  report.AddResult(label + "/" + std::to_string(count), result.cycles,
+                   result.microseconds, timer.Seconds());
+  return result.microseconds;
 }
 
 }  // namespace
@@ -54,21 +59,28 @@ int main(int argc, char** argv) {
   CliParser cli("bench_collective_tree",
                 "ablation: linear vs tree collectives, 8 ranks, torus");
   cli.AddInt("max-elems", 65536, "largest message in FP32 elements");
+  AddJsonOption(cli);
   if (!cli.Parse(argc, argv)) return 2;
 
+  PerfReport report("collective_tree");
+  report.SetParameter("max-elems", cli.GetInt("max-elems"));
   for (const core::CollKind kind :
        {core::CollKind::kBcast, core::CollKind::kReduce}) {
-    PrintTitle(std::string(core::CollKindName(kind)) +
-               " — linear vs binomial tree [usecs], 8 ranks, 2x4 torus");
+    const std::string name = core::CollKindName(kind);
+    PrintTitle(name + " — linear vs binomial tree [usecs], 8 ranks, "
+               "2x4 torus");
     std::printf("%10s %12s %12s %10s\n", "elems", "linear", "tree",
                 "speedup");
     for (int count = 64;
          count <= static_cast<int>(cli.GetInt("max-elems")); count *= 8) {
-      const double linear = RunUs(kind, core::CollAlgo::kLinear, count);
-      const double tree = RunUs(kind, core::CollAlgo::kTree, count);
+      const double linear = RunUs(kind, core::CollAlgo::kLinear, count,
+                                  name + "/linear", report);
+      const double tree = RunUs(kind, core::CollAlgo::kTree, count,
+                                name + "/tree", report);
       std::printf("%10d %12.2f %12.2f %9.2fx\n", count, linear, tree,
                   linear / tree);
     }
   }
+  MaybeWriteReport(cli, report);
   return 0;
 }

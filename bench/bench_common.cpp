@@ -49,6 +49,21 @@ Kernel PingPong(Context& ctx, int peer, int rounds, bool initiator) {
 
 }  // namespace
 
+void AddJsonOption(CliParser& cli) {
+  cli.AddString("json", "",
+                "write a machine-readable BENCH_<name>.json report to this "
+                "path (\"auto\" = ./BENCH_<name>.json)");
+}
+
+std::string MaybeWriteReport(const CliParser& cli, const PerfReport& report) {
+  std::string path = cli.GetString("json");
+  if (path.empty()) return "";
+  if (path == "auto") path = PerfReport::DefaultPath(report.name());
+  report.Write(path);
+  std::printf("\nwrote %s\n", path.c_str());
+  return path;
+}
+
 core::RunResult StreamOnce(const net::Topology& topo, int src, int dst,
                            std::uint64_t bytes,
                            const core::ClusterConfig& config) {

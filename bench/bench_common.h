@@ -10,11 +10,20 @@
 #include <vector>
 
 #include "common/cli.h"
+#include "common/perf_report.h"
 #include "common/string_util.h"
 #include "core/smi.h"
 #include "net/topology.h"
 
 namespace smi::bench {
+
+/// Register the shared `--json <path>` option. When given, the bench writes
+/// its PerfReport there; pass "auto" for `./BENCH_<name>.json`.
+void AddJsonOption(CliParser& cli);
+
+/// Write `report` to the path selected by `--json` (no-op when the option
+/// was left empty). Returns the path written, or "" if none.
+std::string MaybeWriteReport(const CliParser& cli, const PerfReport& report);
 
 /// The SPMD spec used by the microbenchmarks: one send and one recv
 /// endpoint on port 0 of every rank.

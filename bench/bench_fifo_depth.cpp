@@ -47,12 +47,16 @@ int main(int argc, char** argv) {
                 "ablation: endpoint FIFO depth (asynchronicity degree)");
   cli.AddInt("elems", 20000, "message length in ints");
   cli.AddInt("burst", 256, "compute/communicate burst length");
+  AddJsonOption(cli);
   if (!cli.Parse(argc, argv)) return 2;
 
   const int total = static_cast<int>(cli.GetInt("elems"));
   const int delay = static_cast<int>(cli.GetInt("burst")) * 40;
   const net::Topology topo = net::Topology::Bus(2);
   const sim::ClockConfig clock;
+  PerfReport report("fifo_depth");
+  report.SetParameter("elems", total);
+  report.SetParameter("burst", cli.GetInt("burst"));
 
   PrintTitle("endpoint FIFO depth vs sender completion — " +
              std::to_string(total) + " ints, receiver busy for " +
@@ -71,7 +75,10 @@ int main(int argc, char** argv) {
                       "sender");
     cluster.AddKernel(1, DelayedReceiver(cluster.context(1), total, delay),
                       "receiver");
+    const WallTimer timer;
     const core::RunResult r = cluster.Run();
+    report.AddResult("burst/k=" + std::to_string(depth), r.cycles,
+                     r.microseconds, timer.Seconds());
     std::printf("%10zu %18llu %14llu\n", depth,
                 static_cast<unsigned long long>(done_at),
                 static_cast<unsigned long long>(r.cycles));
@@ -83,9 +90,13 @@ int main(int argc, char** argv) {
   for (const std::size_t depth : {2u, 8u, 32u, 128u}) {
     core::ClusterConfig config;
     config.fabric.endpoint_fifo_depth = depth;
+    const WallTimer timer;
     const core::RunResult r = StreamOnce(topo, 0, 1, 8ull << 20, config);
+    report.AddResult("stream/k=" + std::to_string(depth), r.cycles,
+                     r.microseconds, timer.Seconds());
     std::printf("%10zu %14.2f\n", depth,
                 clock.GigabitsPerSecond(8ull << 20, r.cycles));
   }
+  MaybeWriteReport(cli, report);
   return 0;
 }

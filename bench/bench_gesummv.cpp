@@ -13,7 +13,7 @@ using namespace smi;
 using namespace smi::bench;
 
 void RunShape(const char* title, const std::vector<std::size_t>& rows_list,
-              const std::vector<std::size_t>& cols_list) {
+              const std::vector<std::size_t>& cols_list, PerfReport& report) {
   PrintTitle(title);
   std::printf("%8s %8s | %14s %14s %10s\n", "rows", "cols", "single [ms]",
               "distrib [ms]", "speedup");
@@ -21,8 +21,16 @@ void RunShape(const char* title, const std::vector<std::size_t>& rows_list,
     apps::GesummvConfig config;
     config.rows = rows_list[i];
     config.cols = cols_list[i];
+    const std::string shape = std::to_string(config.rows) + "x" +
+                              std::to_string(config.cols);
+    const WallTimer single_timer;
     const apps::GesummvResult single = apps::RunGesummvSingleFpga(config);
+    report.AddResult("single/" + shape, single.run.cycles,
+                     single.run.microseconds, single_timer.Seconds());
+    const WallTimer dist_timer;
     const apps::GesummvResult dist = apps::RunGesummvDistributed(config);
+    report.AddResult("distributed/" + shape, dist.run.cycles,
+                     dist.run.microseconds, dist_timer.Seconds());
     std::printf("%8zu %8zu | %14.2f %14.2f %9.2fx\n", config.rows,
                 config.cols, single.run.seconds * 1e3,
                 dist.run.seconds * 1e3,
@@ -36,23 +44,27 @@ void RunShape(const char* title, const std::vector<std::size_t>& rows_list,
 int main(int argc, char** argv) {
   CliParser cli("bench_gesummv", "Fig. 13: GESUMMV single vs distributed");
   cli.AddFlag("full", "run the paper's full sizes up to 16384 (slow)");
+  AddJsonOption(cli);
   if (!cli.Parse(argc, argv)) return 2;
 
   const bool full = cli.GetFlag("full");
+  PerfReport report("gesummv");
+  report.SetParameter("full", full);
   std::vector<std::size_t> square = {2048, 4096};
   if (full) {
     square.push_back(8192);
     square.push_back(16384);
   }
-  RunShape("Figure 13 (left) — square matrices NxN", square, square);
+  RunShape("Figure 13 (left) — square matrices NxN", square, square, report);
 
   std::vector<std::size_t> m = {4096, 8192};
   if (full) m.push_back(16384);
   RunShape("Figure 13 (middle) — rectangular 2048xM",
-           std::vector<std::size_t>(m.size(), 2048), m);
+           std::vector<std::size_t>(m.size(), 2048), m, report);
   RunShape("Figure 13 (right) — rectangular Nx2048", m,
-           std::vector<std::size_t>(m.size(), 2048));
+           std::vector<std::size_t>(m.size(), 2048), report);
   std::printf("\n(paper: ~2x speedup in all cases; distributed runtimes "
               "0.7/2.8/10.8/51.1 ms for square sizes 2048..16384)\n");
+  MaybeWriteReport(cli, report);
   return 0;
 }

@@ -41,10 +41,14 @@ sim::Kernel DrainPackets(core::Context& ctx, int src, int n) {
 int main(int argc, char** argv) {
   CliParser cli("bench_injection", "Table 4: injection rate vs R");
   cli.AddInt("messages", 4000, "messages to inject per configuration");
+  AddJsonOption(cli);
   if (!cli.Parse(argc, argv)) return 2;
 
   const net::Topology topo = net::Topology::Torus2D(2, 4);
+  const sim::ClockConfig clock;
   const int n = static_cast<int>(cli.GetInt("messages"));
+  PerfReport report("injection");
+  report.SetParameter("messages", n);
 
   PrintTitle("Table 4 — average injection rate in cycles per message");
   std::printf("%10s %10s %10s %10s\n", "R = 1", "R = 4", "R = 8", "R = 16");
@@ -57,11 +61,15 @@ int main(int argc, char** argv) {
     cluster.AddKernel(0, OneElementMessages(cluster.context(0), 1, n),
                       "inject");
     cluster.AddKernel(1, DrainPackets(cluster.context(1), 0, n), "drain");
+    const WallTimer timer;
     const core::RunResult result = cluster.Run();
     rates[i] = static_cast<double>(result.cycles) / static_cast<double>(n);
+    report.AddResult("R=" + std::to_string(rs[i]), result.cycles,
+                     clock.CyclesToMicros(result.cycles), timer.Seconds());
   }
   std::printf("%10.2f %10.2f %10.2f %10.2f\n", rates[0], rates[1], rates[2],
               rates[3]);
   std::printf("\n(paper: 5 / 2.5 / 1.8 / 1.69)\n");
+  MaybeWriteReport(cli, report);
   return 0;
 }

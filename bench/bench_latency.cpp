@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
 
   CliParser cli("bench_latency", "Table 3: p2p latency (usecs)");
   cli.AddInt("rounds", 16, "ping-pong rounds to average over");
+  AddJsonOption(cli);
   if (!cli.Parse(argc, argv)) return 2;
 
   const net::Topology topo = net::Topology::Bus(8);
@@ -25,14 +26,20 @@ int main(int argc, char** argv) {
              "(half round-trip of a 1-element message)");
   std::printf("%14s %10s %10s %10s\n", "MPI+OpenCL", "SMI-1", "SMI-4",
               "SMI-7");
+  PerfReport report("latency");
+  report.SetParameter("rounds", rounds);
   double smi_us[3] = {0, 0, 0};
   const int dsts[3] = {1, 4, 7};
   for (int h = 0; h < 3; ++h) {
+    const WallTimer timer;
     const sim::Cycle cycles = PingPongOnce(topo, 0, dsts[h], config, rounds);
     smi_us[h] = clock.CyclesToMicros(cycles) / (2.0 * rounds);
+    report.AddResult(std::to_string(dsts[h]) + "hops", cycles,
+                     clock.CyclesToMicros(cycles), timer.Seconds());
   }
   std::printf("%14.2f %10.3f %10.3f %10.3f\n", host.LatencyUs(4), smi_us[0],
               smi_us[1], smi_us[2]);
   std::printf("\n(paper: 36.61 / 0.801 / 2.896 / 5.103)\n");
+  MaybeWriteReport(cli, report);
   return 0;
 }

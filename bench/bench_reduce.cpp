@@ -23,7 +23,8 @@ sim::Kernel ReduceApp(core::Context& ctx, int count, int root, int credits) {
   }
 }
 
-double ReduceUs(const net::Topology& topo, int count, int credits) {
+double ReduceUs(const net::Topology& topo, int count, int credits,
+                const std::string& label, PerfReport& report) {
   core::ProgramSpec spec;
   spec.Add(core::OpSpec::Reduce(0, core::DataType::kFloat));
   core::Cluster cluster(topo, spec);
@@ -33,7 +34,11 @@ double ReduceUs(const net::Topology& topo, int count, int credits) {
                                 credits),
                       "reduce");
   }
-  return cluster.Run().microseconds;
+  const WallTimer timer;
+  const core::RunResult result = cluster.Run();
+  report.AddResult(label + "/" + std::to_string(count), result.cycles,
+                   result.microseconds, timer.Seconds());
+  return result.microseconds;
 }
 
 }  // namespace
@@ -43,21 +48,29 @@ int main(int argc, char** argv) {
   cli.AddInt("max-elems", 262144, "largest message in FP32 elements");
   cli.AddInt("credits", 64, "flow-control tile size C");
   cli.AddFlag("credit-sweep", "also sweep the credit tile size (ablation)");
+  AddJsonOption(cli);
   if (!cli.Parse(argc, argv)) return 2;
 
   const int credits = static_cast<int>(cli.GetInt("credits"));
   const baseline::HostModel host;
+  PerfReport report("reduce");
+  report.SetParameter("max-elems", cli.GetInt("max-elems"));
+  report.SetParameter("credits", credits);
   PrintTitle("Figure 11 — Reduce time [usecs] (SUM FP32, lower is better)");
   std::printf("%10s %12s %12s %12s %12s %12s\n", "elems", "SMI-torus8",
               "SMI-torus4", "SMI-bus8", "SMI-bus4", "MPI+OpenCL8");
   for (int count = 1;
        count <= static_cast<int>(cli.GetInt("max-elems")); count *= 4) {
     const double torus8 =
-        ReduceUs(net::Topology::Torus2D(2, 4), count, credits);
+        ReduceUs(net::Topology::Torus2D(2, 4), count, credits, "torus8",
+                 report);
     const double torus4 =
-        ReduceUs(net::Topology::Torus2D(2, 2), count, credits);
-    const double bus8 = ReduceUs(net::Topology::Bus(8), count, credits);
-    const double bus4 = ReduceUs(net::Topology::Bus(4), count, credits);
+        ReduceUs(net::Topology::Torus2D(2, 2), count, credits, "torus4",
+                 report);
+    const double bus8 =
+        ReduceUs(net::Topology::Bus(8), count, credits, "bus8", report);
+    const double bus4 =
+        ReduceUs(net::Topology::Bus(4), count, credits, "bus4", report);
     const double mpi =
         host.ReduceUs(static_cast<std::uint64_t>(count) * 4, 8);
     std::printf("%10d %12.2f %12.2f %12.2f %12.2f %12.2f\n", count, torus8,
@@ -70,8 +83,10 @@ int main(int argc, char** argv) {
     std::printf("%10s %12s\n", "C", "usecs");
     for (const int c : {1, 4, 16, 64, 256, 1024}) {
       std::printf("%10d %12.2f\n", c,
-                  ReduceUs(net::Topology::Torus2D(2, 4), 65536, c));
+                  ReduceUs(net::Topology::Torus2D(2, 4), 65536, c,
+                           "credit-sweep/C=" + std::to_string(c), report));
     }
   }
+  MaybeWriteReport(cli, report);
   return 0;
 }

@@ -22,7 +22,12 @@ int main(int argc, char** argv) {
   using resources::Utilize;
 
   CliParser cli("bench_resources", "Tables 1-2: SMI resource consumption");
+  AddJsonOption(cli);
   if (!cli.Parse(argc, argv)) return 2;
+
+  // This bench runs no simulation: the report carries the model numbers as
+  // parameters and an empty results array.
+  PerfReport report("resources");
 
   PrintTitle("Table 1 — SMI resource consumption");
   std::printf("%-12s | %9s %9s %7s | %9s %9s %7s\n", "", "LUTs", "FFs",
@@ -75,5 +80,12 @@ int main(int argc, char** argv) {
   std::printf("LUTs %.0f (%.2f%%), FFs %.0f (%.2f%%), M20Ks %.0f (%.2f%%)\n",
               res.luts, u.luts_pct, res.ffs, u.ffs_pct, res.m20ks,
               u.m20ks_pct);
+  report.SetParameter("transport4_luts", Transport(4).luts);
+  report.SetParameter("transport4_ffs", Transport(4).ffs);
+  report.SetParameter("transport4_m20ks", Transport(4).m20ks);
+  report.SetParameter("stencil_plan_luts", res.luts);
+  report.SetParameter("stencil_plan_ffs", res.ffs);
+  report.SetParameter("stencil_plan_m20ks", res.m20ks);
+  MaybeWriteReport(cli, report);
   return 0;
 }

@@ -46,7 +46,8 @@ sim::Kernel GatherApp(core::Context& ctx, int count, int root) {
   }
 }
 
-double RunUs(core::CollKind kind, const net::Topology& topo, int count) {
+double RunUs(core::CollKind kind, const net::Topology& topo, int count,
+             const std::string& label, PerfReport& report) {
   core::ProgramSpec spec;
   spec.Add(kind == core::CollKind::kScatter
                ? core::OpSpec::Scatter(0, core::DataType::kFloat)
@@ -59,7 +60,11 @@ double RunUs(core::CollKind kind, const net::Topology& topo, int count) {
       cluster.AddKernel(r, GatherApp(cluster.context(r), count, 0), "app");
     }
   }
-  return cluster.Run().microseconds;
+  const WallTimer timer;
+  const core::RunResult result = cluster.Run();
+  report.AddResult(label + "/" + std::to_string(count), result.cycles,
+                   result.microseconds, timer.Seconds());
+  return result.microseconds;
 }
 
 }  // namespace
@@ -68,19 +73,25 @@ int main(int argc, char** argv) {
   CliParser cli("bench_scatter_gather",
                 "Scatter/Gather time vs segment size (torus)");
   cli.AddInt("max-elems", 16384, "largest per-rank segment in FP32 elements");
+  AddJsonOption(cli);
   if (!cli.Parse(argc, argv)) return 2;
 
+  PerfReport report("scatter_gather");
+  report.SetParameter("max-elems", cli.GetInt("max-elems"));
   for (const core::CollKind kind :
        {core::CollKind::kScatter, core::CollKind::kGather}) {
-    PrintTitle(std::string(core::CollKindName(kind)) +
-               " time [usecs] vs per-rank segment (root 0)");
+    const std::string name = core::CollKindName(kind);
+    PrintTitle(name + " time [usecs] vs per-rank segment (root 0)");
     std::printf("%10s %12s %12s\n", "elems/rank", "torus-8", "torus-4");
     for (int count = 16;
          count <= static_cast<int>(cli.GetInt("max-elems")); count *= 8) {
-      const double t8 = RunUs(kind, net::Topology::Torus2D(2, 4), count);
-      const double t4 = RunUs(kind, net::Topology::Torus2D(2, 2), count);
+      const double t8 = RunUs(kind, net::Topology::Torus2D(2, 4), count,
+                              name + "/torus8", report);
+      const double t4 = RunUs(kind, net::Topology::Torus2D(2, 2), count,
+                              name + "/torus4", report);
       std::printf("%10d %12.2f %12.2f\n", count, t8, t4);
     }
   }
+  MaybeWriteReport(cli, report);
   return 0;
 }

@@ -62,7 +62,9 @@ BENCHMARK(BM_EngineCyclesPerSecond)->Unit(benchmark::kMillisecond);
 // with its neighbour, repeated for a fixed number of timesteps. Nearly every
 // simulated cycle is idle, which is exactly what the event-driven scheduler
 // exploits — the synchronous scheduler still walks all ~800 FIFOs and 64
-// components on each of them. Arg(0) = synchronous, Arg(1) = event-driven.
+// components on each of them. One row per scheduler: Arg(0) = synchronous,
+// Arg(1) = event-driven, Arg(2) = parallel (worker threads = hardware
+// concurrency, capped at the rank count).
 sim::Kernel IdleStencilRank(core::Context& ctx, int steps, int compute_cycles,
                             std::uint64_t& sink) {
   const int n = ctx.world().size();
@@ -84,13 +86,18 @@ sim::Kernel IdleStencilRank(core::Context& ctx, int steps, int compute_cycles,
 }
 
 void BM_IdleHeavyStencil(benchmark::State& state) {
-  const auto kind = state.range(0) == 0 ? sim::SchedulerKind::kSynchronous
-                                        : sim::SchedulerKind::kEventDriven;
+  const sim::SchedulerKind kind =
+      state.range(0) == 0   ? sim::SchedulerKind::kSynchronous
+      : state.range(0) == 1 ? sim::SchedulerKind::kEventDriven
+                            : sim::SchedulerKind::kParallel;
   const net::Topology topo = net::Topology::Torus2D(2, 4);
   std::uint64_t total_cycles = 0;
   for (auto _ : state) {
     core::ClusterConfig config;
     config.engine.scheduler = kind;
+    if (kind == sim::SchedulerKind::kParallel) {
+      config.engine.threads = 0;  // hardware concurrency, capped at 8 ranks
+    }
     core::Cluster cluster(topo, bench::P2pSpec(), config);
     std::uint64_t sink = 0;
     for (int r = 0; r < topo.num_ranks(); ++r) {
@@ -109,7 +116,8 @@ void BM_IdleHeavyStencil(benchmark::State& state) {
 BENCHMARK(BM_IdleHeavyStencil)
     ->Arg(0)
     ->Arg(1)
-    ->ArgName("event")
+    ->Arg(2)
+    ->ArgName("scheduler")
     ->Unit(benchmark::kMillisecond);
 
 void BM_RouteGeneration(benchmark::State& state) {
@@ -135,4 +143,35 @@ BENCHMARK(BM_DeadlockCheck);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main so this binary honours the repo-wide `--json <path>` bench
+// convention: the flag is translated to google-benchmark's native JSON file
+// reporter (--benchmark_out), which carries the same cycles-per-wall-second
+// counters the console shows.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  std::string json_path;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (!json_path.empty()) {
+    if (json_path == "auto") json_path = "BENCH_sim_micro.json";
+    args.push_back("--benchmark_out_format=json");
+    args.push_back("--benchmark_out=" + json_path);
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (std::string& a : args) argv2.push_back(a.data());
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -26,11 +26,15 @@ int main(int argc, char** argv) {
   cli.AddInt("grid", 2048, "grid size (NxN)");
   cli.AddInt("timesteps", 8, "stencil timesteps");
   cli.AddFlag("full", "run the paper's 4096x4096, 32 timesteps (slow)");
+  AddJsonOption(cli);
   if (!cli.Parse(argc, argv)) return 2;
 
   const bool full = cli.GetFlag("full");
   const int grid = full ? 4096 : static_cast<int>(cli.GetInt("grid"));
   const int steps = full ? 32 : static_cast<int>(cli.GetInt("timesteps"));
+  PerfReport report("stencil_strong");
+  report.SetParameter("grid", grid);
+  report.SetParameter("timesteps", steps);
 
   const Config configs[] = {
       {"1 bank/1 FPGA", 1, 1, 1},  {"4 banks/1 FPGA", 4, 1, 1},
@@ -51,7 +55,10 @@ int main(int argc, char** argv) {
     sc.ry = c.ry;
     sc.banks = c.banks;
     sc.timesteps = steps;
+    const WallTimer timer;
     const apps::StencilResult result = RunStencilSmi(sc);
+    report.AddResult(c.label, result.run.cycles, result.run.microseconds,
+                     timer.Seconds());
     const double cycles = static_cast<double>(result.run.cycles);
     if (base_cycles == 0.0) base_cycles = cycles;
     std::printf("%-18s %12.2f %9.2fx\n", c.label,
@@ -59,5 +66,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\n(paper, 4096x4096/32: 1.0x 254ms, 3.5x, 3.5x, 12.3x, "
               "23.1x)\n");
+  MaybeWriteReport(cli, report);
   return 0;
 }

@@ -13,10 +13,14 @@ int main(int argc, char** argv) {
   CliParser cli("bench_stencil_weak", "Fig. 16: stencil weak scaling");
   cli.AddInt("timesteps", 8, "stencil timesteps");
   cli.AddInt("max-grid", 2048, "largest grid size (NxN)");
+  AddJsonOption(cli);
   if (!cli.Parse(argc, argv)) return 2;
 
   const int steps = static_cast<int>(cli.GetInt("timesteps"));
   const int max_grid = static_cast<int>(cli.GetInt("max-grid"));
+  PerfReport report("stencil_weak");
+  report.SetParameter("timesteps", steps);
+  report.SetParameter("max-grid", max_grid);
 
   PrintTitle("Figure 16 — time per stencil point [nsec], 4 banks/FPGA, " +
              std::to_string(steps) + " timesteps");
@@ -33,7 +37,12 @@ int main(int argc, char** argv) {
       sc.ry = shapes[i].second;
       sc.banks = 4;
       sc.timesteps = steps;
+      const WallTimer timer;
       const apps::StencilResult result = RunStencilSmi(sc);
+      report.AddResult(std::to_string(shapes[i].first * shapes[i].second) +
+                           "ranks/" + std::to_string(grid),
+                       result.run.cycles, result.run.microseconds,
+                       timer.Seconds());
       const double points = static_cast<double>(grid) *
                             static_cast<double>(grid) *
                             static_cast<double>(steps);
@@ -44,5 +53,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\n(paper: 8 ranks approach 2x over 4 ranks at large "
               "grids)\n");
+  MaybeWriteReport(cli, report);
   return 0;
 }

@@ -82,6 +82,8 @@ std::vector<Fifo<MemWord>*> StripeMatrix(Cluster& cluster, int rank,
                                          const std::vector<float>& matrix,
                                          const std::string& name) {
   Context& ctx = cluster.context(rank);
+  // Stream FIFOs are rank-local: co-locate them with the rank's banks.
+  sim::PartitionTagScope tag(cluster.engine(), rank);
   const int banks = ctx.num_memory_banks();
   const std::uint64_t total_words = matrix.size() / kMemWordElems;
   std::vector<Fifo<MemWord>*> streams;
@@ -131,11 +133,12 @@ GesummvResult RunGesummvSingleFpga(const GesummvConfig& config) {
 
   // One rank, no SMI traffic: both GEMVs contend for the same DRAM banks.
   net::Topology topo(1, 1);
-  Cluster cluster(topo, ProgramSpec{});
+  Cluster cluster(topo, ProgramSpec{}, config.cluster);
   cluster.AddMemoryBanks(0, config.banks, config.words_per_cycle);
 
   auto streams_a = StripeMatrix(cluster, 0, a, "A");
   auto streams_b = StripeMatrix(cluster, 0, b, "B");
+  sim::PartitionTagScope tag(cluster.engine(), 0);
   Fifo<float>& ax = cluster.engine().MakeFifo<float>("gemvA->axpy", 8);
   Fifo<float>& bx = cluster.engine().MakeFifo<float>("gemvB->axpy", 8);
 
@@ -172,13 +175,20 @@ GesummvResult RunGesummvDistributed(const GesummvConfig& config) {
   ProgramSpec rank1_spec;
   rank1_spec.Add(OpSpec::Recv(0, DataType::kFloat));
   Cluster cluster(net::Topology::Bus(2),
-                  std::vector<ProgramSpec>{rank0_spec, rank1_spec});
+                  std::vector<ProgramSpec>{rank0_spec, rank1_spec},
+                  config.cluster);
   cluster.AddMemoryBanks(0, config.banks, config.words_per_cycle);
   cluster.AddMemoryBanks(1, config.banks, config.words_per_cycle);
 
   auto streams_a = StripeMatrix(cluster, 0, a, "A");
   auto streams_b = StripeMatrix(cluster, 1, b, "B");
-  Fifo<float>& bx = cluster.engine().MakeFifo<float>("gemvB->axpy", 8);
+  Fifo<float>* bx_ptr = nullptr;
+  {
+    // gemvB -> axpy is rank-1-local.
+    sim::PartitionTagScope tag(cluster.engine(), 1);
+    bx_ptr = &cluster.engine().MakeFifo<float>("gemvB->axpy", 8);
+  }
+  Fifo<float>& bx = *bx_ptr;
 
   GesummvResult result;
   const int n = static_cast<int>(config.rows);

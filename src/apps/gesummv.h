@@ -38,6 +38,8 @@ struct GesummvConfig {
   /// per-rank GEMV throughput implied by the paper's Fig. 13 runtimes.
   double words_per_cycle = 0.5;
   unsigned seed = 1;
+  /// Engine/fabric configuration (scheduler selection, thread count, ...).
+  core::ClusterConfig cluster;
 };
 
 struct GesummvResult {

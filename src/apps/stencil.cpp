@@ -238,7 +238,7 @@ StencilResult RunStencilSmi(const StencilConfig& config) {
     return net::Topology::Bus(ranks);
   }();
 
-  Cluster cluster(topo, spec);
+  Cluster cluster(topo, spec, config.cluster);
 
   const std::vector<float> global =
       MakeStencilGrid(config.nx_global, config.ny_global, config.seed);
@@ -273,6 +273,8 @@ StencilResult RunStencilSmi(const StencilConfig& config) {
       }
     }
 
+    // DRAM stream and kernel-handshake FIFOs are rank-local.
+    sim::PartitionTagScope tag(cluster.engine(), r);
     cluster.AddMemoryBanks(r, config.banks, config.words_per_cycle);
     const std::uint64_t words =
         static_cast<std::uint64_t>(nx) * static_cast<std::uint64_t>(ny) /

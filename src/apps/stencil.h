@@ -39,6 +39,8 @@ struct StencilConfig {
   int banks = 1;        ///< DRAM banks read in parallel per rank
   double words_per_cycle = 1.0;  ///< per-bank rate (1.0 = 16 elems/cycle)
   unsigned seed = 7;
+  /// Engine/fabric configuration (scheduler selection, thread count, ...).
+  core::ClusterConfig cluster;
 };
 
 struct StencilResult {

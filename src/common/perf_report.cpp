@@ -1,0 +1,37 @@
+#include "common/perf_report.h"
+
+#include <utility>
+
+namespace smi {
+
+void PerfReport::SetParameter(const std::string& key, json::Value value) {
+  parameters_[key] = std::move(value);
+}
+
+void PerfReport::AddResult(const std::string& result_name,
+                           std::uint64_t cycles,
+                           double simulated_microseconds,
+                           double wall_seconds) {
+  json::Object row;
+  row["name"] = result_name;
+  row["cycles"] = cycles;
+  row["simulated_microseconds"] = simulated_microseconds;
+  row["wall_seconds"] = wall_seconds;
+  row["cycles_per_wall_second"] =
+      wall_seconds > 0.0 ? static_cast<double>(cycles) / wall_seconds : 0.0;
+  results_.emplace_back(std::move(row));
+}
+
+json::Value PerfReport::ToJson() const {
+  json::Object doc;
+  doc["name"] = name_;
+  doc["parameters"] = parameters_;
+  doc["results"] = results_;
+  return doc;
+}
+
+void PerfReport::Write(const std::string& path) const {
+  json::WriteFile(path, ToJson());
+}
+
+}  // namespace smi

@@ -1,0 +1,91 @@
+#ifndef SMI_COMMON_PERF_REPORT_H
+#define SMI_COMMON_PERF_REPORT_H
+
+/// \file perf_report.h
+/// Machine-readable benchmark reports. Every bench binary can emit a
+/// `BENCH_<name>.json` file (via its `--json <path>` option) so that plots
+/// and regression tooling can consume results without scraping the printed
+/// tables. The schema is deliberately small and stable:
+///
+/// ```json
+/// {
+///   "name": "bandwidth",
+///   "parameters": { "max-mb": 16, ... },
+///   "results": [
+///     {
+///       "name": "1hop/8MiB",
+///       "cycles": 123456,
+///       "simulated_microseconds": 599.3,
+///       "wall_seconds": 0.021,
+///       "cycles_per_wall_second": 5878857.0
+///     }, ...
+///   ]
+/// }
+/// ```
+///
+/// `cycles` is the simulated cycle count of the measured run,
+/// `simulated_microseconds` the simulated time at the modelled clock,
+/// `wall_seconds` the host wall-clock time the simulation took, and
+/// `cycles_per_wall_second` the simulator throughput (cycles / wall_seconds,
+/// 0 when the wall time was too small to measure).
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/json.h"
+
+namespace smi {
+
+/// Accumulates one benchmark's parameters and measured series and writes
+/// them as a `BENCH_<name>.json` document.
+class PerfReport {
+ public:
+  explicit PerfReport(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Record an input parameter (CLI option, topology size, ...).
+  void SetParameter(const std::string& key, json::Value value);
+
+  /// Record one measured point. `simulated_microseconds` is derived from
+  /// the modelled clock; `wall_seconds` from the host clock around the run.
+  void AddResult(const std::string& result_name, std::uint64_t cycles,
+                 double simulated_microseconds, double wall_seconds);
+
+  std::size_t result_count() const { return results_.size(); }
+
+  /// The full document (see the schema above).
+  json::Value ToJson() const;
+
+  /// Write the document to `path` (pretty-printed).
+  void Write(const std::string& path) const;
+
+  /// Canonical file name: `BENCH_<name>.json`.
+  static std::string DefaultPath(const std::string& name) {
+    return "BENCH_" + name + ".json";
+  }
+
+ private:
+  std::string name_;
+  json::Object parameters_;
+  json::Array results_;
+};
+
+/// Wall-clock stopwatch for the `wall_seconds` field.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace smi
+
+#endif  // SMI_COMMON_PERF_REPORT_H

@@ -42,9 +42,12 @@ void Cluster::Build(const net::Topology& topology,
   routes_ = net::ComputeRoutes(topology, config.routing);
   fabric_->UploadRoutes(routes_);
 
-  // Contexts + collective support kernels.
+  // Contexts + collective support kernels. Tagging with the rank keeps the
+  // per-rank clock pointers and the support kernels inside the rank's
+  // partition under the parallel scheduler.
   contexts_.resize(static_cast<std::size_t>(num_ranks_));
   for (int r = 0; r < num_ranks_; ++r) {
+    engine_->SetPartitionTag(r);
     Context& ctx = contexts_[static_cast<std::size_t>(r)];
     ctx.rank_ = r;
     ctx.world_ = Communicator::World(num_ranks_);
@@ -83,6 +86,7 @@ void Cluster::Build(const net::Topology& topology,
       ctx.coll_ports_.emplace(op.port, cp);
     }
   }
+  engine_->SetPartitionTag(sim::Engine::kUntaggedPartition);
 }
 
 Context& Cluster::context(int rank) {
@@ -94,6 +98,7 @@ Context& Cluster::context(int rank) {
 
 void Cluster::AddMemoryBanks(int rank, int count, double words_per_cycle) {
   Context& ctx = context(rank);
+  sim::PartitionTagScope tag(*engine_, rank);
   for (int i = 0; i < count; ++i) {
     ctx.memory_banks_.push_back(&engine_->MakeComponent<sim::MemoryBank>(
         "r" + std::to_string(rank) + ".ddr" +
@@ -104,6 +109,7 @@ void Cluster::AddMemoryBanks(int rank, int count, double words_per_cycle) {
 
 void Cluster::AddKernel(int rank, sim::Kernel kernel, const std::string& name) {
   (void)context(rank);  // range check
+  sim::PartitionTagScope tag(*engine_, rank);
   engine_->AddKernel(std::move(kernel),
                      "r" + std::to_string(rank) + "." + name,
                      /*daemon=*/false);
@@ -121,6 +127,8 @@ RunResult Cluster::Run() {
   result.seconds = stats.seconds;
   result.microseconds = stats.seconds * 1e6;
   result.link_packets = fabric_->TotalLinkPackets();
+  result.kernel_resumes = stats.kernel_resumes;
+  result.partitions = stats.partitions;
   SMI_LOG_INFO << "cluster run complete: " << result.cycles << " cycles ("
                << result.microseconds << " us), " << result.link_packets
                << " link packets";

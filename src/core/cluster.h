@@ -41,6 +41,11 @@ struct RunResult {
   double seconds = 0.0;
   double microseconds = 0.0;
   std::uint64_t link_packets = 0;
+  /// Coroutine resumes across the run, merged over all scheduler partitions
+  /// (bit-identical across the three schedulers; see engine.h).
+  std::uint64_t kernel_resumes = 0;
+  /// Partitions used by the engine (1 under the sequential schedulers).
+  unsigned partitions = 1;
 };
 
 class Cluster {

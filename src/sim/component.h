@@ -63,6 +63,62 @@ class Component {
   std::string name_;
 };
 
+/// Interface of a component that can act as a *cut edge* between two
+/// partitions of the parallel scheduler (see engine.h). The component's
+/// normal `Step` fuses a sender side (popping a TX FIFO into a fixed-latency
+/// pipeline, bounded by a credit window) and a receiver side (delivering
+/// matured pipeline slots into an RX FIFO). When the two sides live on
+/// different worker threads, the engine splits the component: `StepTx` runs
+/// in the sender's partition, `StepRx` in the receiver's, and
+/// `ExchangeAtBarrier` moves the payloads accepted during the previous epoch
+/// (and the delivery credits earned by the receiver) across at each global
+/// epoch barrier — the double-buffered boundary queue of conservative
+/// parallel discrete-event simulation.
+///
+/// Exactness contract: a payload accepted by `StepTx` at cycle `a` must not
+/// become deliverable before cycle `a + link_latency()`, and `StepTx` may
+/// use at most the credit information established by the latest
+/// `ExchangeAtBarrier` (plus the one delivery at the barrier cycle itself
+/// that the barrier could predict exactly). `ExchangeAtBarrier` returns the
+/// link's *credit slack*: the number of cycles for which the sender's stale
+/// credit view provably makes the same accept/stall decisions as the fused
+/// `Step` would; the engine never extends an epoch past the smallest slack.
+class CutLink {
+ public:
+  virtual ~CutLink() = default;
+
+  /// Pipeline depth in cycles; upper-bounds the epoch length (payloads
+  /// cannot cross a partition boundary faster than this).
+  virtual Cycle link_latency() const = 0;
+
+  /// Enter/leave split mode. EndSplit must fold any staged sender-side
+  /// payloads back into the fused pipeline state so sequential observers
+  /// (delivered counters, a later sequential run) see a consistent link.
+  virtual void BeginSplit() = 0;
+  virtual void EndSplit() = 0;
+
+  /// The split halves, stepped by their owning partitions.
+  virtual void StepTx(Cycle now) = 0;
+  virtual void StepRx(Cycle now) = 0;
+
+  /// Barrier exchange at `epoch_start`; returns the credit slack (>= 1) for
+  /// the epoch beginning there. Called with every partition synchronized at
+  /// `epoch_start`, so committed FIFO state may be inspected freely.
+  virtual Cycle ExchangeAtBarrier(Cycle epoch_start) = 0;
+
+  /// Drop deliveries recorded at cycle >= `cycle` from the delivered
+  /// counter. The parallel scheduler lets partitions overshoot the global
+  /// completion cycle inside the final epoch; this trims the overshoot so
+  /// merged traffic statistics match the sequential schedulers exactly.
+  virtual void TrimDeliveriesAtOrAfter(Cycle cycle) = 0;
+
+  /// Wake FIFOs of the two halves and the receiver half's timed self-wake
+  /// (pipeline-head maturity), mirroring the fused component's contract.
+  virtual const FifoBase* tx_wake_fifo() const = 0;
+  virtual const FifoBase* rx_wake_fifo() const = 0;
+  virtual Cycle NextRxSelfWake(Cycle now) const = 0;
+};
+
 }  // namespace smi::sim
 
 #endif  // SMI_SIM_COMPONENT_H

@@ -1,24 +1,104 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <mutex>
 #include <sstream>
+#include <thread>
+#include <unordered_set>
 
 #include "common/error.h"
 #include "common/logging.h"
 
 namespace smi::sim {
 
-Engine::Engine(EngineConfig config) : config_(config) {}
+namespace {
+
+/// Cap on parallel epoch length. Correctness never depends on it (barriers
+/// are pure synchronization points); it bounds per-epoch log sizes and the
+/// overshoot past the completion cycle inside the final epoch.
+constexpr Cycle kMaxEpochCycles = 4096;
+
+/// Adapter exposing a split CutLink's sender half as a component of the
+/// sending partition. Credits only arrive at epoch barriers (where the
+/// engine force-schedules the half), so TX FIFO activity is the lone
+/// intra-epoch wake source.
+class CutTxHalf final : public Component {
+ public:
+  CutTxHalf(std::string name, CutLink& cut)
+      : Component(std::move(name)), cut_(&cut) {}
+  void Step(Cycle now) override { cut_->StepTx(now); }
+  void DeclareWakeFifos(std::vector<const FifoBase*>& out) const override {
+    out.push_back(cut_->tx_wake_fifo());
+  }
+  Cycle NextSelfWake(Cycle /*now*/) const override { return kNeverCycle; }
+
+ private:
+  CutLink* cut_;
+};
+
+/// Adapter exposing the receiver half in the receiving partition. New
+/// payloads only arrive at barriers (force-scheduled); within an epoch the
+/// half wakes on RX FIFO activity (pops freeing space) and on the pending
+/// head maturing.
+class CutRxHalf final : public Component {
+ public:
+  CutRxHalf(std::string name, CutLink& cut)
+      : Component(std::move(name)), cut_(&cut) {}
+  void Step(Cycle now) override { cut_->StepRx(now); }
+  void DeclareWakeFifos(std::vector<const FifoBase*>& out) const override {
+    out.push_back(cut_->rx_wake_fifo());
+  }
+  Cycle NextSelfWake(Cycle now) const override {
+    return cut_->NextRxSelfWake(now);
+  }
+
+ private:
+  CutLink* cut_;
+};
+
+}  // namespace
+
+Engine::Engine(EngineConfig config) : config_(config) {
+  whole_.index = 0;
+  whole_.clock = &now_;
+}
 
 Engine::~Engine() = default;
+
+void Engine::SetPartitionTag(int tag) {
+  current_tag_ = tag;
+  if (tag == kUntaggedPartition) return;
+  if (tag_slots_.find(tag) == tag_slots_.end()) {
+    tag_slots_.emplace(tag, tag_clocks_.size());
+    tag_clocks_.push_back(now_);
+  }
+}
+
+const Cycle* Engine::now_ptr() const {
+  if (current_tag_ == kUntaggedPartition) return &now_;
+  return &tag_clocks_[tag_slots_.at(current_tag_)];
+}
+
+void Engine::MarkCutComponent(Component& component, CutLink& cut, int tx_tag,
+                              int rx_tag) {
+  CutRec rec;
+  rec.component = &component;
+  rec.cut = &cut;
+  rec.tx_tag = tx_tag;
+  rec.rx_tag = rx_tag;
+  cuts_.push_back(rec);
+}
 
 void Engine::AddKernel(Kernel kernel, std::string name, bool daemon) {
   if (!kernel.valid()) {
     throw ConfigError("attempted to register an invalid kernel: " + name);
   }
-  kernel.promise().now = &now_;
-  kernels_.push_back(KernelSlot{std::move(kernel), std::move(name), daemon,
-                                /*done=*/false});
+  kernel.promise().now = now_ptr();
+  kernel_tags_.push_back(current_tag_);
+  kernels_.push_back(KernelSlot{.kernel = std::move(kernel),
+                                .name = std::move(name),
+                                .daemon = daemon});
 }
 
 void Engine::CheckKernelException(KernelSlot& slot) {
@@ -45,6 +125,19 @@ std::size_t Engine::pending_kernels() const {
   return pending;
 }
 
+void Engine::AdvanceClock(Partition& p, Cycle target) {
+  *p.clock = target;
+  for (Cycle* mirror : p.mirrors) *mirror = target;
+}
+
+void Engine::RefreshWholeClock() {
+  whole_.index = 0;
+  whole_.clock = &now_;
+  whole_.mirrors.clear();
+  for (Cycle& slot : tag_clocks_) whole_.mirrors.push_back(&slot);
+  AdvanceClock(whole_, now_);
+}
+
 bool Engine::StepCycleSync() {
   bool progress = false;
 
@@ -57,7 +150,7 @@ bool Engine::StepCycleSync() {
       promise.blocker = nullptr;
     }
     // Either never started, or its blocked operation just completed.
-    ++kernel_resumes_;
+    ++whole_.resumes;
     progress = true;
     slot.kernel.Resume();
     CheckKernelException(slot);
@@ -74,39 +167,45 @@ bool Engine::StepCycleSync() {
   for (const std::unique_ptr<FifoBase>& fifo : fifos_) {
     progress |= fifo->Commit();
   }
-  dirty_fifos_.clear();
+  whole_.dirty.clear();
 
-  ++now_;
+  AdvanceClock(whole_, now_ + 1);
   return progress;
 }
 
-void Engine::ScheduleComponent(std::size_t index, Cycle cycle) {
+void Engine::ScheduleComponent(Partition& p, std::size_t index, Cycle cycle) {
   if (cycle == kNeverCycle) return;
   ComponentRec& rec = comp_recs_[index];
   if (cycle < rec.next_wake) {
     rec.next_wake = cycle;
-    comp_heap_.emplace(cycle, index);
+    p.comp_heap.emplace(cycle, index);
   }
 }
 
-void Engine::ScheduleKernel(std::size_t index, Cycle cycle) {
+void Engine::ScheduleKernel(Partition& p, std::size_t index, Cycle cycle) {
   if (cycle == kNeverCycle) return;
   KernelSlot& slot = kernels_[index];
   if (cycle < slot.next_poll) {
     slot.next_poll = cycle;
-    kernel_heap_.emplace(cycle, index);
+    p.kernel_heap.emplace(cycle, index);
   }
 }
 
-void Engine::RegisterWatch(std::size_t kernel_index) {
+void Engine::RegisterWatch(Partition& p, std::size_t kernel_index) {
   KernelSlot& slot = kernels_[kernel_index];
-  watch_scratch_.clear();
-  slot.kernel.promise().blocker->WatchFifos(watch_scratch_);
+  p.watch_scratch.clear();
+  slot.kernel.promise().blocker->WatchFifos(p.watch_scratch);
   slot.watch_effective = false;
-  for (const FifoBase* fifo : watch_scratch_) {
+  for (const FifoBase* fifo : p.watch_scratch) {
     // FIFOs owned by a different engine (or none) cannot wake us through the
     // commit phase; the caller falls back to polling every cycle.
     if (fifo == nullptr || fifo->sched_owner() != this) continue;
+    if (fifo_part_[fifo->sched_index()] != p.index) {
+      throw ConfigError("kernel " + slot.name + " watches FIFO " +
+                        fifo->name() +
+                        " owned by another partition; only cut links may "
+                        "cross partitions");
+    }
     fifo_recs_[fifo->sched_index()].kernel_watchers.push_back(kernel_index);
     slot.watching.push_back(fifo->sched_index());
     slot.watch_effective = true;
@@ -124,148 +223,197 @@ void Engine::UnregisterWatch(std::size_t kernel_index) {
   slot.watch_effective = false;
 }
 
-void Engine::ParkKernel(std::size_t kernel_index) {
+void Engine::ParkKernel(Partition& p, std::size_t kernel_index) {
   KernelSlot& slot = kernels_[kernel_index];
   Kernel::promise_type& promise = slot.kernel.promise();
+  const Cycle now = *p.clock;
   if (promise.blocker == nullptr) {
     // Suspended without a blocker (should not happen with the provided
     // awaitables); poll again next cycle — always correct.
-    ScheduleKernel(kernel_index, now_ + 1);
+    ScheduleKernel(p, kernel_index, now + 1);
     return;
   }
-  RegisterWatch(kernel_index);
-  Cycle next = promise.blocker->NextPollCycle(now_);
-  if (!slot.watch_effective && next == kNeverCycle) next = now_ + 1;
-  ScheduleKernel(kernel_index, next);
+  RegisterWatch(p, kernel_index);
+  Cycle next = promise.blocker->NextPollCycle(now);
+  if (!slot.watch_effective && next == kNeverCycle) next = now + 1;
+  ScheduleKernel(p, kernel_index, next);
 }
 
-void Engine::PrepareEventRun() {
-  comp_recs_.assign(components_.size(), ComponentRec{});
-  fifo_recs_.assign(fifos_.size(), FifoRec{});
-  comp_heap_ = WakeHeap();
-  kernel_heap_ = WakeHeap();
-  for (std::size_t i = 0; i < components_.size(); ++i) {
-    watch_scratch_.clear();
-    components_[i]->DeclareWakeFifos(watch_scratch_);
-    for (const FifoBase* fifo : watch_scratch_) {
+void Engine::PreparePartition(Partition& p) {
+  p.comp_heap = WakeHeap();
+  p.kernel_heap = WakeHeap();
+  p.due_components.clear();
+  p.due_kernels.clear();
+  p.resume_log.clear();
+  p.app_pending = 0;
+  p.app_done_p1 = 0;
+  p.error = nullptr;
+  p.error_cycle = kNeverCycle;
+  p.dirty.clear();
+  const Cycle now = *p.clock;
+  for (const std::size_t i : p.components) {
+    comp_recs_[i] = ComponentRec{};
+    p.watch_scratch.clear();
+    components_[i]->DeclareWakeFifos(p.watch_scratch);
+    for (const FifoBase* fifo : p.watch_scratch) {
       if (fifo == nullptr || fifo->sched_owner() != this) continue;
+      if (fifo_part_[fifo->sched_index()] != p.index) {
+        throw ConfigError("component " + components_[i]->name() +
+                          " declares wake FIFO " + fifo->name() +
+                          " owned by another partition; only cut links may "
+                          "cross partitions");
+      }
       fifo_recs_[fifo->sched_index()].component_subs.push_back(i);
     }
-    ScheduleComponent(i, now_);
+    ScheduleComponent(p, i, now);
   }
-  for (std::size_t i = 0; i < kernels_.size(); ++i) {
+  for (const std::size_t i : p.kernels) {
     KernelSlot& slot = kernels_[i];
     slot.next_poll = kNeverCycle;
     slot.watching.clear();
     slot.watch_effective = false;
+    if (!slot.done && !slot.daemon) ++p.app_pending;
     if (slot.done) continue;
-    if (slot.kernel.promise().blocker != nullptr) RegisterWatch(i);
+    if (slot.kernel.promise().blocker != nullptr) RegisterWatch(p, i);
     // Scheduling everything for an immediate poll/step is always safe; the
     // wake machinery thins the schedule out from the second cycle on.
-    ScheduleKernel(i, now_);
+    ScheduleKernel(p, i, now);
   }
 }
 
-bool Engine::StepCycleEvent() {
+void Engine::PrepareWholePartition() {
+  RefreshWholeClock();
+  whole_.log_resumes = false;
+  whole_.components.resize(components_.size());
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    whole_.components[i] = i;
+  }
+  whole_.kernels.resize(kernels_.size());
+  for (std::size_t i = 0; i < kernels_.size(); ++i) whole_.kernels[i] = i;
+  fifo_part_.assign(fifos_.size(), 0);
+  comp_part_.assign(components_.size(), 0);
+  kernel_part_.assign(kernels_.size(), 0);
+  comp_recs_.assign(components_.size(), ComponentRec{});
+  fifo_recs_.assign(fifos_.size(), FifoRec{});
+  PreparePartition(whole_);
+}
+
+void Engine::AppendResumeLog(Partition& p, Cycle cycle) {
+  if (!p.resume_log.empty() && p.resume_log.back().first == cycle) {
+    ++p.resume_log.back().second;
+  } else {
+    p.resume_log.emplace_back(cycle, 1);
+  }
+}
+
+bool Engine::StepCycleEvent(Partition& p) {
+  const Cycle now = *p.clock;
   bool progress = false;
 
   // Collect the entities due this cycle. Heap entries are lazily invalidated,
   // so an entry only counts if it matches the entity's scheduled cycle.
   // Indices are sorted so phases run in registration order, exactly like the
   // synchronous scheduler.
-  due_kernels_.clear();
-  while (!kernel_heap_.empty() && kernel_heap_.top().first <= now_) {
-    const auto [cycle, index] = kernel_heap_.top();
-    kernel_heap_.pop();
+  p.due_kernels.clear();
+  while (!p.kernel_heap.empty() && p.kernel_heap.top().first <= now) {
+    const auto [cycle, index] = p.kernel_heap.top();
+    p.kernel_heap.pop();
     if (kernels_[index].next_poll != cycle) continue;
     kernels_[index].next_poll = kNeverCycle;
-    due_kernels_.push_back(index);
+    p.due_kernels.push_back(index);
   }
-  std::sort(due_kernels_.begin(), due_kernels_.end());
-  due_components_.clear();
-  while (!comp_heap_.empty() && comp_heap_.top().first <= now_) {
-    const auto [cycle, index] = comp_heap_.top();
-    comp_heap_.pop();
+  std::sort(p.due_kernels.begin(), p.due_kernels.end());
+  p.due_components.clear();
+  while (!p.comp_heap.empty() && p.comp_heap.top().first <= now) {
+    const auto [cycle, index] = p.comp_heap.top();
+    p.comp_heap.pop();
     if (comp_recs_[index].next_wake != cycle) continue;
     comp_recs_[index].next_wake = kNeverCycle;
-    due_components_.push_back(index);
+    p.due_components.push_back(index);
   }
-  std::sort(due_components_.begin(), due_components_.end());
+  std::sort(p.due_components.begin(), p.due_components.end());
 
   // Phase 1: poll due kernels; resume the ones whose operation succeeds.
-  for (const std::size_t index : due_kernels_) {
+  for (const std::size_t index : p.due_kernels) {
     KernelSlot& slot = kernels_[index];
     if (slot.done) continue;
     Kernel::promise_type& promise = slot.kernel.promise();
     if (promise.blocker != nullptr) {
-      if (!promise.blocker->TryComplete(now_)) {
+      if (!promise.blocker->TryComplete(now)) {
         // Still blocked: re-arm the timed poll; FIFO watches stay in place.
-        Cycle next = promise.blocker->NextPollCycle(now_);
-        if (!slot.watch_effective && next == kNeverCycle) next = now_ + 1;
-        ScheduleKernel(index, next);
+        Cycle next = promise.blocker->NextPollCycle(now);
+        if (!slot.watch_effective && next == kNeverCycle) next = now + 1;
+        ScheduleKernel(p, index, next);
         continue;
       }
       promise.blocker = nullptr;
       UnregisterWatch(index);
     }
-    ++kernel_resumes_;
+    ++p.resumes;
+    if (p.log_resumes) AppendResumeLog(p, now);
     progress = true;
     slot.kernel.Resume();
     CheckKernelException(slot);
-    if (!slot.done) ParkKernel(index);
+    if (slot.done) {
+      if (!slot.daemon && p.app_pending > 0 && --p.app_pending == 0) {
+        p.app_done_p1 = now + 1;
+      }
+    } else {
+      ParkKernel(p, index);
+    }
   }
 
   // Phase 2: step due components.
-  for (const std::size_t index : due_components_) {
-    components_[index]->Step(now_);
+  for (const std::size_t index : p.due_components) {
+    components_[index]->Step(now);
   }
 
   // Phase 3: commit the FIFOs touched this cycle; a committed transfer wakes
   // subscribed components and watching kernels for the next cycle (which is
   // exactly when the transfer becomes visible to them).
-  for (FifoBase* fifo : dirty_fifos_) {
+  for (FifoBase* fifo : p.dirty) {
     if (!fifo->Commit()) continue;
     progress = true;
     const FifoRec& rec = fifo_recs_[fifo->sched_index()];
     for (const std::size_t sub : rec.component_subs) {
-      ScheduleComponent(sub, now_ + 1);
+      ScheduleComponent(p, sub, now + 1);
     }
     for (const std::size_t watcher : rec.kernel_watchers) {
-      ScheduleKernel(watcher, now_ + 1);
+      ScheduleKernel(p, watcher, now + 1);
     }
   }
-  dirty_fifos_.clear();
+  p.dirty.clear();
 
   // Phase 4: timed self-wakes, asked after the commits are visible.
-  for (const std::size_t index : due_components_) {
-    ScheduleComponent(index, components_[index]->NextSelfWake(now_));
+  for (const std::size_t index : p.due_components) {
+    ScheduleComponent(p, index, components_[index]->NextSelfWake(now));
   }
 
-  ++now_;
+  AdvanceClock(p, now + 1);
   return progress;
 }
 
-Cycle Engine::NextEventCycle() {
-  while (!comp_heap_.empty() &&
-         comp_recs_[comp_heap_.top().second].next_wake !=
-             comp_heap_.top().first) {
-    comp_heap_.pop();
+Cycle Engine::NextEventCycle(Partition& p) {
+  while (!p.comp_heap.empty() &&
+         comp_recs_[p.comp_heap.top().second].next_wake !=
+             p.comp_heap.top().first) {
+    p.comp_heap.pop();
   }
-  while (!kernel_heap_.empty() &&
-         kernels_[kernel_heap_.top().second].next_poll !=
-             kernel_heap_.top().first) {
-    kernel_heap_.pop();
+  while (!p.kernel_heap.empty() &&
+         kernels_[p.kernel_heap.top().second].next_poll !=
+             p.kernel_heap.top().first) {
+    p.kernel_heap.pop();
   }
   Cycle next = kNeverCycle;
-  if (!comp_heap_.empty()) next = std::min(next, comp_heap_.top().first);
-  if (!kernel_heap_.empty()) next = std::min(next, kernel_heap_.top().first);
+  if (!p.comp_heap.empty()) next = std::min(next, p.comp_heap.top().first);
+  if (!p.kernel_heap.empty()) next = std::min(next, p.kernel_heap.top().first);
   return next;
 }
 
 void Engine::JumpIdleCycles(Cycle target, bool accounted) {
   if (target <= now_) return;
   if (!accounted) {
-    now_ = target;
+    AdvanceClock(whole_, target);
     return;
   }
   // The skipped cycles would each have been a no-progress StepCycle; charge
@@ -282,25 +430,26 @@ void Engine::JumpIdleCycles(Cycle target, bool accounted) {
                                      : 1)
                               : kNeverCycle;
   if (until_watchdog <= gap && until_watchdog <= until_max) {
-    now_ += until_watchdog;
+    AdvanceClock(whole_, now_ + until_watchdog);
     idle_cycles_ += until_watchdog;
-    RaiseDeadlock();
+    RaiseDeadlock(/*with_partitions=*/false);
   }
   if (until_max <= gap) {
-    now_ += until_max;
+    AdvanceClock(whole_, now_ + until_max);
     idle_cycles_ += until_max;
     throw Error("engine exceeded max_cycles=" +
                 std::to_string(config_.max_cycles));
   }
-  now_ = target;
+  AdvanceClock(whole_, target);
   idle_cycles_ += gap;
 }
 
-void Engine::RaiseDeadlock() {
+void Engine::RaiseDeadlock(bool with_partitions) {
   std::ostringstream oss;
   oss << "simulated deadlock: no progress for " << config_.watchdog_cycles
       << " cycles at cycle " << now_ << "; blocked kernels:";
-  for (const KernelSlot& slot : kernels_) {
+  for (std::size_t i = 0; i < kernels_.size(); ++i) {
+    const KernelSlot& slot = kernels_[i];
     if (slot.done) continue;
     oss << "\n  - " << slot.name;
     const Blocker* blocker = slot.kernel.promise().blocker;
@@ -310,74 +459,403 @@ void Engine::RaiseDeadlock() {
       oss << " (not yet started)";
     }
     if (slot.daemon) oss << " [daemon]";
+    if (with_partitions) {
+      // Partition k runs on worker thread k, so one index names both.
+      oss << " [partition " << kernel_part_[i] << ", thread "
+          << kernel_part_[i] << "]";
+    }
   }
   throw DeadlockError(oss.str());
 }
 
-RunStats Engine::FinishRun() const {
+RunStats Engine::FinishRun(unsigned partitions) const {
   RunStats stats;
   stats.cycles = now_;
   stats.seconds = config_.clock.CyclesToSeconds(now_);
-  stats.kernel_resumes = kernel_resumes_;
+  stats.kernel_resumes = whole_.resumes;
+  for (const Partition& p : partitions_) stats.kernel_resumes += p.resumes;
+  stats.partitions = partitions;
   return stats;
 }
 
 RunStats Engine::Run() {
+  if (config_.scheduler == SchedulerKind::kParallel) return RunParallel();
+
   if (config_.scheduler == SchedulerKind::kSynchronous) {
+    RefreshWholeClock();
     while (!AllAppKernelsDone()) {
       const bool progress = StepCycleSync();
       if (progress) {
         idle_cycles_ = 0;
       } else if (++idle_cycles_ >= config_.watchdog_cycles) {
-        RaiseDeadlock();
+        RaiseDeadlock(/*with_partitions=*/false);
       }
       if (config_.max_cycles != 0 && now_ >= config_.max_cycles) {
         throw Error("engine exceeded max_cycles=" +
                     std::to_string(config_.max_cycles));
       }
     }
-    return FinishRun();
+    return FinishRun(/*partitions=*/1);
   }
 
-  PrepareEventRun();
+  PrepareWholePartition();
   while (!AllAppKernelsDone()) {
-    const bool progress = StepCycleEvent();
+    const bool progress = StepCycleEvent(whole_);
     if (progress) {
       idle_cycles_ = 0;
     } else if (++idle_cycles_ >= config_.watchdog_cycles) {
-      RaiseDeadlock();
+      RaiseDeadlock(/*with_partitions=*/false);
     }
     if (config_.max_cycles != 0 && now_ >= config_.max_cycles) {
       throw Error("engine exceeded max_cycles=" +
                   std::to_string(config_.max_cycles));
     }
     if (AllAppKernelsDone()) break;
-    const Cycle next = NextEventCycle();
+    const Cycle next = NextEventCycle(whole_);
     if (next > now_) JumpIdleCycles(next, /*accounted=*/true);
   }
-  return FinishRun();
+  return FinishRun(/*partitions=*/1);
 }
 
 bool Engine::RunFor(Cycle cycles) {
   if (config_.scheduler == SchedulerKind::kSynchronous) {
+    RefreshWholeClock();
     for (Cycle i = 0; i < cycles && !AllAppKernelsDone(); ++i) {
       StepCycleSync();
     }
     return AllAppKernelsDone();
   }
 
-  PrepareEventRun();
+  // Incremental stepping always runs the single-threaded event-driven path
+  // (under kParallel as well — partitioning only pays off for full runs).
+  PrepareWholePartition();
   const Cycle end = now_ + cycles;
   while (now_ < end && !AllAppKernelsDone()) {
-    StepCycleEvent();
+    StepCycleEvent(whole_);
     // The synchronous loop stops stepping the moment the last kernel
     // finishes, leaving `now_` at the completion cycle — so re-check before
     // jumping ahead.
     if (now_ >= end || AllAppKernelsDone()) break;
-    const Cycle next = NextEventCycle();
+    const Cycle next = NextEventCycle(whole_);
     if (next > now_) JumpIdleCycles(std::min(next, end), /*accounted=*/false);
   }
   return AllAppKernelsDone();
+}
+
+// ---------------------------------------------------------------------------
+// Parallel scheduler
+// ---------------------------------------------------------------------------
+
+void Engine::PrepareParallelRun(unsigned workers) {
+  const std::size_t num_tags = tag_clocks_.size();
+  const std::size_t nparts =
+      std::max<std::size_t>(1, std::min<std::size_t>(workers,
+                                                     std::max<std::size_t>(
+                                                         num_tags, 1)));
+  partitions_.clear();
+  for (std::size_t i = 0; i < nparts; ++i) {
+    partitions_.emplace_back();
+    Partition& p = partitions_.back();
+    p.index = static_cast<int>(i);
+    p.clock = &p.clock_storage;
+    p.clock_storage = now_;
+    p.log_resumes = true;
+    p.last_progress_p1 = 0;
+    p.resumes = 0;
+  }
+  // Partition 0 mirrors the engine-global counter so untagged kernels (raw
+  // engine users) and Engine::now() observers keep tracking a clock.
+  partitions_[0].mirrors.push_back(&now_);
+
+  // Contiguous balanced mapping of tag slots (= ranks, in fabric order) onto
+  // partitions; handles thread counts that do not divide the rank count.
+  std::vector<int> slot_part(num_tags, 0);
+  for (std::size_t k = 0; k < num_tags; ++k) {
+    slot_part[k] = static_cast<int>(k * nparts / num_tags);
+    partitions_[static_cast<std::size_t>(slot_part[k])].mirrors.push_back(
+        &tag_clocks_[k]);
+    tag_clocks_[k] = now_;
+  }
+  const auto part_of_tag = [&](int tag) {
+    return tag == kUntaggedPartition
+               ? 0
+               : slot_part[tag_slots_.at(tag)];
+  };
+
+  fifo_part_.resize(fifos_.size());
+  for (std::size_t i = 0; i < fifos_.size(); ++i) {
+    fifo_part_[i] = part_of_tag(fifo_tags_[i]);
+  }
+  base_component_count_ = components_.size();
+  comp_part_.resize(base_component_count_);
+  for (std::size_t i = 0; i < base_component_count_; ++i) {
+    comp_part_[i] = part_of_tag(comp_tags_[i]);
+  }
+  kernel_part_.resize(kernels_.size());
+  for (std::size_t i = 0; i < kernels_.size(); ++i) {
+    kernel_part_[i] = part_of_tag(kernel_tags_[i]);
+  }
+
+  // Split cut components whose halves land on different partitions,
+  // materializing the halves as adapter components of the owning partitions.
+  std::unordered_set<const Component*> split_originals;
+  for (CutRec& cut : cuts_) {
+    cut.tx_part = part_of_tag(cut.tx_tag);
+    cut.rx_part = part_of_tag(cut.rx_tag);
+    cut.split = cut.tx_part != cut.rx_part;
+    if (!cut.split) continue;
+    split_originals.insert(cut.component);
+    cut.cut->BeginSplit();
+    cut.tx_comp = components_.size();
+    components_.push_back(
+        std::make_unique<CutTxHalf>(cut.component->name() + ".tx", *cut.cut));
+    comp_tags_.push_back(cut.tx_tag);
+    comp_part_.push_back(cut.tx_part);
+    cut.rx_comp = components_.size();
+    components_.push_back(
+        std::make_unique<CutRxHalf>(cut.component->name() + ".rx", *cut.cut));
+    comp_tags_.push_back(cut.rx_tag);
+    comp_part_.push_back(cut.rx_part);
+  }
+
+  // Entity lists (split originals are replaced by their halves) and
+  // partition-local FIFO dirty lists.
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (split_originals.count(components_[i].get()) != 0) continue;
+    partitions_[static_cast<std::size_t>(comp_part_[i])].components.push_back(
+        i);
+  }
+  for (std::size_t i = 0; i < kernels_.size(); ++i) {
+    partitions_[static_cast<std::size_t>(kernel_part_[i])].kernels.push_back(
+        i);
+  }
+  for (std::size_t i = 0; i < fifos_.size(); ++i) {
+    Partition& p = partitions_[static_cast<std::size_t>(fifo_part_[i])];
+    p.fifo_ids.push_back(i);
+    fifos_[i]->AttachScheduler(this, &p.dirty, i);
+  }
+
+  comp_recs_.assign(components_.size(), ComponentRec{});
+  fifo_recs_.assign(fifos_.size(), FifoRec{});
+  for (Partition& p : partitions_) PreparePartition(p);
+}
+
+void Engine::CleanupParallelRun() {
+  for (CutRec& cut : cuts_) {
+    if (!cut.split) continue;
+    cut.cut->EndSplit();
+    cut.split = false;
+  }
+  if (base_component_count_ != 0 &&
+      components_.size() > base_component_count_) {
+    components_.resize(base_component_count_);
+    comp_tags_.resize(base_component_count_);
+    comp_part_.resize(base_component_count_);
+  }
+  for (std::size_t i = 0; i < fifos_.size(); ++i) {
+    fifos_[i]->AttachScheduler(this, &whole_.dirty, i);
+  }
+  // Fold partition accounting into the whole-engine state so a later
+  // sequential Run/RunFor continues the same counters, then drop the
+  // partitions.
+  for (Partition& p : partitions_) whole_.resumes += p.resumes;
+  partitions_.clear();
+}
+
+void Engine::RunPartitionEpoch(Partition& p) {
+  while (*p.clock < p.epoch_end) {
+    const Cycle cycle = *p.clock;
+    if (StepCycleEvent(p)) p.last_progress_p1 = cycle + 1;
+    if (*p.clock >= p.epoch_end) break;
+    const Cycle next = NextEventCycle(p);
+    if (next > *p.clock) {
+      AdvanceClock(p, std::min(next, p.epoch_end));
+    }
+  }
+}
+
+void Engine::RunPartitionEpochGuarded(Partition& p) {
+  try {
+    RunPartitionEpoch(p);
+  } catch (...) {
+    p.error = std::current_exception();
+    p.error_cycle = *p.clock;
+  }
+}
+
+RunStats Engine::RunParallel() {
+  unsigned workers = config_.threads;
+  if (workers == 0) workers = std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+
+  struct Cleanup {
+    Engine* engine;
+    ~Cleanup() { engine->CleanupParallelRun(); }
+  } cleanup{this};
+  PrepareParallelRun(workers);
+  const std::size_t nparts = partitions_.size();
+
+  std::size_t total_app = 0;
+  for (const Partition& p : partitions_) total_app += p.app_pending;
+  if (total_app == 0) return FinishRun(static_cast<unsigned>(nparts));
+
+  // Epoch gate: the coordinator (this thread, owning partition 0) publishes
+  // an epoch, workers run their partition's slice and count themselves out.
+  struct Gate {
+    std::mutex m;
+    std::condition_variable start;
+    std::condition_variable done;
+    std::uint64_t epoch = 0;
+    std::size_t running = 0;
+    bool stop = false;
+  } gate;
+  std::vector<std::thread> pool;
+  pool.reserve(nparts > 0 ? nparts - 1 : 0);
+  for (std::size_t w = 1; w < nparts; ++w) {
+    pool.emplace_back([this, &gate, w] {
+      std::uint64_t seen = 0;
+      for (;;) {
+        {
+          std::unique_lock<std::mutex> lock(gate.m);
+          gate.start.wait(lock,
+                          [&] { return gate.stop || gate.epoch > seen; });
+          if (gate.stop) return;
+          seen = gate.epoch;
+        }
+        RunPartitionEpochGuarded(partitions_[w]);
+        {
+          std::lock_guard<std::mutex> lock(gate.m);
+          if (--gate.running == 0) gate.done.notify_one();
+        }
+      }
+    });
+  }
+  struct PoolStop {
+    Gate* gate;
+    std::vector<std::thread>* pool;
+    ~PoolStop() {
+      {
+        std::lock_guard<std::mutex> lock(gate->m);
+        gate->stop = true;
+      }
+      gate->start.notify_all();
+      for (std::thread& t : *pool) t.join();
+    }
+  } pool_stop{&gate, &pool};
+
+  Cycle barrier_cycle = now_;
+  for (;;) {
+    // --- Barrier work at `barrier_cycle` (every partition synced here) ---
+    // Exchange cut-link payloads/credits and derive the epoch length: the
+    // smallest of every split link's lookahead (pipeline latency) and credit
+    // slack, the watchdog fire cycle and the max-cycles guard.
+    Cycle bound = kMaxEpochCycles;
+    for (CutRec& cut : cuts_) {
+      if (!cut.split) continue;
+      const Cycle slack = cut.cut->ExchangeAtBarrier(barrier_cycle);
+      const Cycle lookahead = std::max<Cycle>(cut.cut->link_latency(), 1);
+      bound = std::min(bound, std::min(lookahead, slack));
+      // New credits / payloads may enable the halves right at epoch start.
+      ScheduleComponent(partitions_[static_cast<std::size_t>(cut.tx_part)],
+                        cut.tx_comp, barrier_cycle);
+      ScheduleComponent(partitions_[static_cast<std::size_t>(cut.rx_part)],
+                        cut.rx_comp, barrier_cycle);
+    }
+    Cycle last_progress_p1 = 0;
+    for (Partition& p : partitions_) {
+      last_progress_p1 = std::max(last_progress_p1, p.last_progress_p1);
+      // Only the final epoch's resume log is ever needed for trimming.
+      p.resume_log.clear();
+    }
+    const Cycle fire_at = last_progress_p1 + config_.watchdog_cycles;
+    Cycle epoch_end = barrier_cycle + bound;
+    epoch_end = std::min(epoch_end, fire_at);
+    if (config_.max_cycles != 0) {
+      epoch_end = std::min(epoch_end, config_.max_cycles);
+    }
+    if (epoch_end <= barrier_cycle) epoch_end = barrier_cycle + 1;
+
+    // --- Run the epoch on all partitions ---
+    for (Partition& p : partitions_) p.epoch_end = epoch_end;
+    if (nparts > 1) {
+      {
+        std::lock_guard<std::mutex> lock(gate.m);
+        ++gate.epoch;
+        gate.running = nparts - 1;
+      }
+      gate.start.notify_all();
+    }
+    RunPartitionEpochGuarded(partitions_[0]);
+    if (nparts > 1) {
+      std::unique_lock<std::mutex> lock(gate.m);
+      gate.done.wait(lock, [&] { return gate.running == 0; });
+    }
+    barrier_cycle = epoch_end;
+
+    // --- Propagate worker errors (earliest cycle, then partition order) ---
+    const Partition* failed = nullptr;
+    for (const Partition& p : partitions_) {
+      if (p.error == nullptr) continue;
+      if (failed == nullptr || p.error_cycle < failed->error_cycle) {
+        failed = &p;
+      }
+    }
+    if (failed != nullptr) {
+      now_ = failed->error_cycle;
+      std::rethrow_exception(failed->error);
+    }
+
+    // --- Merged termination checks, in the sequential schedulers' per-cycle
+    // order: watchdog, then max-cycles, then completion — applied to the
+    // cycle each event would fire at. ---
+    Cycle merged_progress_p1 = 0;
+    bool all_done = true;
+    Cycle finish_p1 = 0;
+    for (const Partition& p : partitions_) {
+      merged_progress_p1 = std::max(merged_progress_p1, p.last_progress_p1);
+      if (p.app_pending != 0) {
+        all_done = false;
+      } else {
+        finish_p1 = std::max(finish_p1, p.app_done_p1);
+      }
+    }
+    if (all_done) {
+      // Completion at cycle `finish_p1` (= last app-kernel finish + 1). The
+      // sequential loops check max-cycles before breaking, so a tie goes to
+      // the max-cycles guard.
+      if (config_.max_cycles != 0 && config_.max_cycles <= finish_p1) {
+        now_ = config_.max_cycles;
+        throw Error("engine exceeded max_cycles=" +
+                    std::to_string(config_.max_cycles));
+      }
+      // Partitions overshoot `finish_p1` inside the final epoch; trim the
+      // overshoot out of the merged counters so stats are bit-identical to
+      // the sequential schedulers.
+      for (Partition& p : partitions_) {
+        while (!p.resume_log.empty() &&
+               p.resume_log.back().first >= finish_p1) {
+          p.resumes -= p.resume_log.back().second;
+          p.resume_log.pop_back();
+        }
+      }
+      for (CutRec& cut : cuts_) {
+        if (cut.split) cut.cut->TrimDeliveriesAtOrAfter(finish_p1);
+      }
+      now_ = finish_p1;
+      return FinishRun(static_cast<unsigned>(nparts));
+    }
+    const Cycle merged_fire_at =
+        merged_progress_p1 + config_.watchdog_cycles;
+    if (barrier_cycle >= merged_fire_at) {
+      now_ = merged_fire_at;
+      RaiseDeadlock(/*with_partitions=*/true);
+    }
+    if (config_.max_cycles != 0 && barrier_cycle >= config_.max_cycles) {
+      now_ = config_.max_cycles;
+      throw Error("engine exceeded max_cycles=" +
+                  std::to_string(config_.max_cycles));
+    }
+  }
 }
 
 }  // namespace smi::sim

@@ -19,7 +19,7 @@
 ///
 /// ## Schedulers
 ///
-/// Two schedulers implement those semantics:
+/// Three schedulers implement those semantics:
 ///
 /// * `SchedulerKind::kSynchronous` — the reference implementation: every
 ///   parked kernel is polled, every component is stepped, and every FIFO is
@@ -39,29 +39,72 @@
 ///     - when no entity is due, the engine jumps `now` directly to the next
 ///       scheduled event, charging the skipped cycles to the idle watchdog
 ///       and max-cycles accounting exactly as if they had been stepped.
+/// * `SchedulerKind::kParallel` — a conservative-lookahead parallel
+///   discrete-event scheduler (Chandy–Misra–Bryant style). Entities are
+///   grouped into *partitions* by the tag active at registration time
+///   (`SetPartitionTag`; the transport fabric tags everything with its rank).
+///   Each partition runs the event-driven active-set loop above privately on
+///   a worker thread; the only cross-partition edges are components
+///   registered through `MarkCutComponent` (serial links), whose fixed
+///   pipeline latency bounds how far one partition can influence another.
+///   Partitions advance in *epochs* of up to `min(latency)` cycles between
+///   global barriers, at which matured link payloads and delivery credits
+///   are exchanged (see `CutLink`). `EngineConfig::threads` selects the
+///   worker count; ranks are folded onto workers contiguously when there
+///   are fewer threads than partition tags, and a link whose two endpoints
+///   land on the same worker is not split at all.
 ///
 /// ### Bit-identical guarantee
 ///
-/// The event-driven scheduler produces results bit-identical to the
-/// synchronous one — same `RunStats`, same FIFO traffic, same deadlock
-/// diagnostics at the same cycle. The argument: skipping an entity on a
-/// cycle is only allowed when its synchronous-mode action would have been a
-/// no-op. Components and blockers guarantee this through the wake contract
-/// (see component.h and kernel.h): any state change that could enable an
-/// action either flows through a declared/watched FIFO — whose commit wakes
-/// the entity on the next cycle, exactly when the change becomes visible —
-/// or happens at a self-reported future cycle. The defaults (no declared
-/// FIFOs, wake every cycle) are always safe, so unmodified components and
-/// blockers run exactly as before; opting in is purely an optimisation.
-/// Extra wakeups never change behaviour, only cost. A differential test
-/// (tests/sim/engine_differential_test.cpp) runs both schedulers over the
-/// same traffic patterns and asserts identical cycle counts, kernel resumes
-/// and payloads.
+/// All three schedulers produce bit-identical results — same `RunStats`,
+/// same FIFO traffic, same deadlock diagnostics at the same cycle. For the
+/// event-driven scheduler the argument is the wake contract (see
+/// component.h and kernel.h): skipping an entity is only allowed when its
+/// synchronous-mode action would provably have been a no-op.
+///
+/// For the parallel scheduler the argument extends the FIFO
+/// commit-semantics determinism to epochs:
+///  * *Payload direction.* A payload accepted by a cut link at cycle `a`
+///    matures at `a + latency`. With epoch length `E <= latency`, every
+///    payload deliverable inside an epoch was accepted before the epoch
+///    began and is therefore present in the receiver-side queue after the
+///    preceding barrier — intra-epoch cross-partition visibility is
+///    impossible by construction.
+///  * *Credit direction.* The sender half may accept only while fewer than
+///    `latency + 1` payloads are outstanding. Deliveries made by the
+///    receiver during an epoch are not visible to the sender until the next
+///    barrier, so the sender's credit count is an over-estimate, which can
+///    only cause a spurious *stall*, never a spurious accept. Spurious
+///    stalls are excluded by bounding each epoch with the link's *credit
+///    slack*: with `W` payloads outstanding at barrier cycle `S` (after
+///    applying the exactly-predictable delivery at `S` itself — the
+///    receiver FIFO's cycle-`S` headroom is committed state at the
+///    barrier), the sender accepts at most one payload per cycle, so its
+///    stale count cannot reach `latency + 1` before cycle
+///    `S + (latency + 1 - W)`. Epochs never extend past that cycle, so
+///    every accept/stall decision inside an epoch equals the sequential
+///    one. Under sustained saturation the slack degenerates to one cycle —
+///    per-cycle barriers, still exact, merely slower.
+///  * *Accounting.* Each partition records its last-progress cycle, its
+///    kernel-resume log and its local app-kernel completion cycle; barriers
+///    merge them so the deadlock watchdog, `max_cycles` guard and final
+///    cycle/resume/link-packet counts fire and read exactly as under the
+///    sequential schedulers (trailing intra-epoch activity after the
+///    completion cycle is trimmed from the merged counters).
+///
+/// A differential test (tests/sim/engine_differential_test.cpp) runs all
+/// three schedulers over the same traffic patterns at several thread counts
+/// and asserts identical cycle counts, kernel resumes, link traffic and
+/// payloads.
 
 #include <cstdint>
+#include <deque>
+#include <exception>
+#include <map>
 #include <memory>
 #include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/clock.h"
@@ -71,11 +114,14 @@
 
 namespace smi::sim {
 
-/// Which cycle-stepping strategy the engine uses. Both produce bit-identical
-/// results; the event-driven one is faster the idler the fabric is.
+/// Which cycle-stepping strategy the engine uses. All produce bit-identical
+/// results; the event-driven one is faster the idler the fabric is, the
+/// parallel one additionally exploits thread-level parallelism between
+/// partitions (ranks).
 enum class SchedulerKind {
   kSynchronous,
   kEventDriven,
+  kParallel,
 };
 
 struct EngineConfig {
@@ -88,6 +134,9 @@ struct EngineConfig {
   Cycle max_cycles = 0;
   /// Scheduler selection; see the file comment.
   SchedulerKind scheduler = SchedulerKind::kEventDriven;
+  /// Worker threads for SchedulerKind::kParallel (ignored otherwise).
+  /// 0 = one worker per hardware thread. Clamped to the partition count.
+  unsigned threads = 1;
 };
 
 /// Result of a completed run.
@@ -95,6 +144,8 @@ struct RunStats {
   Cycle cycles = 0;
   double seconds = 0.0;
   std::uint64_t kernel_resumes = 0;
+  /// Partitions actually used by the run (1 under sequential schedulers).
+  unsigned partitions = 1;
 };
 
 class Engine {
@@ -106,15 +157,30 @@ class Engine {
 
   const EngineConfig& config() const { return config_; }
   Cycle now() const { return now_; }
-  /// Stable address of the cycle counter, wired into kernel promises.
-  const Cycle* now_ptr() const { return &now_; }
+  /// Stable address of the cycle counter the *current partition tag*'s
+  /// kernels must observe. With no tag active this is the engine-global
+  /// counter; after `SetPartitionTag(r)` it is rank r's clock slot, which
+  /// tracks the global counter under sequential schedulers and rank r's
+  /// private clock inside a parallel epoch.
+  const Cycle* now_ptr() const;
+
+  /// Select the partition tag for subsequently registered FIFOs, components
+  /// and kernels (used by the parallel scheduler to derive partitions; the
+  /// fabric tags each rank's entities with the rank id). Pass
+  /// `kUntaggedPartition` to return to the untagged default, which lands in
+  /// partition 0. Sequential schedulers ignore tags entirely.
+  void SetPartitionTag(int tag);
+  /// Partition tag applied to subsequently registered entities.
+  int partition_tag() const { return current_tag_; }
+  static constexpr int kUntaggedPartition = -1;
 
   /// Create and register a FIFO owned by the engine.
   template <typename T>
   Fifo<T>& MakeFifo(std::string name, std::size_t capacity) {
     auto fifo = std::make_unique<Fifo<T>>(std::move(name), capacity);
     Fifo<T>& ref = *fifo;
-    ref.AttachScheduler(this, &dirty_fifos_, fifos_.size());
+    ref.AttachScheduler(this, &whole_.dirty, fifos_.size());
+    fifo_tags_.push_back(current_tag_);
     fifos_.push_back(std::move(fifo));
     return ref;
   }
@@ -126,9 +192,18 @@ class Engine {
   C& MakeComponent(Args&&... args) {
     auto component = std::make_unique<C>(std::forward<Args>(args)...);
     C& ref = *component;
+    comp_tags_.push_back(current_tag_);
     components_.push_back(std::move(component));
     return ref;
   }
+
+  /// Declare `component` as a cross-partition cut edge between the
+  /// partitions tagged `tx_tag` and `rx_tag` (its `CutLink` interface). When
+  /// the parallel scheduler maps the two tags to different workers the
+  /// component is split into its TX/RX halves; otherwise (and under the
+  /// sequential schedulers) it steps monolithically as registered.
+  void MarkCutComponent(Component& component, CutLink& cut, int tx_tag,
+                        int rx_tag);
 
   /// Register a kernel coroutine. Daemon kernels (transport support kernels)
   /// do not keep the simulation alive: the run ends when every non-daemon
@@ -140,7 +215,8 @@ class Engine {
   RunStats Run();
 
   /// Step at most `cycles` cycles (for incremental tests); returns true if
-  /// all non-daemon kernels are done.
+  /// all non-daemon kernels are done. Always executes single-threaded (the
+  /// parallel scheduler runs event-driven here).
   bool RunFor(Cycle cycles);
 
   /// Number of registered kernels that have not finished (incl. daemons).
@@ -171,47 +247,147 @@ class Engine {
                           std::vector<std::pair<Cycle, std::size_t>>,
                           std::greater<std::pair<Cycle, std::size_t>>>;
 
+  /// One partition's worth of event-driven scheduler state. The sequential
+  /// schedulers use a single instance (`whole_`) spanning every entity; the
+  /// parallel scheduler builds one per worker with disjoint entity sets.
+  struct Partition {
+    int index = 0;
+    /// Master clock. Points at Engine::now_ for `whole_`, at
+    /// `clock_storage` for parallel partitions.
+    Cycle* clock = nullptr;
+    Cycle clock_storage = 0;
+    /// Per-tag clock slots (and, for partition 0, Engine::now_) kept in
+    /// lockstep with the master so kernel promises see the right cycle.
+    std::vector<Cycle*> mirrors;
+    Cycle epoch_end = kNeverCycle;
+
+    // Accounting (merged at epoch barriers under the parallel scheduler).
+    Cycle last_progress_p1 = 0;  ///< (cycle of last local progress) + 1
+    std::uint64_t resumes = 0;
+    bool log_resumes = false;
+    std::vector<std::pair<Cycle, std::uint32_t>> resume_log;  ///< this epoch
+    std::size_t app_pending = 0;
+    Cycle app_done_p1 = 0;  ///< (cycle the last local app kernel finished)+1
+
+    // Entity sets (global indices).
+    std::vector<std::size_t> components;
+    std::vector<std::size_t> kernels;
+    std::vector<std::size_t> fifo_ids;
+
+    // Event machinery.
+    std::vector<FifoBase*> dirty;
+    WakeHeap comp_heap;
+    WakeHeap kernel_heap;
+    std::vector<std::size_t> due_components;
+    std::vector<std::size_t> due_kernels;
+    std::vector<const FifoBase*> watch_scratch;
+
+    // Worker-side error capture.
+    std::exception_ptr error;
+    Cycle error_cycle = kNeverCycle;
+  };
+
+  struct CutRec {
+    Component* component = nullptr;
+    CutLink* cut = nullptr;
+    int tx_tag = 0;
+    int rx_tag = 0;
+    // Per-parallel-run state: whether the cut was actually split, which
+    // partitions own the halves and the adapter component indices.
+    bool split = false;
+    int tx_part = 0;
+    int rx_part = 0;
+    std::size_t tx_comp = 0;
+    std::size_t rx_comp = 0;
+  };
+
   /// One synchronous simulation cycle; returns true if progress happened.
   bool StepCycleSync();
-  /// One event-driven cycle (only due entities are visited); same semantics.
-  bool StepCycleEvent();
+  /// One event-driven cycle on `p` (only due entities are visited).
+  bool StepCycleEvent(Partition& p);
   bool AllAppKernelsDone() const;
   void CheckKernelException(KernelSlot& slot);
-  [[noreturn]] void RaiseDeadlock();
+  [[noreturn]] void RaiseDeadlock(bool with_partitions);
 
-  // Event-driven machinery.
-  void PrepareEventRun();
-  void ScheduleComponent(std::size_t index, Cycle cycle);
-  void ScheduleKernel(std::size_t index, Cycle cycle);
-  void RegisterWatch(std::size_t kernel_index);
+  // Event-driven machinery (partition-scoped).
+  void PrepareWholePartition();
+  void PreparePartition(Partition& p);
+  void ScheduleComponent(Partition& p, std::size_t index, Cycle cycle);
+  void ScheduleKernel(Partition& p, std::size_t index, Cycle cycle);
+  void RegisterWatch(Partition& p, std::size_t kernel_index);
   void UnregisterWatch(std::size_t kernel_index);
-  void ParkKernel(std::size_t kernel_index);
+  void ParkKernel(Partition& p, std::size_t kernel_index);
   /// Earliest scheduled component/kernel cycle, or kNeverCycle if none.
-  Cycle NextEventCycle();
-  /// Advance `now_` to `target` (exclusive of any step), charging the
-  /// skipped cycles to watchdog/max-cycles accounting when `accounted`.
+  Cycle NextEventCycle(Partition& p);
+  /// Set `p`'s clock (master + mirrors) to `target`.
+  void AdvanceClock(Partition& p, Cycle target);
+  /// Advance `whole_`'s clock to `target`, charging the skipped cycles to
+  /// watchdog/max-cycles accounting when `accounted`.
   void JumpIdleCycles(Cycle target, bool accounted);
-  RunStats FinishRun() const;
+  RunStats FinishRun(unsigned partitions) const;
+  void AppendResumeLog(Partition& p, Cycle cycle);
+
+  // Parallel machinery (engine_parallel portion of engine.cpp).
+  RunStats RunParallel();
+  void PrepareParallelRun(unsigned workers);
+  void CleanupParallelRun();
+  void RunPartitionEpoch(Partition& p);
+  void RunPartitionEpochGuarded(Partition& p);
+  void RefreshWholeClock();
 
   EngineConfig config_;
   Cycle now_ = 0;
   Cycle idle_cycles_ = 0;
-  std::uint64_t kernel_resumes_ = 0;
   std::vector<std::unique_ptr<FifoBase>> fifos_;
   std::vector<std::unique_ptr<Component>> components_;
   std::vector<KernelSlot> kernels_;
 
-  // Event-driven scheduling state. `dirty_fifos_` is populated by the FIFOs
-  // themselves (via FifoBase::AttachScheduler) on their first push/pop of a
-  // cycle and drained by the commit phase.
-  std::vector<FifoBase*> dirty_fifos_;
+  // Partition tags. `tag_clocks_` is a deque so slot addresses stay stable
+  // as tags are added (kernel promises keep pointers into it).
+  int current_tag_ = kUntaggedPartition;
+  std::map<int, std::size_t> tag_slots_;
+  std::deque<Cycle> tag_clocks_;
+  std::vector<int> fifo_tags_;
+  std::vector<int> comp_tags_;
+  std::vector<int> kernel_tags_;
+  std::vector<CutRec> cuts_;
+
+  // Entity -> partition maps, resolved per run (all zero for sequential).
+  std::vector<int> fifo_part_;
+  std::vector<int> comp_part_;
+  std::vector<int> kernel_part_;
+
+  // Global scheduling records, indexed by entity id. Parallel partitions
+  // own disjoint entity sets, so concurrent access stays race-free.
   std::vector<ComponentRec> comp_recs_;
   std::vector<FifoRec> fifo_recs_;
-  WakeHeap comp_heap_;
-  WakeHeap kernel_heap_;
-  std::vector<std::size_t> due_components_;
-  std::vector<std::size_t> due_kernels_;
-  std::vector<const FifoBase*> watch_scratch_;
+
+  /// The all-entities partition used by the sequential schedulers (and as
+  /// the default dirty-list target for newly created FIFOs).
+  Partition whole_;
+  /// Parallel partitions (built per Run; deque for stable addresses).
+  std::deque<Partition> partitions_;
+  std::size_t base_component_count_ = 0;  ///< components before adapters
+};
+
+/// RAII helper for code that registers rank-local entities outside the
+/// fabric (application DRAM stream FIFOs, inter-kernel FIFOs, ...): sets the
+/// engine's partition tag for the enclosing scope and restores the previous
+/// tag on exit, so every FIFO/component/kernel created inside the scope is
+/// co-located with the rank it belongs to under the parallel scheduler.
+class PartitionTagScope {
+ public:
+  PartitionTagScope(Engine& engine, int tag)
+      : engine_(engine), previous_(engine.partition_tag()) {
+    engine_.SetPartitionTag(tag);
+  }
+  ~PartitionTagScope() { engine_.SetPartitionTag(previous_); }
+  PartitionTagScope(const PartitionTagScope&) = delete;
+  PartitionTagScope& operator=(const PartitionTagScope&) = delete;
+
+ private:
+  Engine& engine_;
+  int previous_;
 };
 
 }  // namespace smi::sim

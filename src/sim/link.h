@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <deque>
 #include <string>
+#include <vector>
 
 #include "sim/clock.h"
 #include "sim/component.h"
@@ -20,8 +21,15 @@
 
 namespace smi::sim {
 
+/// The credit window is `latency_ + 1` slots and `Step` delivers *before* it
+/// accepts, so a payload delivered at cycle `c` frees a credit slot that a
+/// payload popped from TX in the same `Step` can occupy at `c` — the window
+/// sustains one payload per cycle even when permanently full. The split-mode
+/// (CutLink) implementation below reproduces this ordering exactly: the
+/// barrier-predicted delivery at the epoch-start cycle is applied by
+/// `StepTx` before its accept check.
 template <typename T>
-class Link final : public Component {
+class Link final : public Component, public CutLink {
  public:
   /// `latency` is the pipeline depth in cycles (serialization + transceiver
   /// + deserialization), i.e. the cycle count between a payload leaving the
@@ -68,6 +76,89 @@ class Link final : public Component {
   std::uint64_t delivered() const { return delivered_; }
   Cycle latency() const { return latency_; }
 
+  // --- CutLink implementation (parallel scheduler; see component.h) ------
+  //
+  // In split mode `in_flight_` becomes the receiver-side pending queue and
+  // the sender side stages freshly accepted payloads in `staging_` until the
+  // next barrier. `tx_outstanding_` is the sender's (stale) view of the
+  // credit window: exact at each barrier, decremented once if the barrier
+  // could predict a delivery at the epoch-start cycle itself, and otherwise
+  // only growing — so it over-estimates occupancy and can never allow an
+  // accept the fused Step would have stalled.
+
+  Cycle link_latency() const override { return latency_; }
+
+  void BeginSplit() override {
+    tx_outstanding_ = in_flight_.size();
+    d0_cycle_ = kNeverCycle;
+    staging_.clear();
+    delivery_log_.clear();
+  }
+
+  void EndSplit() override {
+    for (Slot& slot : staging_) in_flight_.push_back(std::move(slot));
+    staging_.clear();
+    delivery_log_.clear();
+  }
+
+  void StepTx(Cycle now) override {
+    if (d0_cycle_ != kNeverCycle && now >= d0_cycle_) {
+      // The delivery predicted for the epoch-start cycle has happened by
+      // now; apply the credit before the accept check, matching the fused
+      // Step's deliver-then-accept order.
+      --tx_outstanding_;
+      d0_cycle_ = kNeverCycle;
+    }
+    if (tx_outstanding_ < static_cast<std::size_t>(latency_) + 1 &&
+        tx_->CanPop(now)) {
+      staging_.push_back(Slot{tx_->Pop(now), now + latency_});
+      ++tx_outstanding_;
+    }
+  }
+
+  void StepRx(Cycle now) override {
+    if (!in_flight_.empty() && in_flight_.front().ready_at <= now &&
+        rx_->CanPush(now)) {
+      rx_->Push(in_flight_.front().payload, now);
+      in_flight_.pop_front();
+      ++delivered_;
+      delivery_log_.push_back(now);
+    }
+  }
+
+  Cycle ExchangeAtBarrier(Cycle epoch_start) override {
+    // Hand last epoch's accepted payloads to the receiver side...
+    for (Slot& slot : staging_) in_flight_.push_back(std::move(slot));
+    staging_.clear();
+    delivery_log_.clear();
+    // ...and return all delivery credits to the sender: everything accepted
+    // but not yet delivered is exactly what sits in the pending queue.
+    tx_outstanding_ = in_flight_.size();
+    // The delivery at the epoch-start cycle is decided entirely by state
+    // committed before the barrier, so predict it exactly.
+    const bool d0 = !in_flight_.empty() &&
+                    in_flight_.front().ready_at <= epoch_start &&
+                    rx_->CanPush(epoch_start);
+    d0_cycle_ = d0 ? epoch_start : kNeverCycle;
+    // Credit slack: with `window` payloads outstanding after the predicted
+    // delivery and at most one accept per cycle, the sender's stale count
+    // cannot wrongly hit the window cap for this many cycles.
+    const std::size_t cap = static_cast<std::size_t>(latency_) + 1;
+    const std::size_t window = tx_outstanding_ - (d0 ? 1 : 0);
+    return cap > window ? static_cast<Cycle>(cap - window) : Cycle{1};
+  }
+
+  void TrimDeliveriesAtOrAfter(Cycle cycle) override {
+    while (!delivery_log_.empty() && delivery_log_.back() >= cycle) {
+      delivery_log_.pop_back();
+      --delivered_;
+    }
+  }
+
+  const FifoBase* tx_wake_fifo() const override { return tx_; }
+  const FifoBase* rx_wake_fifo() const override { return rx_; }
+  Cycle NextRxSelfWake(Cycle now) const override { return NextSelfWake(now); }
+
  private:
   struct Slot {
     T payload;
@@ -79,6 +170,12 @@ class Link final : public Component {
   Cycle latency_;
   std::deque<Slot> in_flight_;
   std::uint64_t delivered_ = 0;
+
+  // Split-mode state (see CutLink methods above).
+  std::deque<Slot> staging_;
+  std::vector<Cycle> delivery_log_;
+  std::size_t tx_outstanding_ = 0;
+  Cycle d0_cycle_ = kNeverCycle;
 };
 
 }  // namespace smi::sim

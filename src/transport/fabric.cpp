@@ -55,9 +55,13 @@ Fabric::Fabric(
     BuildRank(engine, r, endpoints[static_cast<std::size_t>(r)]);
   }
   BuildLinks(engine, connections);
+  engine.SetPartitionTag(sim::Engine::kUntaggedPartition);
 }
 
 void Fabric::BuildRank(sim::Engine& engine, int r, const RankEndpoints& eps) {
+  // Everything built here is rank-local, which is exactly the partition
+  // boundary the parallel scheduler needs: tag it all with the rank id.
+  engine.SetPartitionTag(r);
   Rank& rank = ranks_[static_cast<std::size_t>(r)];
   const int P = ports_per_rank_;
   const std::string prefix = "r" + std::to_string(r) + ".";
@@ -179,10 +183,17 @@ void Fabric::BuildLinks(
       }
       wired[iface(p)] = true;
     }
-    // Two directed links per cable, each with its own interface FIFOs.
+    // Two directed links per cable, each with its own interface FIFOs. The
+    // TX FIFO is written by the sending rank's CKS, the RX FIFO read by the
+    // receiving rank's CKR, so the only entity spanning ranks is the link
+    // itself: registered as a cut component so the parallel scheduler can
+    // split it at the partition boundary (its pipeline latency is the
+    // lookahead window).
     for (const auto& [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
+      engine.SetPartitionTag(from.rank);
       PacketFifo& tx = engine.MakeFifo<net::Packet>(
           FifoName("cks->net", from.rank, from.port), config_.net_fifo_depth);
+      engine.SetPartitionTag(to.rank);
       PacketFifo& rx = engine.MakeFifo<net::Packet>(
           FifoName("net->ckr", to.rank, to.port), config_.net_fifo_depth);
       ranks_[static_cast<std::size_t>(from.rank)]
@@ -191,11 +202,15 @@ void Fabric::BuildLinks(
       ranks_[static_cast<std::size_t>(to.rank)]
           .ckr[static_cast<std::size_t>(to.port)]
           ->AddInput(rx);
-      links_.push_back(&engine.MakeComponent<sim::Link<net::Packet>>(
-          "link." + std::to_string(from.rank) + ":" +
-              std::to_string(from.port) + "->" + std::to_string(to.rank) +
-              ":" + std::to_string(to.port),
-          tx, rx, config_.link_latency));
+      engine.SetPartitionTag(from.rank);
+      sim::Link<net::Packet>& link =
+          engine.MakeComponent<sim::Link<net::Packet>>(
+              "link." + std::to_string(from.rank) + ":" +
+                  std::to_string(from.port) + "->" + std::to_string(to.rank) +
+                  ":" + std::to_string(to.port),
+              tx, rx, config_.link_latency);
+      engine.MarkCutComponent(link, link, from.rank, to.rank);
+      links_.push_back(&link);
     }
   }
 }

@@ -1,0 +1,72 @@
+#include "common/perf_report.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json.h"
+
+namespace smi {
+namespace {
+
+/// Schema check for the machine-readable bench reports: every BENCH_*.json
+/// written through PerfReport (the `--json` path of all bench binaries) must
+/// carry these fields with these types. Plot/regression tooling depends on
+/// this shape staying stable.
+void ExpectReportSchema(const json::Value& doc) {
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_TRUE(doc.at("name").is_string());
+  ASSERT_TRUE(doc.at("parameters").is_object());
+  ASSERT_TRUE(doc.at("results").is_array());
+  for (const json::Value& row : doc.at("results").as_array()) {
+    ASSERT_TRUE(row.is_object());
+    EXPECT_TRUE(row.at("name").is_string());
+    EXPECT_TRUE(row.at("cycles").is_number());
+    EXPECT_GE(row.at("cycles").as_int(), 0);
+    EXPECT_TRUE(row.at("simulated_microseconds").is_number());
+    EXPECT_TRUE(row.at("wall_seconds").is_number());
+    EXPECT_TRUE(row.at("cycles_per_wall_second").is_number());
+    EXPECT_GE(row.at("cycles_per_wall_second").as_double(), 0.0);
+  }
+}
+
+TEST(PerfReport, WritesSchemaConformingBenchJson) {
+  PerfReport report("selftest");
+  report.SetParameter("ranks", 8);
+  report.SetParameter("label", "unit");
+  report.AddResult("case/a", /*cycles=*/123456,
+                   /*simulated_microseconds=*/599.3,
+                   /*wall_seconds=*/0.25);
+  report.AddResult("case/b", /*cycles=*/1, /*simulated_microseconds=*/0.005,
+                   /*wall_seconds=*/0.0);  // too fast to time
+  ASSERT_EQ(report.result_count(), 2u);
+
+  const std::string path =
+      testing::TempDir() + PerfReport::DefaultPath(report.name());
+  EXPECT_EQ(PerfReport::DefaultPath(report.name()), "BENCH_selftest.json");
+  report.Write(path);
+
+  const json::Value doc = json::ParseFile(path);
+  ExpectReportSchema(doc);
+  EXPECT_EQ(doc.at("name").as_string(), "selftest");
+  EXPECT_EQ(doc.at("parameters").at("ranks").as_int(), 8);
+  const json::Array& results = doc.at("results").as_array();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].at("name").as_string(), "case/a");
+  EXPECT_EQ(results[0].at("cycles").as_int(), 123456);
+  EXPECT_DOUBLE_EQ(results[0].at("cycles_per_wall_second").as_double(),
+                   123456 / 0.25);
+  // Unmeasurable wall time reports rate 0 rather than dividing by zero.
+  EXPECT_DOUBLE_EQ(results[1].at("cycles_per_wall_second").as_double(), 0.0);
+}
+
+TEST(PerfReport, ToJsonRoundTripsThroughDump) {
+  PerfReport report("roundtrip");
+  report.AddResult("only", 42, 0.2, 0.001);
+  const json::Value doc = json::Parse(report.ToJson().dump());
+  ExpectReportSchema(doc);
+  EXPECT_EQ(doc.at("results").as_array().size(), 1u);
+}
+
+}  // namespace
+}  // namespace smi

@@ -1,16 +1,20 @@
 /// \file engine_differential_test.cpp
-/// Differential test for the two engine schedulers: every scenario is run
-/// once under SchedulerKind::kSynchronous (the reference step-everything
-/// implementation) and once under kEventDriven (the active-set scheduler),
-/// and the results must be bit-identical — same cycle counts, same kernel
-/// resume counts, same link traffic, same payloads. This is the executable
-/// form of the exactness guarantee documented in engine.h.
+/// Differential test for the three engine schedulers: every scenario is run
+/// under SchedulerKind::kSynchronous (the reference step-everything
+/// implementation), under kEventDriven (the active-set scheduler), and under
+/// kParallel at several worker-thread counts — including counts that do not
+/// divide the rank count — and the results must be bit-identical: same cycle
+/// counts, same kernel resume counts, same link traffic, same payloads. This
+/// is the executable form of the exactness guarantee documented in engine.h.
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "apps/gesummv.h"
+#include "apps/stencil.h"
 #include "common/error.h"
 #include "core/smi.h"
 
@@ -28,16 +32,55 @@ using sim::WaitCycles;
 using sim::fifo_pop;
 using sim::fifo_push;
 
-ClusterConfig WithScheduler(SchedulerKind kind) {
+/// Worker-thread counts exercised for kParallel. 3 never divides the 4- and
+/// 8-rank scenarios below, so it exercises the uneven contiguous partition
+/// mapping; 8 exceeds the rank count of the 4-rank scenarios, exercising the
+/// clamp to one partition per rank.
+const unsigned kThreadCounts[] = {1, 2, 3, 4, 8};
+
+ClusterConfig WithScheduler(SchedulerKind kind, unsigned threads = 1) {
   ClusterConfig config;
   config.engine.scheduler = kind;
+  config.engine.threads = threads;
   return config;
 }
 
 struct ClusterObservation {
   Cycle cycles = 0;
   std::uint64_t link_packets = 0;
+  std::uint64_t kernel_resumes = 0;
 };
+
+/// Runs `scenario(config, payload_sink)` under all three schedulers (the
+/// parallel one at every entry of kThreadCounts) and checks that cycles,
+/// link packets, kernel resumes, and payloads are bit-identical to the
+/// synchronous reference.
+template <typename Payload, typename Scenario>
+ClusterObservation ExpectAllSchedulersIdentical(Scenario&& scenario) {
+  Payload sync_payload{};
+  const ClusterObservation sync =
+      scenario(WithScheduler(SchedulerKind::kSynchronous), sync_payload);
+
+  Payload event_payload{};
+  const ClusterObservation event =
+      scenario(WithScheduler(SchedulerKind::kEventDriven), event_payload);
+  EXPECT_EQ(event.cycles, sync.cycles);
+  EXPECT_EQ(event.link_packets, sync.link_packets);
+  EXPECT_EQ(event.kernel_resumes, sync.kernel_resumes);
+  EXPECT_EQ(event_payload, sync_payload);
+
+  for (const unsigned threads : kThreadCounts) {
+    Payload par_payload{};
+    const ClusterObservation par = scenario(
+        WithScheduler(SchedulerKind::kParallel, threads), par_payload);
+    EXPECT_EQ(par.cycles, sync.cycles) << "threads=" << threads;
+    EXPECT_EQ(par.link_packets, sync.link_packets) << "threads=" << threads;
+    EXPECT_EQ(par.kernel_resumes, sync.kernel_resumes)
+        << "threads=" << threads;
+    EXPECT_EQ(par_payload, sync_payload) << "threads=" << threads;
+  }
+  return sync;
+}
 
 // ---------------------------------------------------------------------------
 // Point-to-point stream (Listing 1 of the paper).
@@ -54,27 +97,23 @@ Kernel P2pReceiver(Context& ctx, int n, std::vector<std::int32_t>& sink) {
   for (int i = 0; i < n; ++i) sink.push_back(co_await ch.Pop<std::int32_t>());
 }
 
-ClusterObservation RunP2p(SchedulerKind kind, std::vector<std::int32_t>& sink) {
+ClusterObservation RunP2p(const ClusterConfig& config,
+                          std::vector<std::int32_t>& sink) {
   ProgramSpec spec;
   spec.Add(OpSpec::Send(0, DataType::kInt));
   spec.Add(OpSpec::Recv(0, DataType::kInt));
-  Cluster cluster(Topology::Bus(4), spec, WithScheduler(kind));
+  Cluster cluster(Topology::Bus(4), spec, config);
   cluster.AddKernel(0, P2pSender(cluster.context(0), 150), "s");
   cluster.AddKernel(1, P2pReceiver(cluster.context(1), 150, sink), "r");
   const RunResult result = cluster.Run();
-  return {result.cycles, result.link_packets};
+  return {result.cycles, result.link_packets, result.kernel_resumes};
 }
 
 TEST(EngineDifferential, P2pStreamIsCycleIdentical) {
-  std::vector<std::int32_t> sync_sink, event_sink;
-  const ClusterObservation sync = RunP2p(SchedulerKind::kSynchronous,
-                                         sync_sink);
-  const ClusterObservation event = RunP2p(SchedulerKind::kEventDriven,
-                                          event_sink);
-  EXPECT_EQ(event.cycles, sync.cycles);
-  EXPECT_EQ(event.link_packets, sync.link_packets);
-  EXPECT_EQ(event_sink, sync_sink);
-  ASSERT_EQ(sync_sink.size(), 150u);
+  std::vector<std::int32_t> sink;
+  RunP2p(WithScheduler(SchedulerKind::kSynchronous), sink);
+  ASSERT_EQ(sink.size(), 150u);
+  ExpectAllSchedulersIdentical<std::vector<std::int32_t>>(RunP2p);
 }
 
 // ---------------------------------------------------------------------------
@@ -91,11 +130,11 @@ Kernel BcastApp(Context& ctx, int n, int root, std::vector<float>& sink) {
   }
 }
 
-ClusterObservation RunBcast(SchedulerKind kind,
+ClusterObservation RunBcast(const ClusterConfig& config,
                             std::vector<std::vector<float>>& sinks) {
   ProgramSpec spec;
   spec.Add(OpSpec::Bcast(0, DataType::kFloat));
-  Cluster cluster(Topology::Torus2D(2, 4), spec, WithScheduler(kind));
+  Cluster cluster(Topology::Torus2D(2, 4), spec, config);
   sinks.resize(8);
   for (int r = 0; r < 8; ++r) {
     cluster.AddKernel(
@@ -104,18 +143,11 @@ ClusterObservation RunBcast(SchedulerKind kind,
         "bcast");
   }
   const RunResult result = cluster.Run();
-  return {result.cycles, result.link_packets};
+  return {result.cycles, result.link_packets, result.kernel_resumes};
 }
 
 TEST(EngineDifferential, BcastOnTorusIsCycleIdentical) {
-  std::vector<std::vector<float>> sync_sinks, event_sinks;
-  const ClusterObservation sync = RunBcast(SchedulerKind::kSynchronous,
-                                           sync_sinks);
-  const ClusterObservation event = RunBcast(SchedulerKind::kEventDriven,
-                                            event_sinks);
-  EXPECT_EQ(event.cycles, sync.cycles);
-  EXPECT_EQ(event.link_packets, sync.link_packets);
-  EXPECT_EQ(event_sinks, sync_sinks);
+  ExpectAllSchedulersIdentical<std::vector<std::vector<float>>>(RunBcast);
 }
 
 // ---------------------------------------------------------------------------
@@ -135,35 +167,79 @@ Kernel ReduceApp(Context& ctx, int n, int root, std::vector<float>& results) {
   }
 }
 
-ClusterObservation RunReduce(SchedulerKind kind, std::vector<float>& results) {
+ClusterObservation RunReduce(const ClusterConfig& config,
+                             std::vector<float>& results) {
   ProgramSpec spec;
   spec.Add(OpSpec::Reduce(1, DataType::kFloat));
-  Cluster cluster(Topology::Bus(4), spec, WithScheduler(kind));
+  Cluster cluster(Topology::Bus(4), spec, config);
   for (int r = 0; r < 4; ++r) {
     cluster.AddKernel(r, ReduceApp(cluster.context(r), 30, /*root=*/1,
                                    results),
                       "reduce");
   }
   const RunResult result = cluster.Run();
-  return {result.cycles, result.link_packets};
+  return {result.cycles, result.link_packets, result.kernel_resumes};
 }
 
 TEST(EngineDifferential, ReduceIsCycleIdentical) {
-  std::vector<float> sync_results, event_results;
-  const ClusterObservation sync = RunReduce(SchedulerKind::kSynchronous,
-                                            sync_results);
-  const ClusterObservation event = RunReduce(SchedulerKind::kEventDriven,
-                                             event_results);
-  EXPECT_EQ(event.cycles, sync.cycles);
-  EXPECT_EQ(event.link_packets, sync.link_packets);
-  EXPECT_EQ(event_results, sync_results);
-  ASSERT_EQ(sync_results.size(), 30u);
+  std::vector<float> probe;
+  RunReduce(WithScheduler(SchedulerKind::kSynchronous), probe);
+  ASSERT_EQ(probe.size(), 30u);
+  ExpectAllSchedulersIdentical<std::vector<float>>(RunReduce);
+}
+
+// ---------------------------------------------------------------------------
+// GESUMMV (§5.4.1): the distributed MPMD variant mixes SMI traffic with
+// DRAM streaming and local FIFOs, so the memory subsystem and the channel
+// layer both cross the differential.
+
+ClusterObservation RunGesummv(const ClusterConfig& config,
+                              std::vector<float>& y) {
+  apps::GesummvConfig gc;
+  gc.rows = 32;
+  gc.cols = 32;
+  gc.banks = 2;
+  gc.cluster = config;
+  apps::GesummvResult result = apps::RunGesummvDistributed(gc);
+  y = std::move(result.y);
+  return {result.run.cycles, result.run.link_packets,
+          result.run.kernel_resumes};
+}
+
+TEST(EngineDifferential, GesummvDistributedIsCycleIdentical) {
+  ExpectAllSchedulersIdentical<std::vector<float>>(RunGesummv);
+}
+
+// ---------------------------------------------------------------------------
+// Stencil (§5.4.2): SPMD halo exchange on a 2x2 rank grid — transient
+// channels opened per timestep, four directions per rank, plus the DRAM
+// read/write streams. The heaviest scenario in this file.
+
+ClusterObservation RunStencil(const ClusterConfig& config,
+                              std::vector<float>& grid) {
+  apps::StencilConfig sc;
+  sc.nx_global = 16;
+  sc.ny_global = 32;
+  sc.rx = 2;
+  sc.ry = 2;
+  sc.timesteps = 2;
+  sc.cluster = config;
+  apps::StencilResult result = apps::RunStencilSmi(sc);
+  grid = std::move(result.grid);
+  return {result.run.cycles, result.run.link_packets,
+          result.run.kernel_resumes};
+}
+
+TEST(EngineDifferential, StencilHaloExchangeIsCycleIdentical) {
+  ExpectAllSchedulersIdentical<std::vector<float>>(RunStencil);
 }
 
 // ---------------------------------------------------------------------------
 // Idle-heavy raw-engine scenario: long WaitCycles gaps between sparse FIFO
 // transfers — the case the active-set scheduler is built for. Compared at
-// the RunStats level (cycles AND kernel resume counts must match).
+// the RunStats level (cycles AND kernel resume counts must match). With no
+// partition tags the parallel scheduler collapses to a single partition and
+// must still match the reference exactly.
 
 Kernel SparseProducer(sim::Fifo<int>& out, int bursts, Cycle gap) {
   for (int b = 0; b < bursts; ++b) {
@@ -176,9 +252,11 @@ Kernel SparseConsumer(sim::Fifo<int>& in, int n, std::vector<int>& sink) {
   for (int i = 0; i < n; ++i) sink.push_back(co_await fifo_pop(in));
 }
 
-RunStats RunIdleHeavy(SchedulerKind kind, std::vector<int>& sink) {
+RunStats RunIdleHeavy(SchedulerKind kind, unsigned threads,
+                      std::vector<int>& sink) {
   EngineConfig config;
   config.scheduler = kind;
+  config.threads = threads;
   Engine engine(config);
   sim::Fifo<int>& fifo = engine.MakeFifo<int>("sparse", 8);
   engine.AddKernel(SparseProducer(fifo, 12, 977), "producer");
@@ -188,22 +266,37 @@ RunStats RunIdleHeavy(SchedulerKind kind, std::vector<int>& sink) {
 
 TEST(EngineDifferential, IdleHeavyRunStatsAreIdentical) {
   std::vector<int> sync_sink, event_sink;
-  const RunStats sync = RunIdleHeavy(SchedulerKind::kSynchronous, sync_sink);
-  const RunStats event = RunIdleHeavy(SchedulerKind::kEventDriven, event_sink);
+  const RunStats sync =
+      RunIdleHeavy(SchedulerKind::kSynchronous, 1, sync_sink);
+  const RunStats event =
+      RunIdleHeavy(SchedulerKind::kEventDriven, 1, event_sink);
   EXPECT_EQ(event.cycles, sync.cycles);
   EXPECT_EQ(event.kernel_resumes, sync.kernel_resumes);
   EXPECT_EQ(event.seconds, sync.seconds);
   EXPECT_EQ(event_sink, sync_sink);
   EXPECT_GT(sync.cycles, 12u * 977u);  // the gaps dominate the run
+  for (const unsigned threads : kThreadCounts) {
+    std::vector<int> par_sink;
+    const RunStats par =
+        RunIdleHeavy(SchedulerKind::kParallel, threads, par_sink);
+    EXPECT_EQ(par.cycles, sync.cycles) << "threads=" << threads;
+    EXPECT_EQ(par.kernel_resumes, sync.kernel_resumes)
+        << "threads=" << threads;
+    EXPECT_EQ(par.seconds, sync.seconds) << "threads=" << threads;
+    EXPECT_EQ(par_sink, sync_sink) << "threads=" << threads;
+    EXPECT_EQ(par.partitions, 1u);  // no tags -> one partition
+  }
 }
 
 // ---------------------------------------------------------------------------
-// Deadlock diagnostics must fire at the same cycle: the watchdog accounting
-// during idle jumps has to reproduce the synchronous firing point exactly.
+// Deadlock diagnostics must fire at the same cycle under all three
+// schedulers: the watchdog accounting during idle jumps (and across epoch
+// barriers) has to reproduce the synchronous firing point exactly.
 
-Cycle RunDeadlocked(SchedulerKind kind) {
+Cycle RunDeadlocked(SchedulerKind kind, unsigned threads = 1) {
   EngineConfig config;
   config.scheduler = kind;
+  config.threads = threads;
   config.watchdog_cycles = 5000;
   Engine engine(config);
   sim::Fifo<int>& fifo = engine.MakeFifo<int>("stuck", 2);
@@ -218,6 +311,71 @@ TEST(EngineDifferential, DeadlockFiresAtTheSameCycle) {
   const Cycle event_cycle = RunDeadlocked(SchedulerKind::kEventDriven);
   EXPECT_EQ(event_cycle, sync_cycle);
   EXPECT_GT(sync_cycle, 0u);
+  for (const unsigned threads : kThreadCounts) {
+    EXPECT_EQ(RunDeadlocked(SchedulerKind::kParallel, threads), sync_cycle)
+        << "threads=" << threads;
+  }
+}
+
+/// Multi-rank deadlock (§3.3 shape: a receiver whose matching sender never
+/// pushes): the parallel scheduler must fire at the same cycle as the
+/// sequential ones even when the blocked kernels live in different
+/// partitions, and the diagnostic must carry the same content.
+Cycle RunClusterDeadlocked(const ClusterConfig& base, std::string& message) {
+  ClusterConfig config = base;
+  config.engine.watchdog_cycles = 4000;
+  ProgramSpec spec;
+  spec.Add(OpSpec::Send(0, DataType::kInt));
+  spec.Add(OpSpec::Recv(0, DataType::kInt));
+  Cluster cluster(Topology::Bus(4), spec, config);
+  // Receiver expects 8 values but the sender only ever pushes 4.
+  cluster.AddKernel(0, P2pSender(cluster.context(0), 4), "s");
+  std::vector<std::int32_t> sink;
+  cluster.AddKernel(1, P2pReceiver(cluster.context(1), 8, sink), "r");
+  try {
+    cluster.Run();
+  } catch (const DeadlockError& e) {
+    message = e.what();
+    return cluster.engine().now();
+  }
+  ADD_FAILURE() << "expected DeadlockError";
+  return 0;
+}
+
+/// Strips every " [partition N, thread N]" annotation the parallel
+/// scheduler appends to its blocked-kernel report, leaving the sequential
+/// report text.
+std::string StripPartitionAnnotations(std::string message) {
+  const std::string open = " [partition ";
+  for (std::size_t at = message.find(open); at != std::string::npos;
+       at = message.find(open, at)) {
+    const std::size_t close = message.find(']', at);
+    if (close == std::string::npos) break;
+    message.erase(at, close - at + 1);
+  }
+  return message;
+}
+
+TEST(EngineDifferential, ClusterDeadlockFiresAtTheSameCycleAcrossPartitions) {
+  std::string sync_message;
+  const Cycle sync_cycle = RunClusterDeadlocked(
+      WithScheduler(SchedulerKind::kSynchronous), sync_message);
+  EXPECT_GT(sync_cycle, 0u);
+  // The starved receiver must be named in the report.
+  EXPECT_NE(sync_message.find("\n  - r1.r "), std::string::npos)
+      << sync_message;
+  for (const unsigned threads : kThreadCounts) {
+    std::string par_message;
+    const Cycle par_cycle = RunClusterDeadlocked(
+        WithScheduler(SchedulerKind::kParallel, threads), par_message);
+    EXPECT_EQ(par_cycle, sync_cycle) << "threads=" << threads;
+    // The parallel report annotates each blocked kernel with its owning
+    // partition/thread; the content must otherwise be byte-identical.
+    EXPECT_NE(par_message.find(" [partition "), std::string::npos)
+        << par_message;
+    EXPECT_EQ(StripPartitionAnnotations(par_message), sync_message)
+        << "threads=" << threads;
+  }
 }
 
 // ---------------------------------------------------------------------------
