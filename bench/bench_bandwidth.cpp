@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
   cli.AddInt("poll-r", 8, "CK polling parameter R for the hop series");
   cli.AddFlag("no-r-sweep", "skip the R ablation series");
   AddJsonOption(cli);
+  AddObsOptions(cli);
   if (!cli.Parse(argc, argv)) return 2;
 
   const net::Topology topo = net::Topology::Bus(8);
@@ -59,13 +60,16 @@ int main(int argc, char** argv) {
 
   core::ClusterConfig config;
   config.fabric.poll_r = static_cast<int>(cli.GetInt("poll-r"));
+  ConfigureObs(cli, config);
+  core::RunTelemetry obs;
 
   for (const std::uint64_t bytes : sizes) {
     double bw[3] = {0, 0, 0};
     const int dsts[3] = {1, 4, 7};
     for (int h = 0; h < 3; ++h) {
       const WallTimer timer;
-      const core::RunResult r = StreamOnce(topo, 0, dsts[h], bytes, config);
+      const core::RunResult r =
+          StreamOnce(topo, 0, dsts[h], bytes, config, &obs);
       bw[h] = clock.GigabitsPerSecond(bytes, r.cycles);
       report.AddResult(
           std::to_string(dsts[h]) + "hops/" + FormatBytes(bytes), r.cycles,
@@ -93,6 +97,7 @@ int main(int argc, char** argv) {
                        clock.CyclesToMicros(res.cycles), timer.Seconds());
     }
   }
+  MaybeWriteObs(cli, report, obs);
   MaybeWriteReport(cli, report);
   return 0;
 }

@@ -22,16 +22,18 @@ sim::Kernel BcastApp(core::Context& ctx, int count, int root) {
 }
 
 double BcastUs(const net::Topology& topo, int count, const std::string& label,
-               PerfReport& report) {
+               PerfReport& report, const core::ClusterConfig& config,
+               core::RunTelemetry& obs) {
   core::ProgramSpec spec;
   spec.Add(core::OpSpec::Bcast(0, core::DataType::kFloat));
-  core::Cluster cluster(topo, spec);
+  core::Cluster cluster(topo, spec, config);
   for (int r = 0; r < topo.num_ranks(); ++r) {
     cluster.AddKernel(r, BcastApp(cluster.context(r), count, /*root=*/0),
                       "bcast");
   }
   const WallTimer timer;
   const core::RunResult result = cluster.Run();
+  obs = cluster.CaptureTelemetry();
   report.AddResult(label + "/" + std::to_string(count), result.cycles,
                    result.microseconds, timer.Seconds());
   return result.microseconds;
@@ -43,9 +45,13 @@ int main(int argc, char** argv) {
   CliParser cli("bench_bcast", "Fig. 10: Bcast time vs message size");
   cli.AddInt("max-elems", 262144, "largest message in FP32 elements");
   AddJsonOption(cli);
+  AddObsOptions(cli);
   if (!cli.Parse(argc, argv)) return 2;
 
   const baseline::HostModel host;
+  core::ClusterConfig config;
+  ConfigureObs(cli, config);
+  core::RunTelemetry obs;
   PerfReport report("bcast");
   report.SetParameter("max-elems", cli.GetInt("max-elems"));
   PrintTitle("Figure 10 — Bcast time [usecs] (lower is better)");
@@ -53,16 +59,19 @@ int main(int argc, char** argv) {
               "SMI-torus4", "SMI-bus8", "SMI-bus4", "MPI+OpenCL8");
   for (int count = 1;
        count <= static_cast<int>(cli.GetInt("max-elems")); count *= 4) {
-    const double torus8 =
-        BcastUs(net::Topology::Torus2D(2, 4), count, "torus8", report);
-    const double torus4 =
-        BcastUs(net::Topology::Torus2D(2, 2), count, "torus4", report);
-    const double bus8 = BcastUs(net::Topology::Bus(8), count, "bus8", report);
-    const double bus4 = BcastUs(net::Topology::Bus(4), count, "bus4", report);
+    const double torus8 = BcastUs(net::Topology::Torus2D(2, 4), count,
+                                  "torus8", report, config, obs);
+    const double torus4 = BcastUs(net::Topology::Torus2D(2, 2), count,
+                                  "torus4", report, config, obs);
+    const double bus8 =
+        BcastUs(net::Topology::Bus(8), count, "bus8", report, config, obs);
+    const double bus4 =
+        BcastUs(net::Topology::Bus(4), count, "bus4", report, config, obs);
     const double mpi = host.BcastUs(static_cast<std::uint64_t>(count) * 4, 8);
     std::printf("%10d %12.2f %12.2f %12.2f %12.2f %12.2f\n", count, torus8,
                 torus4, bus8, bus4, mpi);
   }
+  MaybeWriteObs(cli, report, obs);
   MaybeWriteReport(cli, report);
   return 0;
 }

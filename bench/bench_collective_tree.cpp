@@ -33,12 +33,13 @@ sim::Kernel ReduceApp(core::Context& ctx, int count, int root) {
 }
 
 double RunUs(core::CollKind kind, core::CollAlgo algo, int count,
-             const std::string& label, PerfReport& report) {
+             const std::string& label, PerfReport& report,
+             const core::ClusterConfig& config, core::RunTelemetry& obs) {
   core::ProgramSpec spec;
   spec.Add(kind == core::CollKind::kBcast
                ? core::OpSpec::Bcast(0, core::DataType::kFloat, algo)
                : core::OpSpec::Reduce(0, core::DataType::kFloat, algo));
-  core::Cluster cluster(net::Topology::Torus2D(2, 4), spec);
+  core::Cluster cluster(net::Topology::Torus2D(2, 4), spec, config);
   for (int r = 0; r < 8; ++r) {
     if (kind == core::CollKind::kBcast) {
       cluster.AddKernel(r, BcastApp(cluster.context(r), count, 0), "app");
@@ -48,6 +49,7 @@ double RunUs(core::CollKind kind, core::CollAlgo algo, int count,
   }
   const WallTimer timer;
   const core::RunResult result = cluster.Run();
+  obs = cluster.CaptureTelemetry();
   report.AddResult(label + "/" + std::to_string(count), result.cycles,
                    result.microseconds, timer.Seconds());
   return result.microseconds;
@@ -60,8 +62,12 @@ int main(int argc, char** argv) {
                 "ablation: linear vs tree collectives, 8 ranks, torus");
   cli.AddInt("max-elems", 65536, "largest message in FP32 elements");
   AddJsonOption(cli);
+  AddObsOptions(cli);
   if (!cli.Parse(argc, argv)) return 2;
 
+  core::ClusterConfig config;
+  ConfigureObs(cli, config);
+  core::RunTelemetry obs;
   PerfReport report("collective_tree");
   report.SetParameter("max-elems", cli.GetInt("max-elems"));
   for (const core::CollKind kind :
@@ -74,13 +80,14 @@ int main(int argc, char** argv) {
     for (int count = 64;
          count <= static_cast<int>(cli.GetInt("max-elems")); count *= 8) {
       const double linear = RunUs(kind, core::CollAlgo::kLinear, count,
-                                  name + "/linear", report);
+                                  name + "/linear", report, config, obs);
       const double tree = RunUs(kind, core::CollAlgo::kTree, count,
-                                name + "/tree", report);
+                                name + "/tree", report, config, obs);
       std::printf("%10d %12.2f %12.2f %9.2fx\n", count, linear, tree,
                   linear / tree);
     }
   }
+  MaybeWriteObs(cli, report, obs);
   MaybeWriteReport(cli, report);
   return 0;
 }

@@ -64,9 +64,43 @@ std::string MaybeWriteReport(const CliParser& cli, const PerfReport& report) {
   return path;
 }
 
+void AddObsOptions(CliParser& cli) {
+  cli.AddString("counters", "",
+                "write per-entity telemetry counters (FIFO stalls, CK "
+                "polling, link utilization) to this path "
+                "(\"auto\" = ./COUNTERS_<name>.json)");
+  cli.AddString("trace", "",
+                "write a Chrome trace-event timeline (kernel activity, "
+                "packet hops) to this path (\"auto\" = ./TRACE_<name>.json)");
+}
+
+bool ConfigureObs(const CliParser& cli, core::ClusterConfig& config) {
+  const bool counters = !cli.GetString("counters").empty();
+  const bool trace = !cli.GetString("trace").empty();
+  if (counters) config.engine.collect_counters = true;
+  if (trace) config.engine.collect_trace = true;
+  return counters || trace;
+}
+
+void MaybeWriteObs(const CliParser& cli, PerfReport& report,
+                   const core::RunTelemetry& obs) {
+  report.SetSection("observability", obs.summary);
+  const auto write_doc = [&](const char* option, const char* prefix,
+                             const json::Value& doc) {
+    std::string path = cli.GetString(option);
+    if (path.empty() || doc.is_null()) return;
+    if (path == "auto") path = prefix + report.name() + ".json";
+    json::WriteFile(path, doc);
+    std::printf("wrote %s\n", path.c_str());
+  };
+  write_doc("counters", "COUNTERS_", obs.counters);
+  write_doc("trace", "TRACE_", obs.trace);
+}
+
 core::RunResult StreamOnce(const net::Topology& topo, int src, int dst,
                            std::uint64_t bytes,
-                           const core::ClusterConfig& config) {
+                           const core::ClusterConfig& config,
+                           core::RunTelemetry* obs) {
   // Payload bytes -> wide-datapath packets (28 B of payload each).
   const int packets =
       static_cast<int>((bytes + net::kPayloadBytes - 1) / net::kPayloadBytes);
@@ -75,17 +109,22 @@ core::RunResult StreamOnce(const net::Topology& topo, int src, int dst,
                     "stream-send");
   cluster.AddKernel(dst, StreamReceiver(cluster.context(dst), src, packets),
                     "stream-recv");
-  return cluster.Run();
+  const core::RunResult result = cluster.Run();
+  if (obs != nullptr) *obs = cluster.CaptureTelemetry();
+  return result;
 }
 
 sim::Cycle PingPongOnce(const net::Topology& topo, int src, int dst,
-                        const core::ClusterConfig& config, int rounds) {
+                        const core::ClusterConfig& config, int rounds,
+                        core::RunTelemetry* obs) {
   Cluster cluster(topo, P2pSpec(), config);
   cluster.AddKernel(src, PingPong(cluster.context(src), dst, rounds, true),
                     "ping");
   cluster.AddKernel(dst, PingPong(cluster.context(dst), src, rounds, false),
                     "pong");
-  return cluster.Run().cycles;
+  const core::RunResult result = cluster.Run();
+  if (obs != nullptr) *obs = cluster.CaptureTelemetry();
+  return result.cycles;
 }
 
 }  // namespace smi::bench

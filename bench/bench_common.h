@@ -25,6 +25,24 @@ void AddJsonOption(CliParser& cli);
 /// was left empty). Returns the path written, or "" if none.
 std::string MaybeWriteReport(const CliParser& cli, const PerfReport& report);
 
+/// Register the shared telemetry options: `--counters <path>` (per-entity
+/// hardware counters) and `--trace <path>` (Chrome trace-event timeline).
+/// Pass "auto" for `./COUNTERS_<name>.json` / `./TRACE_<name>.json`.
+void AddObsOptions(CliParser& cli);
+
+/// Flip the engine telemetry flags on `config` according to the CLI options
+/// registered by AddObsOptions; returns true when any collection was
+/// requested (collection stays off — and costs nothing — otherwise).
+bool ConfigureObs(const CliParser& cli, core::ClusterConfig& config);
+
+/// Write captured telemetry (see core::RunTelemetry) to the `--counters` /
+/// `--trace` paths and embed the aggregate summary into `report` under
+/// "observability". Call before MaybeWriteReport so the summary lands in
+/// the report file. When a bench loops over several runs, pass the capture
+/// of the run you want the documents for (conventionally the last).
+void MaybeWriteObs(const CliParser& cli, PerfReport& report,
+                   const core::RunTelemetry& obs);
+
 /// The SPMD spec used by the microbenchmarks: one send and one recv
 /// endpoint on port 0 of every rank.
 inline core::ProgramSpec P2pSpec() {
@@ -35,15 +53,19 @@ inline core::ProgramSpec P2pSpec() {
 }
 
 /// Stream `bytes` of payload from rank `src` to rank `dst` using the wide
-/// (one packet per cycle) datapath; returns the run result.
+/// (one packet per cycle) datapath; returns the run result. When `obs` is
+/// non-null, the run's telemetry documents are captured into it.
 core::RunResult StreamOnce(const net::Topology& topo, int src, int dst,
                            std::uint64_t bytes,
-                           const core::ClusterConfig& config);
+                           const core::ClusterConfig& config,
+                           core::RunTelemetry* obs = nullptr);
 
 /// One ping-pong round trip of a single-int message between ranks src and
-/// dst; returns total cycles for the round trip.
+/// dst; returns total cycles for the round trip. When `obs` is non-null,
+/// the run's telemetry documents are captured into it.
 sim::Cycle PingPongOnce(const net::Topology& topo, int src, int dst,
-                        const core::ClusterConfig& config, int rounds = 1);
+                        const core::ClusterConfig& config, int rounds = 1,
+                        core::RunTelemetry* obs = nullptr);
 
 inline void PrintRule(int width = 78) {
   for (int i = 0; i < width; ++i) std::putchar('-');

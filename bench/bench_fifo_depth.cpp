@@ -48,7 +48,9 @@ int main(int argc, char** argv) {
   cli.AddInt("elems", 20000, "message length in ints");
   cli.AddInt("burst", 256, "compute/communicate burst length");
   AddJsonOption(cli);
+  AddObsOptions(cli);
   if (!cli.Parse(argc, argv)) return 2;
+  core::RunTelemetry obs;
 
   const int total = static_cast<int>(cli.GetInt("elems"));
   const int delay = static_cast<int>(cli.GetInt("burst")) * 40;
@@ -67,6 +69,7 @@ int main(int argc, char** argv) {
                                   512u}) {
     core::ClusterConfig config;
     config.fabric.endpoint_fifo_depth = depth;
+    ConfigureObs(cli, config);
     core::Cluster cluster(topo, P2pSpec(), config);
     sim::Cycle done_at = 0;
     cluster.AddKernel(0,
@@ -77,6 +80,7 @@ int main(int argc, char** argv) {
                       "receiver");
     const WallTimer timer;
     const core::RunResult r = cluster.Run();
+    obs = cluster.CaptureTelemetry();
     report.AddResult("burst/k=" + std::to_string(depth), r.cycles,
                      r.microseconds, timer.Seconds());
     std::printf("%10zu %18llu %14llu\n", depth,
@@ -90,13 +94,15 @@ int main(int argc, char** argv) {
   for (const std::size_t depth : {2u, 8u, 32u, 128u}) {
     core::ClusterConfig config;
     config.fabric.endpoint_fifo_depth = depth;
+    ConfigureObs(cli, config);
     const WallTimer timer;
-    const core::RunResult r = StreamOnce(topo, 0, 1, 8ull << 20, config);
+    const core::RunResult r = StreamOnce(topo, 0, 1, 8ull << 20, config, &obs);
     report.AddResult("stream/k=" + std::to_string(depth), r.cycles,
                      r.microseconds, timer.Seconds());
     std::printf("%10zu %14.2f\n", depth,
                 clock.GigabitsPerSecond(8ull << 20, r.cycles));
   }
+  MaybeWriteObs(cli, report, obs);
   MaybeWriteReport(cli, report);
   return 0;
 }

@@ -13,7 +13,9 @@ using namespace smi;
 using namespace smi::bench;
 
 void RunShape(const char* title, const std::vector<std::size_t>& rows_list,
-              const std::vector<std::size_t>& cols_list, PerfReport& report) {
+              const std::vector<std::size_t>& cols_list, PerfReport& report,
+              const core::ClusterConfig& cluster_config,
+              core::RunTelemetry& obs) {
   PrintTitle(title);
   std::printf("%8s %8s | %14s %14s %10s\n", "rows", "cols", "single [ms]",
               "distrib [ms]", "speedup");
@@ -21,6 +23,7 @@ void RunShape(const char* title, const std::vector<std::size_t>& rows_list,
     apps::GesummvConfig config;
     config.rows = rows_list[i];
     config.cols = cols_list[i];
+    config.cluster = cluster_config;
     const std::string shape = std::to_string(config.rows) + "x" +
                               std::to_string(config.cols);
     const WallTimer single_timer;
@@ -29,6 +32,7 @@ void RunShape(const char* title, const std::vector<std::size_t>& rows_list,
                      single.run.microseconds, single_timer.Seconds());
     const WallTimer dist_timer;
     const apps::GesummvResult dist = apps::RunGesummvDistributed(config);
+    obs = dist.telemetry;
     report.AddResult("distributed/" + shape, dist.run.cycles,
                      dist.run.microseconds, dist_timer.Seconds());
     std::printf("%8zu %8zu | %14.2f %14.2f %9.2fx\n", config.rows,
@@ -45,9 +49,13 @@ int main(int argc, char** argv) {
   CliParser cli("bench_gesummv", "Fig. 13: GESUMMV single vs distributed");
   cli.AddFlag("full", "run the paper's full sizes up to 16384 (slow)");
   AddJsonOption(cli);
+  AddObsOptions(cli);
   if (!cli.Parse(argc, argv)) return 2;
 
   const bool full = cli.GetFlag("full");
+  core::ClusterConfig cluster_config;
+  ConfigureObs(cli, cluster_config);
+  core::RunTelemetry obs;
   PerfReport report("gesummv");
   report.SetParameter("full", full);
   std::vector<std::size_t> square = {2048, 4096};
@@ -55,16 +63,20 @@ int main(int argc, char** argv) {
     square.push_back(8192);
     square.push_back(16384);
   }
-  RunShape("Figure 13 (left) — square matrices NxN", square, square, report);
+  RunShape("Figure 13 (left) — square matrices NxN", square, square, report,
+           cluster_config, obs);
 
   std::vector<std::size_t> m = {4096, 8192};
   if (full) m.push_back(16384);
   RunShape("Figure 13 (middle) — rectangular 2048xM",
-           std::vector<std::size_t>(m.size(), 2048), m, report);
+           std::vector<std::size_t>(m.size(), 2048), m, report,
+           cluster_config, obs);
   RunShape("Figure 13 (right) — rectangular Nx2048", m,
-           std::vector<std::size_t>(m.size(), 2048), report);
+           std::vector<std::size_t>(m.size(), 2048), report, cluster_config,
+           obs);
   std::printf("\n(paper: ~2x speedup in all cases; distributed runtimes "
               "0.7/2.8/10.8/51.1 ms for square sizes 2048..16384)\n");
+  MaybeWriteObs(cli, report, obs);
   MaybeWriteReport(cli, report);
   return 0;
 }

@@ -42,7 +42,9 @@ int main(int argc, char** argv) {
   CliParser cli("bench_injection", "Table 4: injection rate vs R");
   cli.AddInt("messages", 4000, "messages to inject per configuration");
   AddJsonOption(cli);
+  AddObsOptions(cli);
   if (!cli.Parse(argc, argv)) return 2;
+  core::RunTelemetry obs;
 
   const net::Topology topo = net::Topology::Torus2D(2, 4);
   const sim::ClockConfig clock;
@@ -57,12 +59,14 @@ int main(int argc, char** argv) {
   for (int i = 0; i < 4; ++i) {
     core::ClusterConfig config;
     config.fabric.poll_r = rs[i];
+    ConfigureObs(cli, config);
     core::Cluster cluster(topo, P2pSpec(), config);
     cluster.AddKernel(0, OneElementMessages(cluster.context(0), 1, n),
                       "inject");
     cluster.AddKernel(1, DrainPackets(cluster.context(1), 0, n), "drain");
     const WallTimer timer;
     const core::RunResult result = cluster.Run();
+    obs = cluster.CaptureTelemetry();
     rates[i] = static_cast<double>(result.cycles) / static_cast<double>(n);
     report.AddResult("R=" + std::to_string(rs[i]), result.cycles,
                      clock.CyclesToMicros(result.cycles), timer.Seconds());
@@ -70,6 +74,7 @@ int main(int argc, char** argv) {
   std::printf("%10.2f %10.2f %10.2f %10.2f\n", rates[0], rates[1], rates[2],
               rates[3]);
   std::printf("\n(paper: 5 / 2.5 / 1.8 / 1.69)\n");
+  MaybeWriteObs(cli, report, obs);
   MaybeWriteReport(cli, report);
   return 0;
 }

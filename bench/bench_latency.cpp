@@ -14,13 +14,16 @@ int main(int argc, char** argv) {
   CliParser cli("bench_latency", "Table 3: p2p latency (usecs)");
   cli.AddInt("rounds", 16, "ping-pong rounds to average over");
   AddJsonOption(cli);
+  AddObsOptions(cli);
   if (!cli.Parse(argc, argv)) return 2;
 
   const net::Topology topo = net::Topology::Bus(8);
   const sim::ClockConfig clock;
   const baseline::HostModel host;
   const int rounds = static_cast<int>(cli.GetInt("rounds"));
-  const core::ClusterConfig config;
+  core::ClusterConfig config;
+  ConfigureObs(cli, config);
+  core::RunTelemetry obs;
 
   PrintTitle("Table 3 — measured latency in usecs "
              "(half round-trip of a 1-element message)");
@@ -32,7 +35,8 @@ int main(int argc, char** argv) {
   const int dsts[3] = {1, 4, 7};
   for (int h = 0; h < 3; ++h) {
     const WallTimer timer;
-    const sim::Cycle cycles = PingPongOnce(topo, 0, dsts[h], config, rounds);
+    const sim::Cycle cycles =
+        PingPongOnce(topo, 0, dsts[h], config, rounds, &obs);
     smi_us[h] = clock.CyclesToMicros(cycles) / (2.0 * rounds);
     report.AddResult(std::to_string(dsts[h]) + "hops", cycles,
                      clock.CyclesToMicros(cycles), timer.Seconds());
@@ -40,6 +44,7 @@ int main(int argc, char** argv) {
   std::printf("%14.2f %10.3f %10.3f %10.3f\n", host.LatencyUs(4), smi_us[0],
               smi_us[1], smi_us[2]);
   std::printf("\n(paper: 36.61 / 0.801 / 2.896 / 5.103)\n");
+  MaybeWriteObs(cli, report, obs);
   MaybeWriteReport(cli, report);
   return 0;
 }

@@ -24,10 +24,11 @@ sim::Kernel ReduceApp(core::Context& ctx, int count, int root, int credits) {
 }
 
 double ReduceUs(const net::Topology& topo, int count, int credits,
-                const std::string& label, PerfReport& report) {
+                const std::string& label, PerfReport& report,
+                const core::ClusterConfig& config, core::RunTelemetry& obs) {
   core::ProgramSpec spec;
   spec.Add(core::OpSpec::Reduce(0, core::DataType::kFloat));
-  core::Cluster cluster(topo, spec);
+  core::Cluster cluster(topo, spec, config);
   for (int r = 0; r < topo.num_ranks(); ++r) {
     cluster.AddKernel(r,
                       ReduceApp(cluster.context(r), count, /*root=*/0,
@@ -36,6 +37,7 @@ double ReduceUs(const net::Topology& topo, int count, int credits,
   }
   const WallTimer timer;
   const core::RunResult result = cluster.Run();
+  obs = cluster.CaptureTelemetry();
   report.AddResult(label + "/" + std::to_string(count), result.cycles,
                    result.microseconds, timer.Seconds());
   return result.microseconds;
@@ -49,8 +51,12 @@ int main(int argc, char** argv) {
   cli.AddInt("credits", 64, "flow-control tile size C");
   cli.AddFlag("credit-sweep", "also sweep the credit tile size (ablation)");
   AddJsonOption(cli);
+  AddObsOptions(cli);
   if (!cli.Parse(argc, argv)) return 2;
 
+  core::ClusterConfig config;
+  ConfigureObs(cli, config);
+  core::RunTelemetry obs;
   const int credits = static_cast<int>(cli.GetInt("credits"));
   const baseline::HostModel host;
   PerfReport report("reduce");
@@ -63,14 +69,14 @@ int main(int argc, char** argv) {
        count <= static_cast<int>(cli.GetInt("max-elems")); count *= 4) {
     const double torus8 =
         ReduceUs(net::Topology::Torus2D(2, 4), count, credits, "torus8",
-                 report);
+                 report, config, obs);
     const double torus4 =
         ReduceUs(net::Topology::Torus2D(2, 2), count, credits, "torus4",
-                 report);
-    const double bus8 =
-        ReduceUs(net::Topology::Bus(8), count, credits, "bus8", report);
-    const double bus4 =
-        ReduceUs(net::Topology::Bus(4), count, credits, "bus4", report);
+                 report, config, obs);
+    const double bus8 = ReduceUs(net::Topology::Bus(8), count, credits,
+                                 "bus8", report, config, obs);
+    const double bus4 = ReduceUs(net::Topology::Bus(4), count, credits,
+                                 "bus4", report, config, obs);
     const double mpi =
         host.ReduceUs(static_cast<std::uint64_t>(count) * 4, 8);
     std::printf("%10d %12.2f %12.2f %12.2f %12.2f %12.2f\n", count, torus8,
@@ -84,9 +90,11 @@ int main(int argc, char** argv) {
     for (const int c : {1, 4, 16, 64, 256, 1024}) {
       std::printf("%10d %12.2f\n", c,
                   ReduceUs(net::Topology::Torus2D(2, 4), 65536, c,
-                           "credit-sweep/C=" + std::to_string(c), report));
+                           "credit-sweep/C=" + std::to_string(c), report,
+                           config, obs));
     }
   }
+  MaybeWriteObs(cli, report, obs);
   MaybeWriteReport(cli, report);
   return 0;
 }

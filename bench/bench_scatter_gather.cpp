@@ -47,12 +47,13 @@ sim::Kernel GatherApp(core::Context& ctx, int count, int root) {
 }
 
 double RunUs(core::CollKind kind, const net::Topology& topo, int count,
-             const std::string& label, PerfReport& report) {
+             const std::string& label, PerfReport& report,
+             const core::ClusterConfig& config, core::RunTelemetry& obs) {
   core::ProgramSpec spec;
   spec.Add(kind == core::CollKind::kScatter
                ? core::OpSpec::Scatter(0, core::DataType::kFloat)
                : core::OpSpec::Gather(0, core::DataType::kFloat));
-  core::Cluster cluster(topo, spec);
+  core::Cluster cluster(topo, spec, config);
   for (int r = 0; r < topo.num_ranks(); ++r) {
     if (kind == core::CollKind::kScatter) {
       cluster.AddKernel(r, ScatterApp(cluster.context(r), count, 0), "app");
@@ -62,6 +63,7 @@ double RunUs(core::CollKind kind, const net::Topology& topo, int count,
   }
   const WallTimer timer;
   const core::RunResult result = cluster.Run();
+  obs = cluster.CaptureTelemetry();
   report.AddResult(label + "/" + std::to_string(count), result.cycles,
                    result.microseconds, timer.Seconds());
   return result.microseconds;
@@ -74,8 +76,12 @@ int main(int argc, char** argv) {
                 "Scatter/Gather time vs segment size (torus)");
   cli.AddInt("max-elems", 16384, "largest per-rank segment in FP32 elements");
   AddJsonOption(cli);
+  AddObsOptions(cli);
   if (!cli.Parse(argc, argv)) return 2;
 
+  core::ClusterConfig config;
+  ConfigureObs(cli, config);
+  core::RunTelemetry obs;
   PerfReport report("scatter_gather");
   report.SetParameter("max-elems", cli.GetInt("max-elems"));
   for (const core::CollKind kind :
@@ -86,12 +92,13 @@ int main(int argc, char** argv) {
     for (int count = 16;
          count <= static_cast<int>(cli.GetInt("max-elems")); count *= 8) {
       const double t8 = RunUs(kind, net::Topology::Torus2D(2, 4), count,
-                              name + "/torus8", report);
+                              name + "/torus8", report, config, obs);
       const double t4 = RunUs(kind, net::Topology::Torus2D(2, 2), count,
-                              name + "/torus4", report);
+                              name + "/torus4", report, config, obs);
       std::printf("%10d %12.2f %12.2f\n", count, t8, t4);
     }
   }
+  MaybeWriteObs(cli, report, obs);
   MaybeWriteReport(cli, report);
   return 0;
 }

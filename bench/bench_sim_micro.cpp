@@ -20,7 +20,7 @@ void BM_FifoPushPop(benchmark::State& state) {
   for (auto _ : state) {
     if (fifo.CanPush(now)) fifo.Push(1, now);
     if (fifo.CanPop(now)) benchmark::DoNotOptimize(fifo.Pop(now));
-    fifo.Commit();
+    fifo.Commit(now);
     ++now;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(now));
@@ -146,19 +146,33 @@ BENCHMARK(BM_DeadlockCheck);
 // Custom main so this binary honours the repo-wide `--json <path>` bench
 // convention: the flag is translated to google-benchmark's native JSON file
 // reporter (--benchmark_out), which carries the same cycles-per-wall-second
-// counters the console shows.
+// counters the console shows. The repo-wide `--counters` / `--trace`
+// telemetry options run one dedicated instrumented 64 KiB stream (the
+// google-benchmark loops themselves stay uninstrumented so the measured
+// rates reflect the disabled-path cost).
 int main(int argc, char** argv) {
+  using namespace smi;
   std::vector<std::string> args;
-  std::string json_path;
+  std::string json_path, counters_path, trace_path;
+  const auto take = [&](const std::string& arg, const char* name,
+                        std::string& out, int& i) {
+    const std::string eq = std::string("--") + name + "=";
+    if (arg.rfind(eq, 0) == 0) {
+      out = arg.substr(eq.size());
+      return true;
+    }
+    if (arg == std::string("--") + name && i + 1 < argc) {
+      out = argv[++i];
+      return true;
+    }
+    return false;
+  };
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--json=", 0) == 0) {
-      json_path = arg.substr(7);
-    } else if (arg == "--json" && i + 1 < argc) {
-      json_path = argv[++i];
-    } else {
-      args.push_back(arg);
-    }
+    if (take(arg, "json", json_path, i)) continue;
+    if (take(arg, "counters", counters_path, i)) continue;
+    if (take(arg, "trace", trace_path, i)) continue;
+    args.push_back(arg);
   }
   if (!json_path.empty()) {
     if (json_path == "auto") json_path = "BENCH_sim_micro.json";
@@ -173,5 +187,24 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+
+  if (!counters_path.empty() || !trace_path.empty()) {
+    core::ClusterConfig config;
+    config.engine.collect_counters = !counters_path.empty();
+    config.engine.collect_trace = !trace_path.empty();
+    core::RunTelemetry obs;
+    (void)bench::StreamOnce(net::Topology::Bus(2), 0, 1, 64 * 1024, config,
+                            &obs);
+    if (!counters_path.empty()) {
+      if (counters_path == "auto") counters_path = "COUNTERS_sim_micro.json";
+      json::WriteFile(counters_path, obs.counters);
+      std::printf("wrote %s\n", counters_path.c_str());
+    }
+    if (!trace_path.empty()) {
+      if (trace_path == "auto") trace_path = "TRACE_sim_micro.json";
+      json::WriteFile(trace_path, obs.trace);
+      std::printf("wrote %s\n", trace_path.c_str());
+    }
+  }
   return 0;
 }

@@ -46,8 +46,9 @@ struct Measurement {
 };
 
 Measurement RunBusyRing(const net::Topology& topo, int elems,
-                        sim::SchedulerKind kind, unsigned threads) {
-  core::ClusterConfig config;
+                        sim::SchedulerKind kind, unsigned threads,
+                        core::ClusterConfig config,
+                        core::RunTelemetry& obs) {
   config.engine.scheduler = kind;
   config.engine.threads = threads;
   core::Cluster cluster(topo, P2pSpec(), config);
@@ -59,6 +60,7 @@ Measurement RunBusyRing(const net::Topology& topo, int elems,
   }
   const WallTimer timer;
   const core::RunResult result = cluster.Run();
+  obs = cluster.CaptureTelemetry();
   return {result.cycles, result.microseconds, timer.Seconds(),
           result.partitions};
 }
@@ -77,8 +79,12 @@ int main(int argc, char** argv) {
   cli.AddInt("elems", 20000, "ints each rank streams to its neighbour");
   cli.AddInt("max-threads", 8, "largest worker-thread count");
   AddJsonOption(cli);
+  AddObsOptions(cli);
   if (!cli.Parse(argc, argv)) return 2;
 
+  core::ClusterConfig config;
+  ConfigureObs(cli, config);
+  core::RunTelemetry obs;
   const int elems = static_cast<int>(cli.GetInt("elems"));
   const int max_threads = static_cast<int>(cli.GetInt("max-threads"));
 
@@ -108,7 +114,7 @@ int main(int argc, char** argv) {
 
     const std::string ranks = std::to_string(topo.num_ranks()) + "ranks";
     const Measurement event = RunBusyRing(
-        topo, elems, sim::SchedulerKind::kEventDriven, 1);
+        topo, elems, sim::SchedulerKind::kEventDriven, 1, config, obs);
     report.AddResult(ranks + "/event-driven", event.cycles,
                      event.microseconds, event.wall_seconds);
     std::printf("%-22s %12llu %16.2f %10s\n", "event-driven",
@@ -119,7 +125,7 @@ int main(int argc, char** argv) {
     for (int threads = 1; threads <= max_threads; threads *= 2) {
       const Measurement par = RunBusyRing(
           topo, elems, sim::SchedulerKind::kParallel,
-          static_cast<unsigned>(threads));
+          static_cast<unsigned>(threads), config, obs);
       report.AddResult(
           ranks + "/parallel-t" + std::to_string(threads), par.cycles,
           par.microseconds, par.wall_seconds);
@@ -141,6 +147,7 @@ int main(int argc, char** argv) {
   }
   std::printf("\nnote: wall-clock scaling depends on available host cores; "
               "simulated cycles are scheduler-invariant.\n");
+  MaybeWriteObs(cli, report, obs);
   MaybeWriteReport(cli, report);
   return 0;
 }

@@ -27,7 +27,11 @@ int main(int argc, char** argv) {
   cli.AddInt("timesteps", 8, "stencil timesteps");
   cli.AddFlag("full", "run the paper's 4096x4096, 32 timesteps (slow)");
   AddJsonOption(cli);
+  AddObsOptions(cli);
   if (!cli.Parse(argc, argv)) return 2;
+  core::ClusterConfig cluster_config;
+  ConfigureObs(cli, cluster_config);
+  core::RunTelemetry obs;
 
   const bool full = cli.GetFlag("full");
   const int grid = full ? 4096 : static_cast<int>(cli.GetInt("grid"));
@@ -55,8 +59,10 @@ int main(int argc, char** argv) {
     sc.ry = c.ry;
     sc.banks = c.banks;
     sc.timesteps = steps;
+    sc.cluster = cluster_config;
     const WallTimer timer;
     const apps::StencilResult result = RunStencilSmi(sc);
+    obs = result.telemetry;
     report.AddResult(c.label, result.run.cycles, result.run.microseconds,
                      timer.Seconds());
     const double cycles = static_cast<double>(result.run.cycles);
@@ -66,6 +72,7 @@ int main(int argc, char** argv) {
   }
   std::printf("\n(paper, 4096x4096/32: 1.0x 254ms, 3.5x, 3.5x, 12.3x, "
               "23.1x)\n");
+  MaybeWriteObs(cli, report, obs);
   MaybeWriteReport(cli, report);
   return 0;
 }

@@ -14,7 +14,11 @@ int main(int argc, char** argv) {
   cli.AddInt("timesteps", 8, "stencil timesteps");
   cli.AddInt("max-grid", 2048, "largest grid size (NxN)");
   AddJsonOption(cli);
+  AddObsOptions(cli);
   if (!cli.Parse(argc, argv)) return 2;
+  core::ClusterConfig cluster_config;
+  ConfigureObs(cli, cluster_config);
+  core::RunTelemetry obs;
 
   const int steps = static_cast<int>(cli.GetInt("timesteps"));
   const int max_grid = static_cast<int>(cli.GetInt("max-grid"));
@@ -37,8 +41,10 @@ int main(int argc, char** argv) {
       sc.ry = shapes[i].second;
       sc.banks = 4;
       sc.timesteps = steps;
+      sc.cluster = cluster_config;
       const WallTimer timer;
       const apps::StencilResult result = RunStencilSmi(sc);
+      obs = result.telemetry;
       report.AddResult(std::to_string(shapes[i].first * shapes[i].second) +
                            "ranks/" + std::to_string(grid),
                        result.run.cycles, result.run.microseconds,
@@ -53,6 +59,7 @@ int main(int argc, char** argv) {
   }
   std::printf("\n(paper: 8 ranks approach 2x over 4 ranks at large "
               "grids)\n");
+  MaybeWriteObs(cli, report, obs);
   MaybeWriteReport(cli, report);
   return 0;
 }

@@ -157,6 +157,7 @@ GesummvResult RunGesummvSingleFpga(const GesummvConfig& config) {
                                result.y),
                     "axpy");
   result.run = cluster.Run();
+  result.telemetry = cluster.CaptureTelemetry();
   return result;
 }
 
@@ -235,6 +236,7 @@ GesummvResult RunGesummvDistributed(const GesummvConfig& config) {
                     "gemvB");
   cluster.AddKernel(1, rank1_axpy(cluster.context(1)), "axpy");
   result.run = cluster.Run();
+  result.telemetry = cluster.CaptureTelemetry();
   return result;
 }
 

@@ -45,6 +45,8 @@ struct GesummvConfig {
 struct GesummvResult {
   std::vector<float> y;
   core::RunResult run;
+  /// Telemetry of the run; null values unless config.cluster enabled it.
+  core::RunTelemetry telemetry;
 };
 
 /// Deterministic input generation (shared with the benchmarks so that the

@@ -317,6 +317,7 @@ StencilResult RunStencilSmi(const StencilConfig& config) {
 
   StencilResult result;
   result.run = cluster.Run();
+  result.telemetry = cluster.CaptureTelemetry();
 
   // Gather the final global grid.
   result.grid.resize(global.size());

@@ -46,6 +46,8 @@ struct StencilConfig {
 struct StencilResult {
   std::vector<float> grid;  ///< final global grid, row-major
   core::RunResult run;
+  /// Telemetry of the run; null values unless config.cluster enabled it.
+  core::RunTelemetry telemetry;
 };
 
 /// Deterministic initial grid shared with the reference implementation.

@@ -159,17 +159,23 @@ class Parser {
           case 'r': out += '\r'; break;
           case 't': out += '\t'; break;
           case 'u': {
-            unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = Next();
-              code <<= 4;
-              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-              else Fail("invalid \\u escape");
+            unsigned code = ParseHex4();
+            if (code >= 0xdc00 && code <= 0xdfff) {
+              Fail("lone low surrogate in \\u escape");
             }
-            if (code > 0x7f) Fail("non-ASCII \\u escapes are not supported");
-            out += static_cast<char>(code);
+            if (code >= 0xd800 && code <= 0xdbff) {
+              // High surrogate: must be immediately followed by an escaped
+              // low surrogate, combining into one supplementary code point.
+              if (Next() != '\\' || Next() != 'u') {
+                Fail("high surrogate not followed by \\u low surrogate");
+              }
+              const unsigned low = ParseHex4();
+              if (low < 0xdc00 || low > 0xdfff) {
+                Fail("high surrogate not followed by low surrogate");
+              }
+              code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+            }
+            AppendUtf8(out, code);
             break;
           }
           default:
@@ -180,6 +186,37 @@ class Parser {
       } else {
         out += c;
       }
+    }
+  }
+
+  unsigned ParseHex4() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = Next();
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else Fail("invalid \\u escape");
+    }
+    return code;
+  }
+
+  static void AppendUtf8(std::string& out, unsigned code) {
+    if (code <= 0x7f) {
+      out += static_cast<char>(code);
+    } else if (code <= 0x7ff) {
+      out += static_cast<char>(0xc0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    } else if (code <= 0xffff) {
+      out += static_cast<char>(0xe0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (code & 0x3f));
     }
   }
 

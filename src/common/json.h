@@ -7,7 +7,8 @@
 /// The paper's workflow describes cluster topologies and routing tables as
 /// JSON files consumed by the route generator; this parser keeps that
 /// interface without pulling in an external dependency. It supports the full
-/// JSON grammar except for \uXXXX escapes outside the ASCII range.
+/// JSON grammar; \uXXXX escapes (including UTF-16 surrogate pairs) decode to
+/// UTF-8, and lone surrogates are rejected with a ParseError.
 
 #include <cstdint>
 #include <map>

@@ -22,11 +22,18 @@ void PerfReport::AddResult(const std::string& result_name,
   results_.emplace_back(std::move(row));
 }
 
+void PerfReport::SetSection(const std::string& key, json::Value value) {
+  if (key == "name" || key == "parameters" || key == "results") return;
+  if (value.is_null()) return;
+  sections_[key] = std::move(value);
+}
+
 json::Value PerfReport::ToJson() const {
   json::Object doc;
   doc["name"] = name_;
   doc["parameters"] = parameters_;
   doc["results"] = results_;
+  for (const auto& [key, value] : sections_) doc[key] = value;
   return doc;
 }
 

@@ -53,6 +53,12 @@ class PerfReport {
   void AddResult(const std::string& result_name, std::uint64_t cycles,
                  double simulated_microseconds, double wall_seconds);
 
+  /// Attach an extra top-level section to the document (e.g. the telemetry
+  /// summary under "observability"). Reserved keys ("name", "parameters",
+  /// "results") are rejected; null values are dropped silently so callers
+  /// can pass Cluster::CountersSummaryJson() unconditionally.
+  void SetSection(const std::string& key, json::Value value);
+
   std::size_t result_count() const { return results_.size(); }
 
   /// The full document (see the schema above).
@@ -70,6 +76,7 @@ class PerfReport {
   std::string name_;
   json::Object parameters_;
   json::Array results_;
+  json::Object sections_;
 };
 
 /// Wall-clock stopwatch for the `wall_seconds` field.

@@ -38,9 +38,15 @@ double OnlineStats::variance() const {
 
 double OnlineStats::stddev() const { return std::sqrt(variance()); }
 
+void SampleStats::EnsureSorted() const {
+  if (sorted_) return;
+  std::sort(samples_.begin(), samples_.end());
+  sorted_ = true;
+}
+
 double SampleStats::Percentile(double p) const {
   if (samples_.empty()) return 0.0;
-  std::sort(samples_.begin(), samples_.end());
+  EnsureSorted();
   if (samples_.size() == 1) return samples_[0];
   const double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
@@ -57,13 +63,15 @@ double SampleStats::mean() const {
 }
 
 double SampleStats::min() const {
-  return samples_.empty() ? 0.0
-                          : *std::min_element(samples_.begin(), samples_.end());
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  return samples_.front();
 }
 
 double SampleStats::max() const {
-  return samples_.empty() ? 0.0
-                          : *std::max_element(samples_.begin(), samples_.end());
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  return samples_.back();
 }
 
 }  // namespace smi

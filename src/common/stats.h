@@ -38,7 +38,10 @@ class OnlineStats {
 /// medians over repeated runs.
 class SampleStats {
  public:
-  void Add(double x) { samples_.push_back(x); }
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
   std::size_t count() const { return samples_.size(); }
   double median() const { return Percentile(50.0); }
   /// Linear-interpolated percentile, p in [0,100].
@@ -48,7 +51,12 @@ class SampleStats {
   double max() const;
 
  private:
+  /// Sorts lazily: the sample order carries no meaning, so queries share one
+  /// sorted copy instead of re-sorting per call. Invalidated by Add.
+  void EnsureSorted() const;
+
   mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;  // an empty sample set is trivially sorted
 };
 
 }  // namespace smi

@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "obs/recorder.h"
 
 namespace smi::core {
 
@@ -133,6 +134,30 @@ RunResult Cluster::Run() {
                << result.microseconds << " us), " << result.link_packets
                << " link packets";
   return result;
+}
+
+json::Value Cluster::CountersJson() const {
+  const obs::Recorder* rec = engine_->recorder();
+  return rec != nullptr ? rec->CountersJson() : json::Value();
+}
+
+json::Value Cluster::CountersSummaryJson() const {
+  const obs::Recorder* rec = engine_->recorder();
+  return rec != nullptr ? rec->SummaryJson() : json::Value();
+}
+
+json::Value Cluster::TraceJson() const {
+  const obs::Recorder* rec = engine_->recorder();
+  return rec != nullptr && rec->trace_enabled() ? rec->TraceJson()
+                                                : json::Value();
+}
+
+RunTelemetry Cluster::CaptureTelemetry() const {
+  RunTelemetry t;
+  t.counters = CountersJson();
+  t.summary = CountersSummaryJson();
+  t.trace = TraceJson();
+  return t;
 }
 
 }  // namespace smi::core

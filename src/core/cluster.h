@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "core/context.h"
 #include "core/program.h"
 #include "core/support.h"
@@ -34,6 +35,17 @@ struct ClusterConfig {
   net::RoutingScheme routing = net::RoutingScheme::kAuto;
   /// Depth of the FIFOs between applications and collective support kernels.
   std::size_t coll_fifo_depth = 16;
+};
+
+/// Telemetry documents pulled from a cluster after Run() (see
+/// obs/recorder.h). All values are JSON null unless the engine config
+/// enabled `collect_counters` / `collect_trace`, so the struct is free to
+/// capture unconditionally.
+struct RunTelemetry {
+  json::Value counters;  ///< per-entity counter document
+  json::Value summary;   ///< aggregate totals (small; embeddable in reports)
+  json::Value trace;     ///< Chrome trace-event document
+  bool captured() const { return !summary.is_null(); }
 };
 
 struct RunResult {
@@ -77,6 +89,15 @@ class Cluster {
 
   /// Run the simulation to completion.
   RunResult Run();
+
+  /// Telemetry documents collected during Run() (see obs/recorder.h). Null
+  /// JSON values unless the engine config enabled `collect_counters` /
+  /// `collect_trace`.
+  json::Value CountersJson() const;
+  json::Value CountersSummaryJson() const;
+  json::Value TraceJson() const;
+  /// All three documents at once — call after Run(), before destruction.
+  RunTelemetry CaptureTelemetry() const;
 
   sim::Engine& engine() { return *engine_; }
   transport::Fabric& fabric() { return *fabric_; }

@@ -72,8 +72,47 @@ json::Value RoutingTable::ToJson() const {
   return json::Value(std::move(root));
 }
 
+void RoutingTable::Validate(const Topology& topo) const {
+  if (topo.num_ranks() != num_ranks_) {
+    throw RoutingError("routing table is for " + std::to_string(num_ranks_) +
+                       " ranks but the topology has " +
+                       std::to_string(topo.num_ranks()));
+  }
+  for (int r = 0; r < num_ranks_; ++r) {
+    for (int d = 0; d < num_ranks_; ++d) {
+      const int port = next_port(r, d);
+      if (r == d) {
+        if (port != -1) {
+          throw RoutingError("routing table entry (" + std::to_string(r) +
+                             ", " + std::to_string(d) +
+                             ") must be -1 on the diagonal, got " +
+                             std::to_string(port));
+        }
+        continue;
+      }
+      if (port < -1 || port >= topo.ports_per_rank()) {
+        throw RoutingError("routing table entry (" + std::to_string(r) + ", " +
+                           std::to_string(d) + ") is out of range: port " +
+                           std::to_string(port) + " with " +
+                           std::to_string(topo.ports_per_rank()) +
+                           " ports per rank");
+      }
+      if (port >= 0 && !topo.Peer(PortId{r, port})) {
+        throw RoutingError("routing table entry (" + std::to_string(r) + ", " +
+                           std::to_string(d) + ") points at unwired port " +
+                           std::to_string(port) + " of rank " +
+                           std::to_string(r));
+      }
+    }
+  }
+}
+
 RoutingTable RoutingTable::FromJson(const json::Value& v) {
   const int ranks = static_cast<int>(v.at("ranks").as_int());
+  if (ranks < 1) {
+    throw ParseError("routing table rank count must be >= 1, got " +
+                     std::to_string(ranks));
+  }
   RoutingTable t(ranks);
   const json::Array& rows = v.at("next_port").as_array();
   if (rows.size() != static_cast<std::size_t>(ranks)) {
@@ -85,10 +124,23 @@ RoutingTable RoutingTable::FromJson(const json::Value& v) {
       throw ParseError("routing table column count mismatch");
     }
     for (int d = 0; d < ranks; ++d) {
-      t.set_next_port(r, d,
-                      static_cast<int>(row[static_cast<std::size_t>(d)].as_int()));
+      const int port =
+          static_cast<int>(row[static_cast<std::size_t>(d)].as_int());
+      if (port < -1) {
+        throw ParseError("routing table entry (" + std::to_string(r) + ", " +
+                         std::to_string(d) + ") is negative: " +
+                         std::to_string(port));
+      }
+      t.set_next_port(r, d, port);
     }
   }
+  return t;
+}
+
+RoutingTable RoutingTable::FromJson(const json::Value& v,
+                                    const Topology& topo) {
+  RoutingTable t = FromJson(v);
+  t.Validate(topo);
   return t;
 }
 

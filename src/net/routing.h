@@ -44,10 +44,21 @@ class RoutingTable {
   /// Number of link traversals from src to dst.
   int HopCount(const Topology& topo, int src, int dst) const;
 
+  /// Check every entry against the topology: ports must lie in
+  /// [-1, ports_per_rank), non-self entries must be wired ports, and the
+  /// diagonal must be -1. Throws RoutingError on the first violation, so a
+  /// corrupt uploaded table is diagnosed at load time instead of exploding
+  /// mid-run inside Path()/Fabric (mirrors the Fabric endpoint checks).
+  void Validate(const Topology& topo) const;
+
   /// JSON round-trip so routing tables can be written next to the bitstream
   /// and uploaded at application start, as in the paper's workflow.
   json::Value ToJson() const;
   static RoutingTable FromJson(const json::Value& v);
+
+  /// FromJson plus Validate(topo): the load path used when the target
+  /// topology is known (e.g. uploading routes into a Fabric).
+  static RoutingTable FromJson(const json::Value& v, const Topology& topo);
 
  private:
   int num_ranks_;

@@ -1,0 +1,320 @@
+#ifndef SMI_OBS_COUNTERS_H
+#define SMI_OBS_COUNTERS_H
+
+/// \file counters.h
+/// Hardware-profiling counter blocks for the simulated fabric — the analogue
+/// of the profiling counters FPGA collective stacks expose to explain where
+/// cycles go (per-FIFO stalls, CK polling behaviour, link utilization,
+/// kernel activity). Design constraints:
+///
+///  1. *Near-zero overhead when disabled.* Instrumented entities hold a
+///     plain pointer to their counter block, null unless the engine was
+///     configured with `collect_counters`/`collect_trace`; every site is a
+///     single null check on the hot path.
+///  2. *Bit-identical across schedulers.* Counters fall into two classes:
+///     - *event counters* (pushes, forwards, arbiter hits, deliveries,
+///       kernel resumes) increment at action sites, and actions are
+///       bit-identical across schedulers by the engine's exactness
+///       guarantee;
+///     - *duration counters* (FIFO full/empty cycles, link credit stalls,
+///       arbiter polls) are accounted as *spans* over intervals where the
+///       relevant committed state is provably constant. The event-driven
+///       scheduler only revisits an entity when that state can change, so
+///       closing the open span at each visit yields the same totals as the
+///       synchronous scheduler's per-cycle accounting.
+///  3. *Parallel-overshoot trim.* Under the parallel scheduler, partitions
+///     overshoot the global completion cycle inside the final epoch. Every
+///     counter update made while a `Journal` is active is logged with its
+///     cycle stamp; at the final barrier the engine replays the journal
+///     backwards, undoing updates at cycles >= the merged finish cycle —
+///     the same mechanism the engine already uses for kernel-resume and
+///     link-delivery accounting. Journals are cleared at every epoch
+///     barrier (only final-epoch entries can ever need trimming), and each
+///     journal is written by exactly one worker thread (entities are
+///     partition-disjoint; split links use one journal per half).
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/clock.h"
+
+namespace smi::obs {
+
+using sim::Cycle;
+
+/// Undo log for counter updates made during a parallel epoch. Inactive (and
+/// empty) under the sequential schedulers.
+class Journal {
+ public:
+  void set_active(bool on) {
+    active_ = on;
+    if (!on) entries_.clear();
+  }
+  bool active() const { return active_; }
+  void Clear() { entries_.clear(); }
+
+  /// `counter += delta` happened at `cycle`.
+  void Add(std::uint64_t* counter, Cycle cycle, std::uint64_t delta) {
+    if (active_) entries_.push_back(Entry{Kind::kAdd, counter, cycle, delta});
+  }
+  /// `counter` accumulated one unit per cycle over [from, to).
+  void Span(std::uint64_t* counter, Cycle from, Cycle to) {
+    if (active_) entries_.push_back(Entry{Kind::kSpan, counter, from, to});
+  }
+  /// `counter` was overwritten at `cycle`; `old_value` restores it.
+  void Restore(std::uint64_t* counter, Cycle cycle, std::uint64_t old_value) {
+    if (active_) {
+      entries_.push_back(Entry{Kind::kRestore, counter, cycle, old_value});
+    }
+  }
+
+  /// Undo every logged update attributable to cycles >= `cycle`, newest
+  /// first (so Restore entries land on the oldest surviving value), then
+  /// drop the log.
+  void TrimAtOrAfter(Cycle cycle) {
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      switch (it->kind) {
+        case Kind::kAdd:
+          if (it->a >= cycle) *it->counter -= it->b;
+          break;
+        case Kind::kSpan:
+          if (it->b > cycle) {
+            *it->counter -= it->b - (it->a > cycle ? it->a : cycle);
+          }
+          break;
+        case Kind::kRestore:
+          if (it->a >= cycle) *it->counter = it->b;
+          break;
+      }
+    }
+    entries_.clear();
+  }
+
+ private:
+  enum class Kind : std::uint8_t { kAdd, kSpan, kRestore };
+  struct Entry {
+    Kind kind;
+    std::uint64_t* counter;
+    Cycle a;          ///< kAdd/kRestore: cycle stamp; kSpan: interval start
+    std::uint64_t b;  ///< kAdd: delta; kSpan: interval end; kRestore: old value
+  };
+  bool active_ = false;
+  std::vector<Entry> entries_;
+};
+
+/// Per-FIFO counters: traffic, occupancy high-water mark and full/empty
+/// stall cycles. Spans are closed at each commit using the state the
+/// *previous* commit established (committed FIFO state is constant between
+/// commits, and the event-driven scheduler commits exactly when it changes).
+struct FifoCounters {
+  std::string name;
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;
+  std::uint64_t high_water = 0;          ///< max committed occupancy
+  std::uint64_t full_stall_cycles = 0;   ///< cycles committed-full (pushers stall)
+  std::uint64_t empty_cycles = 0;        ///< cycles committed-empty (poppers stall)
+  Journal journal;
+
+  void OnPush(Cycle now) {
+    ++pushes;
+    journal.Add(&pushes, now, 1);
+  }
+  void OnPop(Cycle now) {
+    ++pops;
+    journal.Add(&pops, now, 1);
+  }
+  /// Called at each FIFO commit with the newly committed occupancy. The
+  /// committed state set at cycle `now` is observed from cycle `now + 1`.
+  void OnCommit(Cycle now, std::size_t occupancy, std::size_t capacity) {
+    CloseSpan(now + 1);
+    if (occupancy > high_water) {
+      journal.Restore(&high_water, now, high_water);
+      high_water = occupancy;
+    }
+    full_ = occupancy >= capacity;
+    empty_ = occupancy == 0;
+  }
+  /// Flush the trailing span at end of run (`total` = total cycles).
+  void Finalize(Cycle total) { CloseSpan(total); }
+
+ private:
+  void CloseSpan(Cycle to) {
+    if (to <= span_from_) return;
+    if (full_) {
+      full_stall_cycles += to - span_from_;
+      journal.Span(&full_stall_cycles, span_from_, to);
+    }
+    if (empty_) {
+      empty_cycles += to - span_from_;
+      journal.Span(&empty_cycles, span_from_, to);
+    }
+    span_from_ = to;
+  }
+  Cycle span_from_ = 0;
+  bool full_ = false;
+  bool empty_ = true;  // a fresh FIFO is committed-empty from cycle 0
+};
+
+/// Per-CK (CKS or CKR) counters: R-polling behaviour and forwarded packets
+/// broken down by wire op. Poll accounting uses a watermark: `Select(now)`
+/// covers all cycles up to `now` (the arbiter replays idle gaps), so the
+/// poll count over [polls_from_, now + 1) is added in bulk and the tail up
+/// to the finish cycle is flushed at Finalize — exactly the per-cycle polls
+/// the synchronous scheduler performs.
+struct CkCounters {
+  std::string name;
+  std::uint64_t forwarded_by_op[3] = {0, 0, 0};  ///< kData, kSync, kCredit
+  std::uint64_t polls = 0;   ///< connections examined (incl. empty polls)
+  std::uint64_t hits = 0;    ///< polls that found a poppable packet
+  std::uint64_t bursts = 0;  ///< burst starts (first serviced packet of a burst)
+  std::uint64_t stalls = 0;  ///< cycles holding a packet with a full output
+  Journal journal;
+
+  void OnForward(int op, Cycle now) {
+    if (op < 0 || op > 2) return;  // unknown wire op: not counted
+    ++forwarded_by_op[op];
+    journal.Add(&forwarded_by_op[op], now, 1);
+  }
+  void CountPollsTo(Cycle to) {
+    polled_ = true;
+    if (to <= polls_from_) return;
+    polls += to - polls_from_;
+    journal.Span(&polls, polls_from_, to);
+    polls_from_ = to;
+  }
+  void OnHit(Cycle now) {
+    ++hits;
+    journal.Add(&hits, now, 1);
+  }
+  void OnBurstStart(Cycle now) {
+    ++bursts;
+    journal.Add(&bursts, now, 1);
+  }
+  void OnStall(Cycle now) {
+    ++stalls;
+    journal.Add(&stalls, now, 1);
+  }
+  void Finalize(Cycle total) {
+    // An idle CK is still polled every cycle by the synchronous scheduler;
+    // flush the trailing idle gap (no-op if the arbiter never polled, i.e.
+    // it has no inputs and never examines anything).
+    if (polled_) CountPollsTo(total);
+  }
+
+ private:
+  Cycle polls_from_ = 0;
+  bool polled_ = false;
+};
+
+/// Per-link counters: utilization (delivery cycles) on the receiver side and
+/// credit-window stalls on the sender side. The two sides run on different
+/// worker threads when the link is split, so each owns a journal. Credit
+/// stalls are span-accounted: the stall state computed during a Step holds
+/// for every skipped cycle until the next Step (the wake contract guarantees
+/// a step at every cycle the state could change).
+struct LinkCounters {
+  std::string name;
+  Cycle latency = 0;
+  std::uint64_t busy_cycles = 0;          ///< cycles a payload was delivered
+  std::uint64_t credit_stall_cycles = 0;  ///< TX had data, credit window full
+  Journal rx_journal;
+  Journal tx_journal;
+  bool trace = false;
+  std::vector<Cycle> deliveries;  ///< delivery cycles (packet-hop timeline)
+
+  void OnDeliver(Cycle now) {
+    ++busy_cycles;
+    rx_journal.Add(&busy_cycles, now, 1);
+    if (trace) deliveries.push_back(now);
+  }
+  /// Called once per sender-side step with this cycle's stall state; closes
+  /// the span [tx_from_, now) carried by the previous state.
+  void OnTxCycle(Cycle now, bool stalled) {
+    if (tx_stall_ && now > tx_from_) {
+      credit_stall_cycles += now - tx_from_;
+      tx_journal.Span(&credit_stall_cycles, tx_from_, now);
+    }
+    tx_stall_ = stalled;
+    tx_from_ = now;
+  }
+  void Finalize(Cycle total) {
+    if (tx_stall_ && total > tx_from_) {
+      credit_stall_cycles += total - tx_from_;
+      tx_journal.Span(&credit_stall_cycles, tx_from_, total);
+    }
+    tx_stall_ = false;
+    tx_from_ = total;
+  }
+  void TrimTraceAtOrAfter(Cycle cycle) {
+    while (!deliveries.empty() && deliveries.back() >= cycle) {
+      deliveries.pop_back();
+    }
+  }
+
+ private:
+  Cycle tx_from_ = 0;
+  bool tx_stall_ = false;
+};
+
+/// Per-kernel counters and activity intervals. A kernel is *active* on every
+/// cycle it resumes (at most one resume per cycle); consecutive active
+/// cycles coalesce into one trace interval. `blocked` cycles are derived at
+/// export time as lifetime - active.
+struct KernelProbe {
+  std::string name;
+  std::uint64_t resumes = 0;
+  std::uint64_t done_cycle_p1 = 0;  ///< (cycle the kernel finished) + 1; 0 = ran to end
+  Journal journal;
+  bool trace = false;
+  std::vector<std::pair<Cycle, Cycle>> intervals;  ///< [start, end) active spans
+
+  void OnResume(Cycle now) {
+    ++resumes;
+    journal.Add(&resumes, now, 1);
+    if (!trace) return;
+    if (open_ && now == open_end_) {
+      ++open_end_;
+    } else {
+      if (open_) intervals.emplace_back(open_start_, open_end_);
+      open_ = true;
+      open_start_ = now;
+      open_end_ = now + 1;
+    }
+  }
+  void OnDone(Cycle now) {
+    journal.Restore(&done_cycle_p1, now, done_cycle_p1);
+    done_cycle_p1 = now + 1;
+  }
+  void Finalize(Cycle /*total*/) {
+    if (open_) {
+      intervals.emplace_back(open_start_, open_end_);
+      open_ = false;
+    }
+  }
+  void TrimTraceAtOrAfter(Cycle cycle) {
+    if (open_) {
+      if (open_start_ >= cycle) {
+        open_ = false;
+      } else if (open_end_ > cycle) {
+        open_end_ = cycle;
+      }
+    }
+    while (!intervals.empty() && intervals.back().first >= cycle) {
+      intervals.pop_back();
+    }
+    if (!intervals.empty() && intervals.back().second > cycle) {
+      intervals.back().second = cycle;
+    }
+  }
+
+ private:
+  bool open_ = false;
+  Cycle open_start_ = 0;
+  Cycle open_end_ = 0;
+};
+
+}  // namespace smi::obs
+
+#endif  // SMI_OBS_COUNTERS_H

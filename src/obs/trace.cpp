@@ -1,0 +1,73 @@
+#include "obs/trace.h"
+
+#include <string>
+#include <utility>
+
+namespace smi::obs {
+
+namespace {
+
+json::Value MetaEvent(const char* what, std::int64_t pid, std::int64_t tid,
+                      const std::string& name) {
+  json::Object args;
+  args["name"] = json::Value(name);
+  json::Object ev;
+  ev["name"] = json::Value(what);
+  ev["ph"] = json::Value("M");
+  ev["pid"] = json::Value(pid);
+  ev["tid"] = json::Value(tid);
+  ev["args"] = json::Value(std::move(args));
+  return json::Value(std::move(ev));
+}
+
+json::Value CompleteEvent(const std::string& name, const char* cat,
+                          std::int64_t pid, std::int64_t tid, Cycle ts,
+                          Cycle dur) {
+  json::Object ev;
+  ev["name"] = json::Value(name);
+  ev["cat"] = json::Value(cat);
+  ev["ph"] = json::Value("X");
+  ev["pid"] = json::Value(pid);
+  ev["tid"] = json::Value(tid);
+  ev["ts"] = json::Value(static_cast<std::int64_t>(ts));
+  ev["dur"] = json::Value(static_cast<std::int64_t>(dur));
+  return json::Value(std::move(ev));
+}
+
+}  // namespace
+
+json::Value ChromeTrace(const std::deque<KernelProbe>& kernels,
+                        const std::deque<LinkCounters>& links) {
+  json::Array events;
+  events.push_back(MetaEvent("process_name", 0, 0, "kernels"));
+  events.push_back(MetaEvent("process_name", 1, 0, "links"));
+
+  std::int64_t tid = 0;
+  for (const KernelProbe& k : kernels) {
+    events.push_back(MetaEvent("thread_name", 0, tid, k.name));
+    for (const auto& [start, end] : k.intervals) {
+      events.push_back(
+          CompleteEvent(k.name, "kernel", 0, tid, start, end - start));
+    }
+    ++tid;
+  }
+
+  tid = 0;
+  for (const LinkCounters& l : links) {
+    events.push_back(MetaEvent("thread_name", 1, tid, l.name));
+    for (const Cycle delivered : l.deliveries) {
+      // A hop occupies the wire for `latency` cycles ending at delivery.
+      const Cycle start = delivered >= l.latency ? delivered - l.latency : 0;
+      events.push_back(
+          CompleteEvent(l.name, "hop", 1, tid, start, delivered - start));
+    }
+    ++tid;
+  }
+
+  json::Object doc;
+  doc["displayTimeUnit"] = json::Value("ns");
+  doc["traceEvents"] = json::Value(std::move(events));
+  return json::Value(std::move(doc));
+}
+
+}  // namespace smi::obs

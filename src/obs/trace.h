@@ -1,0 +1,29 @@
+#ifndef SMI_OBS_TRACE_H
+#define SMI_OBS_TRACE_H
+
+/// \file trace.h
+/// Chrome trace-event (about://tracing, Perfetto) export of the telemetry
+/// collected by the counter blocks: kernel activity intervals and per-link
+/// packet-hop timelines. Timestamps are integer simulation cycles (the
+/// `displayTimeUnit` hint maps one cycle to one nanosecond in the viewer),
+/// so the emitted document is bit-exact and comparable across schedulers.
+
+#include <deque>
+
+#include "common/json.h"
+#include "obs/counters.h"
+
+namespace smi::obs {
+
+/// Build a Chrome trace-event document:
+///   {"displayTimeUnit": "ns", "traceEvents": [...]}
+/// Kernels become "X" (complete) events on pid 0, one tid per kernel in
+/// registration order; link hops become "X" events on pid 1, one tid per
+/// link, with ts = delivery_cycle - latency and dur = latency. "M" metadata
+/// events name the processes and threads.
+json::Value ChromeTrace(const std::deque<KernelProbe>& kernels,
+                        const std::deque<LinkCounters>& links);
+
+}  // namespace smi::obs
+
+#endif  // SMI_OBS_TRACE_H

@@ -31,6 +31,10 @@
 
 #include "sim/clock.h"
 
+namespace smi::obs {
+class Recorder;
+}
+
 namespace smi::sim {
 
 class FifoBase;
@@ -58,6 +62,11 @@ class Component {
   /// activity is the only thing that can enable it. Called right after each
   /// Step, once that cycle's FIFO commits are visible.
   virtual Cycle NextSelfWake(Cycle now) const { return now + 1; }
+
+  /// Called once per component when the engine starts collecting telemetry;
+  /// the component registers its counter blocks with the recorder and keeps
+  /// the returned pointers. Default: no telemetry.
+  virtual void AttachObservability(obs::Recorder& /*recorder*/) {}
 
  private:
   std::string name_;

@@ -9,6 +9,7 @@
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "obs/recorder.h"
 
 namespace smi::sim {
 
@@ -151,9 +152,11 @@ bool Engine::StepCycleSync() {
     }
     // Either never started, or its blocked operation just completed.
     ++whole_.resumes;
+    if (slot.probe != nullptr) slot.probe->OnResume(now_);
     progress = true;
     slot.kernel.Resume();
     CheckKernelException(slot);
+    if (slot.done && slot.probe != nullptr) slot.probe->OnDone(now_);
   }
 
   // Phase 2: step clocked components.
@@ -165,7 +168,7 @@ bool Engine::StepCycleSync() {
   // not needed here (every FIFO is visited) but must be drained so a later
   // event-driven run does not see stale entries.
   for (const std::unique_ptr<FifoBase>& fifo : fifos_) {
-    progress |= fifo->Commit();
+    progress |= fifo->Commit(now_);
   }
   whole_.dirty.clear();
 
@@ -351,10 +354,12 @@ bool Engine::StepCycleEvent(Partition& p) {
     }
     ++p.resumes;
     if (p.log_resumes) AppendResumeLog(p, now);
+    if (slot.probe != nullptr) slot.probe->OnResume(now);
     progress = true;
     slot.kernel.Resume();
     CheckKernelException(slot);
     if (slot.done) {
+      if (slot.probe != nullptr) slot.probe->OnDone(now);
       if (!slot.daemon && p.app_pending > 0 && --p.app_pending == 0) {
         p.app_done_p1 = now + 1;
       }
@@ -372,7 +377,7 @@ bool Engine::StepCycleEvent(Partition& p) {
   // subscribed components and watching kernels for the next cycle (which is
   // exactly when the transfer becomes visible to them).
   for (FifoBase* fifo : p.dirty) {
-    if (!fifo->Commit()) continue;
+    if (!fifo->Commit(now)) continue;
     progress = true;
     const FifoRec& rec = fifo_recs_[fifo->sched_index()];
     for (const std::size_t sub : rec.component_subs) {
@@ -468,7 +473,8 @@ void Engine::RaiseDeadlock(bool with_partitions) {
   throw DeadlockError(oss.str());
 }
 
-RunStats Engine::FinishRun(unsigned partitions) const {
+RunStats Engine::FinishRun(unsigned partitions) {
+  if (recorder_ != nullptr) recorder_->Finalize(now_);
   RunStats stats;
   stats.cycles = now_;
   stats.seconds = config_.clock.CyclesToSeconds(now_);
@@ -478,7 +484,27 @@ RunStats Engine::FinishRun(unsigned partitions) const {
   return stats;
 }
 
+void Engine::EnsureObservability() {
+  if (!config_.collect_counters && !config_.collect_trace) return;
+  if (recorder_ == nullptr) {
+    recorder_ = std::make_unique<obs::Recorder>(
+        /*counters=*/true, /*trace=*/config_.collect_trace);
+  }
+  for (; obs_fifos_ < fifos_.size(); ++obs_fifos_) {
+    fifos_[obs_fifos_]->set_counters(
+        recorder_->AddFifo(fifos_[obs_fifos_]->name()));
+  }
+  for (; obs_comps_ < components_.size(); ++obs_comps_) {
+    components_[obs_comps_]->AttachObservability(*recorder_);
+  }
+  for (; obs_kernels_ < kernels_.size(); ++obs_kernels_) {
+    kernels_[obs_kernels_].probe =
+        recorder_->AddKernel(kernels_[obs_kernels_].name);
+  }
+}
+
 RunStats Engine::Run() {
+  EnsureObservability();
   if (config_.scheduler == SchedulerKind::kParallel) return RunParallel();
 
   if (config_.scheduler == SchedulerKind::kSynchronous) {
@@ -518,6 +544,7 @@ RunStats Engine::Run() {
 }
 
 bool Engine::RunFor(Cycle cycles) {
+  EnsureObservability();
   if (config_.scheduler == SchedulerKind::kSynchronous) {
     RefreshWholeClock();
     for (Cycle i = 0; i < cycles && !AllAppKernelsDone(); ++i) {
@@ -638,9 +665,14 @@ void Engine::PrepareParallelRun(unsigned workers) {
   comp_recs_.assign(components_.size(), ComponentRec{});
   fifo_recs_.assign(fifos_.size(), FifoRec{});
   for (Partition& p : partitions_) PreparePartition(p);
+
+  // Counter updates made inside epochs must be revocable: partitions
+  // overshoot the completion cycle in the final epoch (see the barrier loop).
+  if (recorder_ != nullptr) recorder_->SetJournaling(true);
 }
 
 void Engine::CleanupParallelRun() {
+  if (recorder_ != nullptr) recorder_->SetJournaling(false);
   for (CutRec& cut : cuts_) {
     if (!cut.split) continue;
     cut.cut->EndSplit();
@@ -767,6 +799,9 @@ RunStats Engine::RunParallel() {
       // Only the final epoch's resume log is ever needed for trimming.
       p.resume_log.clear();
     }
+    // Same for the counter journals: the merged finish cycle always lies
+    // inside the final epoch, so earlier epochs' updates are safe to keep.
+    if (recorder_ != nullptr) recorder_->ClearJournals();
     const Cycle fire_at = last_progress_p1 + config_.watchdog_cycles;
     Cycle epoch_end = barrier_cycle + bound;
     epoch_end = std::min(epoch_end, fire_at);
@@ -841,6 +876,7 @@ RunStats Engine::RunParallel() {
       for (CutRec& cut : cuts_) {
         if (cut.split) cut.cut->TrimDeliveriesAtOrAfter(finish_p1);
       }
+      if (recorder_ != nullptr) recorder_->TrimAtOrAfter(finish_p1);
       now_ = finish_p1;
       return FinishRun(static_cast<unsigned>(nparts));
     }

@@ -112,6 +112,11 @@
 #include "sim/fifo.h"
 #include "sim/kernel.h"
 
+namespace smi::obs {
+class Recorder;
+struct KernelProbe;
+}
+
 namespace smi::sim {
 
 /// Which cycle-stepping strategy the engine uses. All produce bit-identical
@@ -137,6 +142,13 @@ struct EngineConfig {
   /// Worker threads for SchedulerKind::kParallel (ignored otherwise).
   /// 0 = one worker per hardware thread. Clamped to the partition count.
   unsigned threads = 1;
+  /// Collect per-component hardware counters (FIFO occupancy/stalls, CK
+  /// polling, link utilization, kernel activity). Off by default: the
+  /// instrumentation then compiles down to untaken null checks.
+  bool collect_counters = false;
+  /// Additionally record a Chrome trace-event timeline (kernel activity
+  /// intervals and per-link packet hops); implies counter collection.
+  bool collect_trace = false;
 };
 
 /// Result of a completed run.
@@ -222,6 +234,11 @@ class Engine {
   /// Number of registered kernels that have not finished (incl. daemons).
   std::size_t pending_kernels() const;
 
+  /// Telemetry recorder, created lazily at the first Run with
+  /// `collect_counters`/`collect_trace` set; null when collection is off.
+  /// Counters and trace buffers are finalized when Run returns.
+  obs::Recorder* recorder() const { return recorder_.get(); }
+
  private:
   struct KernelSlot {
     Kernel kernel;
@@ -232,6 +249,7 @@ class Engine {
     Cycle next_poll = kNeverCycle;  ///< scheduled poll cycle (kNever = none)
     std::vector<std::size_t> watching;  ///< FIFO indices with a watch entry
     bool watch_effective = false;  ///< at least one watched FIFO is ours
+    obs::KernelProbe* probe = nullptr;  ///< telemetry block (null = off)
   };
   struct ComponentRec {
     Cycle next_wake = kNeverCycle;  ///< scheduled step cycle (kNever = none)
@@ -324,8 +342,11 @@ class Engine {
   /// Advance `whole_`'s clock to `target`, charging the skipped cycles to
   /// watchdog/max-cycles accounting when `accounted`.
   void JumpIdleCycles(Cycle target, bool accounted);
-  RunStats FinishRun(unsigned partitions) const;
+  RunStats FinishRun(unsigned partitions);
   void AppendResumeLog(Partition& p, Cycle cycle);
+  /// Create the recorder (if configured) and attach counter blocks to any
+  /// not-yet-attached FIFOs, components and kernels, in registration order.
+  void EnsureObservability();
 
   // Parallel machinery (engine_parallel portion of engine.cpp).
   RunStats RunParallel();
@@ -368,6 +389,14 @@ class Engine {
   /// Parallel partitions (built per Run; deque for stable addresses).
   std::deque<Partition> partitions_;
   std::size_t base_component_count_ = 0;  ///< components before adapters
+
+  // Telemetry (see obs/recorder.h). Attach watermarks track how many
+  // entities have been handed their counter blocks, so entities registered
+  // between runs are picked up by the next Run.
+  std::unique_ptr<obs::Recorder> recorder_;
+  std::size_t obs_fifos_ = 0;
+  std::size_t obs_comps_ = 0;
+  std::size_t obs_kernels_ = 0;
 };
 
 /// RAII helper for code that registers rank-local entities outside the

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "obs/counters.h"
 #include "sim/clock.h"
 
 namespace smi::sim {
@@ -67,18 +68,25 @@ class FifoBase {
     return head_ < visible_tail_ && !pop_used_;
   }
 
-  /// Commit staged pushes/pops: called by the engine at each cycle boundary.
+  /// Commit staged pushes/pops: called by the engine at the boundary of
+  /// cycle `now`; the committed state is observed from cycle `now + 1`.
   /// Returns true if any transfer happened during the elapsed cycle (used by
   /// the deadlock watchdog's progress detection).
-  bool Commit() {
+  bool Commit(Cycle now) {
     const bool active = (visible_tail_ != tail_) || (visible_head_ != head_);
     visible_tail_ = tail_;
     visible_head_ = head_;
     push_used_ = false;
     pop_used_ = false;
     dirty_ = false;
+    if (obs_ != nullptr) obs_->OnCommit(now, occupancy(), capacity_);
     return active;
   }
+
+  /// Telemetry counter block, owned by the engine's recorder; null unless
+  /// telemetry collection is enabled.
+  void set_counters(obs::FifoCounters* counters) { obs_ = counters; }
+  obs::FifoCounters* counters() const { return obs_; }
 
   /// Register this FIFO with a scheduler's dirty list. Any push or pop then
   /// appends the FIFO to `dirty_list` (once per cycle), so the owner only has
@@ -95,15 +103,17 @@ class FifoBase {
   std::size_t sched_index() const { return sched_index_; }
 
  protected:
-  void RecordPush(Cycle /*now*/) {
+  void RecordPush(Cycle now) {
     push_used_ = true;
     ++tail_;
     MarkDirty();
+    if (obs_ != nullptr) obs_->OnPush(now);
   }
-  void RecordPop(Cycle /*now*/) {
+  void RecordPop(Cycle now) {
     pop_used_ = true;
     ++head_;
     MarkDirty();
+    if (obs_ != nullptr) obs_->OnPop(now);
   }
 
   std::uint64_t head_ = 0;          ///< next pop position (live)
@@ -127,6 +137,7 @@ class FifoBase {
   const void* sched_owner_ = nullptr;
   std::vector<FifoBase*>* dirty_list_ = nullptr;
   std::size_t sched_index_ = 0;
+  obs::FifoCounters* obs_ = nullptr;
 };
 
 /// Typed hardware FIFO. Storage is a power-of-two ring buffer sized to the

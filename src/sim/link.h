@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/recorder.h"
 #include "sim/clock.h"
 #include "sim/component.h"
 #include "sim/fifo.h"
@@ -46,14 +47,21 @@ class Link final : public Component, public CutLink {
       rx_->Push(in_flight_.front().payload, now);
       in_flight_.pop_front();
       ++delivered_;
+      if (obs_ != nullptr) obs_->OnDeliver(now);
     }
     // Accept at most one payload per cycle from the TX FIFO. The stall
     // condition bounds the number of payloads in flight to the pipeline
     // depth, mirroring the credit window of the physical transceiver.
-    if (in_flight_.size() < static_cast<std::size_t>(latency_) + 1 &&
-        tx_->CanPop(now)) {
+    const bool has_data = tx_->CanPop(now);
+    const bool accept =
+        has_data && in_flight_.size() < static_cast<std::size_t>(latency_) + 1;
+    if (accept) {
       in_flight_.push_back(Slot{tx_->Pop(now), now + latency_});
     }
+    // Credit stall: data waiting but the window is full. The state computed
+    // here holds for every cycle until the next step (the wake contract
+    // guarantees a step whenever it could change).
+    if (obs_ != nullptr) obs_->OnTxCycle(now, has_data && !accept);
   }
 
   /// Event-driven wake contract. Activity on either FIFO wakes the link;
@@ -75,6 +83,10 @@ class Link final : public Component, public CutLink {
 
   std::uint64_t delivered() const { return delivered_; }
   Cycle latency() const { return latency_; }
+
+  void AttachObservability(obs::Recorder& recorder) override {
+    obs_ = recorder.AddLink(name(), latency_);
+  }
 
   // --- CutLink implementation (parallel scheduler; see component.h) ------
   //
@@ -109,11 +121,16 @@ class Link final : public Component, public CutLink {
       --tx_outstanding_;
       d0_cycle_ = kNeverCycle;
     }
-    if (tx_outstanding_ < static_cast<std::size_t>(latency_) + 1 &&
-        tx_->CanPop(now)) {
+    const bool has_data = tx_->CanPop(now);
+    const bool accept = has_data && tx_outstanding_ <
+                                        static_cast<std::size_t>(latency_) + 1;
+    if (accept) {
       staging_.push_back(Slot{tx_->Pop(now), now + latency_});
       ++tx_outstanding_;
     }
+    // The epoch slack guarantees the accept decision matches the fused Step,
+    // so `has_data && !accept` is exactly the fused credit-stall state.
+    if (obs_ != nullptr) obs_->OnTxCycle(now, has_data && !accept);
   }
 
   void StepRx(Cycle now) override {
@@ -123,6 +140,7 @@ class Link final : public Component, public CutLink {
       in_flight_.pop_front();
       ++delivered_;
       delivery_log_.push_back(now);
+      if (obs_ != nullptr) obs_->OnDeliver(now);
     }
   }
 
@@ -170,6 +188,7 @@ class Link final : public Component, public CutLink {
   Cycle latency_;
   std::deque<Slot> in_flight_;
   std::uint64_t delivered_ = 0;
+  obs::LinkCounters* obs_ = nullptr;
 
   // Split-mode state (see CutLink methods above).
   std::deque<Slot> staging_;

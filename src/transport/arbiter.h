@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "obs/counters.h"
 #include "sim/clock.h"
 #include "sim/fifo.h"
 
@@ -37,9 +38,9 @@ class PollingArbiter {
   /// examining an empty connection costs the cycle).
   ///
   /// The caller must either consume one packet from the returned FIFO this
-  /// cycle and then call `Serviced()`, or call `Stalled()` if its output was
-  /// full (the arbiter then retries the same connection next cycle, since
-  /// hardware cannot drop the packet it has already latched).
+  /// cycle and then call `Serviced(now)`, or call `Stalled(now)` if its
+  /// output was full (the arbiter then retries the same connection next
+  /// cycle, since hardware cannot drop the packet it has already latched).
   ///
   /// Skipped cycles (the event-driven engine only steps a CK when an input
   /// can have data) are replayed as empty polls, so the connection pointer
@@ -52,8 +53,14 @@ class PollingArbiter {
     }
     polled_ = true;
     last_poll_ = now;
+    // One connection is examined per cycle, including the replayed idle
+    // cycles; the watermark counts them all in bulk.
+    if (obs_ != nullptr) obs_->CountPollsTo(now + 1);
     PacketFifo* in = inputs_[index_];
-    if (in->CanPop(now)) return in;
+    if (in->CanPop(now)) {
+      if (obs_ != nullptr) obs_->OnHit(now);
+      return in;
+    }
     burst_ = 0;
     Advance();
     return nullptr;
@@ -83,16 +90,22 @@ class PollingArbiter {
     for (const PacketFifo* in : inputs_) out.push_back(in);
   }
 
-  void Serviced() {
+  void Serviced(sim::Cycle now) {
+    if (obs_ != nullptr && burst_ == 0) obs_->OnBurstStart(now);
     if (++burst_ >= r_) {
       burst_ = 0;
       Advance();
     }
   }
 
-  void Stalled() const {}  // stay on the same connection
+  void Stalled(sim::Cycle now) {  // stay on the same connection
+    if (obs_ != nullptr) obs_->OnStall(now);
+  }
 
   int r() const { return r_; }
+
+  /// Telemetry block of the owning CK; null unless collection is enabled.
+  void set_counters(obs::CkCounters* counters) { obs_ = counters; }
 
  private:
   void Advance() { index_ = (index_ + 1) % inputs_.size(); }
@@ -103,6 +116,7 @@ class PollingArbiter {
   bool polled_ = false;
   sim::Cycle last_poll_ = 0;
   std::vector<PacketFifo*> inputs_;
+  obs::CkCounters* obs_ = nullptr;
 };
 
 }  // namespace smi::transport

@@ -1,6 +1,7 @@
 #include "transport/ckr.h"
 
 #include "common/error.h"
+#include "obs/recorder.h"
 
 namespace smi::transport {
 
@@ -36,12 +37,19 @@ void Ckr::Step(sim::Cycle now) {
   if (in == nullptr) return;
   PacketFifo* out = Route(in->Front(now));
   if (!out->CanPush(now)) {
-    arbiter_.Stalled();
+    arbiter_.Stalled(now);
     return;
   }
-  out->Push(in->Pop(now), now);
+  const net::Packet pkt = in->Pop(now);
+  out->Push(pkt, now);
   ++forwarded_;
-  arbiter_.Serviced();
+  if (obs_ != nullptr) obs_->OnForward(static_cast<int>(pkt.hdr.op), now);
+  arbiter_.Serviced(now);
+}
+
+void Ckr::AttachObservability(obs::Recorder& recorder) {
+  obs_ = recorder.AddCk(name());
+  arbiter_.set_counters(obs_);
 }
 
 }  // namespace smi::transport

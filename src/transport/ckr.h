@@ -52,6 +52,10 @@ class Ckr final : public sim::Component {
 
   void Step(sim::Cycle now) override;
 
+  /// Registers a CkCounters block (forwarded-by-op, polls/hits/bursts/
+  /// stalls) and shares it with the arbiter.
+  void AttachObservability(obs::Recorder& recorder) override;
+
   /// Event-driven wake contract: identical to Cks — see cks.h.
   void DeclareWakeFifos(std::vector<const sim::FifoBase*>& out) const override {
     arbiter_.AppendInputs(out);
@@ -73,6 +77,7 @@ class Ckr final : public sim::Component {
   std::map<int, PacketFifo*> endpoints_;
   std::map<int, int> port_owner_;
   std::uint64_t forwarded_ = 0;
+  obs::CkCounters* obs_ = nullptr;
 };
 
 }  // namespace smi::transport

@@ -54,6 +54,10 @@ class Cks final : public sim::Component {
 
   void Step(sim::Cycle now) override;
 
+  /// Registers a CkCounters block (forwarded-by-op, polls/hits/bursts/
+  /// stalls) and shares it with the arbiter.
+  void AttachObservability(obs::Recorder& recorder) override;
+
   /// Event-driven wake contract: a CK can only act when one of its inputs
   /// holds a packet. The arbiter replays the connection-pointer scan for the
   /// slept (provably all-empty) cycles inside Select.
@@ -66,6 +70,9 @@ class Cks final : public sim::Component {
 
   std::uint64_t forwarded() const { return forwarded_; }
   int port_index() const { return port_index_; }
+  /// Whether this CKS's network interface is cabled (used to validate
+  /// uploaded routing tables against the actual wiring).
+  bool has_network_output() const { return to_net_ != nullptr; }
 
  private:
   PacketFifo* Route(const net::Packet& pkt) const;
@@ -78,6 +85,7 @@ class Cks final : public sim::Component {
   std::vector<PacketFifo*> to_cks_;
   std::vector<int> next_port_;
   std::uint64_t forwarded_ = 0;
+  obs::CkCounters* obs_ = nullptr;
 };
 
 }  // namespace smi::transport

@@ -239,6 +239,27 @@ void Fabric::UploadRoutes(const net::RoutingTable& routes) {
   if (routes.num_ranks() != num_ranks_) {
     throw ConfigError("routing table rank count does not match fabric");
   }
+  // Validate every entry against the fabric's wiring *before* touching any
+  // CKS, so a corrupt table is rejected whole instead of half-uploaded and
+  // diagnosed here instead of mid-run inside Cks::Route.
+  for (int r = 0; r < num_ranks_; ++r) {
+    for (int d = 0; d < num_ranks_; ++d) {
+      if (r == d) continue;
+      const int q = routes.next_port(r, d);
+      if (q < 0 || q >= ports_per_rank_) {
+        throw ConfigError("routing table entry (" + std::to_string(r) + ", " +
+                          std::to_string(d) + ") uses out-of-range port " +
+                          std::to_string(q));
+      }
+      if (!ranks_[static_cast<std::size_t>(r)]
+               .cks[static_cast<std::size_t>(q)]
+               ->has_network_output()) {
+        throw ConfigError("routing table entry (" + std::to_string(r) + ", " +
+                          std::to_string(d) + ") uses unwired network port " +
+                          std::to_string(q) + " of rank " + std::to_string(r));
+      }
+    }
+  }
   for (int r = 0; r < num_ranks_; ++r) {
     std::vector<int> next_port(static_cast<std::size_t>(num_ranks_));
     for (int d = 0; d < num_ranks_; ++d) {

@@ -31,6 +31,33 @@ TEST(Json, ParsesScientificNumbers) {
   EXPECT_DOUBLE_EQ(Parse("-2E-2").as_double(), -0.02);
 }
 
+TEST(Json, UnicodeEscapesDecodeToUtf8) {
+  // 2-byte, 3-byte and (via a surrogate pair) 4-byte UTF-8 sequences.
+  EXPECT_EQ(Parse(R"("\u00e9")").as_string(), "\xc3\xa9");  // e-acute
+  EXPECT_EQ(Parse(R"("\u20ac")").as_string(), "\xe2\x82\xac");  // euro sign
+  EXPECT_EQ(Parse(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");  // U+1F600, grinning face
+  EXPECT_EQ(Parse(R"("a\u0041b")").as_string(), "aAb");
+  // Escaped and literal UTF-8 spellings of the same string are equal.
+  EXPECT_EQ(Parse(R"("\u00e9")"), Parse("\"\xc3\xa9\""));
+}
+
+TEST(Json, UnicodeStringsRoundTripThroughDump) {
+  const Value v = Parse(R"(["\u00e9", "\u20ac", "\ud83d\ude00"])");
+  EXPECT_EQ(Parse(v.dump()), v);
+  EXPECT_EQ(Parse(v.dump(2)), v);
+}
+
+TEST(Json, RejectsBrokenUnicodeEscapes) {
+  EXPECT_THROW(Parse(R"("\udc00")"), smi::ParseError);   // lone low
+  EXPECT_THROW(Parse(R"("\ud800")"), smi::ParseError);   // lone high
+  EXPECT_THROW(Parse(R"("\ud800x")"), smi::ParseError);  // high + literal
+  EXPECT_THROW(Parse(R"("\ud800\n")"), smi::ParseError);  // high + escape
+  EXPECT_THROW(Parse(R"("\ud800\u0041")"), smi::ParseError);  // high + BMP
+  EXPECT_THROW(Parse(R"("\u12")"), smi::ParseError);     // truncated
+  EXPECT_THROW(Parse(R"("\u12gz")"), smi::ParseError);   // bad hex digit
+}
+
 TEST(Json, RejectsMalformedInput) {
   EXPECT_THROW(Parse(""), smi::ParseError);
   EXPECT_THROW(Parse("{"), smi::ParseError);

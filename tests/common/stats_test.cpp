@@ -66,6 +66,38 @@ TEST(SampleStats, Percentiles) {
   EXPECT_DOUBLE_EQ(s.median(), 50.0);
 }
 
+TEST(SampleStats, InterleavedAddAndQuery) {
+  // Queries sort lazily and Add invalidates the cache; interleaving the two
+  // must behave exactly as if all samples had been added up front.
+  SampleStats s;
+  s.Add(9.0);
+  s.Add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  s.Add(0.5);  // new minimum after a query already sorted the samples
+  EXPECT_DOUBLE_EQ(s.min(), 0.5);
+  EXPECT_DOUBLE_EQ(s.median(), 1.0);
+  s.Add(20.0);
+  s.Add(4.0);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.median(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 20.0);
+  EXPECT_DOUBLE_EQ(s.mean(), (9.0 + 1.0 + 0.5 + 20.0 + 4.0) / 5.0);
+}
+
+TEST(SampleStats, PercentilesAreMonotonic) {
+  SampleStats s;
+  for (const double x : {12.0, -3.0, 7.5, 0.0, 99.0, 7.5, 2.25}) s.Add(x);
+  double prev = s.Percentile(0);
+  EXPECT_DOUBLE_EQ(prev, -3.0);
+  for (int p = 1; p <= 100; ++p) {
+    const double cur = s.Percentile(static_cast<double>(p));
+    EXPECT_GE(cur, prev) << "p=" << p;
+    prev = cur;
+  }
+  EXPECT_DOUBLE_EQ(prev, 99.0);
+}
+
 TEST(SampleStats, SingleSample) {
   SampleStats s;
   s.Add(7.5);

@@ -144,6 +144,65 @@ TEST(Routing, JsonRoundTrip) {
   }
 }
 
+TEST(Routing, FromJsonRejectsBadRankCountAndPorts) {
+  EXPECT_THROW(RoutingTable::FromJson(json::Parse(
+                   R"({"ranks": 0, "next_port": []})")),
+               ParseError);
+  EXPECT_THROW(RoutingTable::FromJson(json::Parse(
+                   R"({"ranks": -2, "next_port": []})")),
+               ParseError);
+  // An entry below -1 can never be a port or the no-route marker.
+  EXPECT_THROW(RoutingTable::FromJson(json::Parse(
+                   R"({"ranks": 2, "next_port": [[-1, 0], [-3, -1]]})")),
+               ParseError);
+  // Row / column count mismatches are still caught.
+  EXPECT_THROW(RoutingTable::FromJson(json::Parse(
+                   R"({"ranks": 2, "next_port": [[-1, 0]]})")),
+               ParseError);
+  EXPECT_THROW(RoutingTable::FromJson(json::Parse(
+                   R"({"ranks": 2, "next_port": [[-1, 0], [0]]})")),
+               ParseError);
+}
+
+TEST(Routing, ValidateChecksEntriesAgainstTopology) {
+  const Topology topo = Topology::Bus(4);
+  const RoutingTable good = ComputeRoutes(topo, RoutingScheme::kAuto);
+  EXPECT_NO_THROW(good.Validate(topo));
+
+  // Wrong rank count.
+  EXPECT_THROW(RoutingTable(3).Validate(topo), RoutingError);
+
+  // Out-of-range port index.
+  RoutingTable oor = good;
+  oor.set_next_port(1, 3, topo.ports_per_rank());
+  EXPECT_THROW(oor.Validate(topo), RoutingError);
+
+  // In-range but unwired port: rank 0 of a bus only wires one port.
+  RoutingTable unwired = good;
+  ASSERT_FALSE(topo.Peer(PortId{0, 3}).has_value());
+  unwired.set_next_port(0, 2, 3);
+  EXPECT_THROW(unwired.Validate(topo), RoutingError);
+
+  // Non-(-1) diagonal entry.
+  RoutingTable diag = good;
+  diag.set_next_port(2, 2, 0);
+  EXPECT_THROW(diag.Validate(topo), RoutingError);
+}
+
+TEST(Routing, FromJsonWithTopologyValidates) {
+  const Topology topo = Topology::Bus(4);
+  const RoutingTable routes = ComputeRoutes(topo, RoutingScheme::kAuto);
+  const RoutingTable again = RoutingTable::FromJson(routes.ToJson(), topo);
+  EXPECT_EQ(again.next_port(0, 3), routes.next_port(0, 3));
+  // The same document fails against a topology it was not computed for.
+  EXPECT_THROW(RoutingTable::FromJson(routes.ToJson(), Topology::Bus(5)),
+               RoutingError);
+  // A table pointing at unwired ports is rejected at load time.
+  RoutingTable bad = routes;
+  bad.set_next_port(0, 2, 3);  // port 3 of rank 0 is unwired on a bus
+  EXPECT_THROW(RoutingTable::FromJson(bad.ToJson(), topo), RoutingError);
+}
+
 TEST(Routing, BrokenTableIsDiagnosed) {
   const Topology topo = Topology::Bus(4);
   RoutingTable routes(4);

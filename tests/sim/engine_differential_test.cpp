@@ -16,6 +16,7 @@
 #include "apps/gesummv.h"
 #include "apps/stencil.h"
 #include "common/error.h"
+#include "common/json.h"
 #include "core/smi.h"
 
 namespace smi::core {
@@ -376,6 +377,102 @@ TEST(EngineDifferential, ClusterDeadlockFiresAtTheSameCycleAcrossPartitions) {
     EXPECT_EQ(StripPartitionAnnotations(par_message), sync_message)
         << "threads=" << threads;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry differential: with counter and trace collection enabled, the
+// exported documents (per-entity counters and the Chrome trace timeline)
+// must be BIT-identical across the three schedulers — duration counters are
+// span-accounted in the event-driven scheduler and journal-trimmed after
+// partition overshoot in the parallel one, and this is the executable check
+// that both reductions reproduce the synchronous per-cycle accounting.
+
+struct TelemetryDocs {
+  std::string counters;
+  std::string trace;
+};
+
+ClusterConfig WithTelemetry(ClusterConfig config) {
+  config.engine.collect_counters = true;
+  config.engine.collect_trace = true;
+  return config;
+}
+
+template <typename Scenario>
+void ExpectTelemetryIdentical(Scenario&& scenario) {
+  const TelemetryDocs sync =
+      scenario(WithTelemetry(WithScheduler(SchedulerKind::kSynchronous)));
+  // The documents are substantive, not empty shells.
+  const json::Value counters = json::Parse(sync.counters);
+  EXPECT_GT(counters.at("total_cycles").as_int(), 0);
+  EXPECT_FALSE(counters.at("fifos").as_array().empty());
+  EXPECT_FALSE(counters.at("kernels").as_array().empty());
+  const json::Value trace = json::Parse(sync.trace);
+  EXPECT_FALSE(trace.at("traceEvents").as_array().empty());
+
+  const TelemetryDocs event =
+      scenario(WithTelemetry(WithScheduler(SchedulerKind::kEventDriven)));
+  EXPECT_EQ(event.counters, sync.counters);
+  EXPECT_EQ(event.trace, sync.trace);
+
+  for (const unsigned threads : kThreadCounts) {
+    const TelemetryDocs par = scenario(
+        WithTelemetry(WithScheduler(SchedulerKind::kParallel, threads)));
+    EXPECT_EQ(par.counters, sync.counters) << "threads=" << threads;
+    EXPECT_EQ(par.trace, sync.trace) << "threads=" << threads;
+  }
+}
+
+TEST(EngineDifferential, P2pTelemetryIsBitIdentical) {
+  ExpectTelemetryIdentical([](const ClusterConfig& config) {
+    ProgramSpec spec;
+    spec.Add(OpSpec::Send(0, DataType::kInt));
+    spec.Add(OpSpec::Recv(0, DataType::kInt));
+    Cluster cluster(Topology::Bus(4), spec, config);
+    std::vector<std::int32_t> sink;
+    cluster.AddKernel(0, P2pSender(cluster.context(0), 150), "s");
+    cluster.AddKernel(1, P2pReceiver(cluster.context(1), 150, sink), "r");
+    cluster.Run();
+    const RunTelemetry t = cluster.CaptureTelemetry();
+    return TelemetryDocs{t.counters.dump(), t.trace.dump()};
+  });
+}
+
+TEST(EngineDifferential, ReduceTelemetryIsBitIdentical) {
+  // Reduce exercises CK forwarding of all three wire ops (data, sync,
+  // credit), the arbiter stall path at the root, and — under kParallel —
+  // journaled counters on split cut-links.
+  ExpectTelemetryIdentical([](const ClusterConfig& config) {
+    ProgramSpec spec;
+    spec.Add(OpSpec::Reduce(1, DataType::kFloat));
+    Cluster cluster(Topology::Bus(4), spec, config);
+    std::vector<float> results;
+    for (int r = 0; r < 4; ++r) {
+      cluster.AddKernel(r, ReduceApp(cluster.context(r), 30, /*root=*/1,
+                                     results),
+                        "reduce");
+    }
+    cluster.Run();
+    const RunTelemetry t = cluster.CaptureTelemetry();
+    return TelemetryDocs{t.counters.dump(), t.trace.dump()};
+  });
+}
+
+TEST(EngineDifferential, StencilTelemetryIsBitIdentical) {
+  // Transient channels, daemon support kernels finishing in overshoot, DRAM
+  // streams: the heaviest telemetry scenario.
+  ExpectTelemetryIdentical([](const ClusterConfig& config) {
+    apps::StencilConfig sc;
+    sc.nx_global = 16;
+    sc.ny_global = 32;
+    sc.rx = 2;
+    sc.ry = 2;
+    sc.timesteps = 2;
+    sc.cluster = config;
+    const apps::StencilResult result = apps::RunStencilSmi(sc);
+    return TelemetryDocs{result.telemetry.counters.dump(),
+                         result.telemetry.trace.dump()};
+  });
 }
 
 // ---------------------------------------------------------------------------

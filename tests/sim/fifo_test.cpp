@@ -19,7 +19,7 @@ TEST(Fifo, PushNotVisibleUntilCommit) {
   f.Push(42, 0);
   // Same cycle: the element is staged, not poppable.
   EXPECT_FALSE(f.CanPop(0));
-  f.Commit();
+  f.Commit(0);
   EXPECT_TRUE(f.CanPop(1));
   EXPECT_EQ(f.Pop(1), 42);
 }
@@ -28,30 +28,30 @@ TEST(Fifo, OnePushPerCycle) {
   Fifo<int> f("f", 4);
   f.Push(1, 0);
   EXPECT_FALSE(f.CanPush(0));  // write port busy this cycle
-  f.Commit();
+  f.Commit(0);
   EXPECT_TRUE(f.CanPush(1));
 }
 
 TEST(Fifo, OnePopPerCycle) {
   Fifo<int> f("f", 4);
   f.Push(1, 0);
-  f.Commit();
+  f.Commit(0);
   f.Push(2, 1);
-  f.Commit();
+  f.Commit(1);
   EXPECT_EQ(f.Pop(2), 1);
   EXPECT_FALSE(f.CanPop(2));  // read port busy this cycle
-  f.Commit();
+  f.Commit(2);
   EXPECT_EQ(f.Pop(3), 2);
 }
 
 TEST(Fifo, PoppedSlotNotReusableSameCycle) {
   Fifo<int> f("f", 1);
   f.Push(1, 0);
-  f.Commit();
+  f.Commit(0);
   EXPECT_EQ(f.Pop(1), 1);
   // Capacity 1, slot freed this cycle: a push must wait for the commit.
   EXPECT_FALSE(f.CanPush(1));
-  f.Commit();
+  f.Commit(1);
   EXPECT_TRUE(f.CanPush(2));
 }
 
@@ -59,12 +59,14 @@ TEST(Fifo, FifoOrderPreserved) {
   Fifo<int> f("f", 8);
   Cycle now = 0;
   for (int i = 0; i < 8; ++i) {
-    f.Push(i, now++);
-    f.Commit();
+    f.Push(i, now);
+    f.Commit(now);
+    ++now;
   }
   for (int i = 0; i < 8; ++i) {
-    EXPECT_EQ(f.Pop(now++), i);
-    f.Commit();
+    EXPECT_EQ(f.Pop(now), i);
+    f.Commit(now);
+    ++now;
   }
 }
 
@@ -73,12 +75,14 @@ TEST(Fifo, BackpressureAtCapacity) {
   Cycle now = 0;
   for (int i = 0; i < 3; ++i) {
     ASSERT_TRUE(f.CanPush(now));
-    f.Push(i, now++);
-    f.Commit();
+    f.Push(i, now);
+    f.Commit(now);
+    ++now;
   }
   EXPECT_FALSE(f.CanPush(now));
-  EXPECT_EQ(f.Pop(now++), 0);
-  f.Commit();
+  EXPECT_EQ(f.Pop(now), 0);
+  f.Commit(now);
+  ++now;
   EXPECT_TRUE(f.CanPush(now));
 }
 
@@ -93,7 +97,7 @@ TEST(Fifo, IllegalOperationsThrow) {
 TEST(Fifo, FrontPeeksWithoutConsuming) {
   Fifo<int> f("f", 2);
   f.Push(7, 0);
-  f.Commit();
+  f.Commit(0);
   EXPECT_EQ(f.Front(1), 7);
   EXPECT_EQ(f.Front(1), 7);  // peek is repeatable
   EXPECT_EQ(f.Pop(1), 7);
@@ -101,25 +105,60 @@ TEST(Fifo, FrontPeeksWithoutConsuming) {
 
 TEST(Fifo, CommitReportsActivity) {
   Fifo<int> f("f", 2);
-  EXPECT_FALSE(f.Commit());
+  EXPECT_FALSE(f.Commit(0));
   f.Push(1, 1);
-  EXPECT_TRUE(f.Commit());
-  EXPECT_FALSE(f.Commit());
+  EXPECT_TRUE(f.Commit(1));
+  EXPECT_FALSE(f.Commit(2));
   (void)f.Pop(3);
-  EXPECT_TRUE(f.Commit());
+  EXPECT_TRUE(f.Commit(3));
 }
 
 TEST(Fifo, CountersTrackTraffic) {
   Fifo<int> f("f", 4);
   Cycle now = 0;
   for (int i = 0; i < 5; ++i) {
-    f.Push(i, now++);
-    f.Commit();
-    (void)f.Pop(now++);
-    f.Commit();
+    f.Push(i, now);
+    f.Commit(now);
+    ++now;
+    (void)f.Pop(now);
+    f.Commit(now);
+    ++now;
   }
   EXPECT_EQ(f.total_pushes(), 5u);
   EXPECT_EQ(f.total_pops(), 5u);
+}
+
+TEST(Fifo, ObservabilityCountersTrackStallsAndHighWater) {
+  obs::FifoCounters counters;
+  Fifo<int> f("f", 2);
+  f.set_counters(&counters);
+  Cycle now = 0;
+  // Cycle 0-1: fill to capacity.
+  f.Push(1, now);
+  f.Commit(now);
+  ++now;
+  f.Push(2, now);
+  f.Commit(now);
+  ++now;  // committed-full from cycle 2
+  // Cycles 2-3: full, nothing moves.
+  f.Commit(now);
+  ++now;
+  f.Commit(now);
+  ++now;
+  // Cycle 4: drain one.
+  (void)f.Pop(now);
+  f.Commit(now);
+  ++now;
+  counters.Finalize(now);
+  EXPECT_EQ(counters.pushes, 2u);
+  EXPECT_EQ(counters.pops, 1u);
+  EXPECT_EQ(counters.high_water, 2u);
+  // Committed-full spans cycles [2, 5): the commit at cycle 1 made it full,
+  // the commit at cycle 4 (taking effect at 5) made it non-full.
+  EXPECT_EQ(counters.full_stall_cycles, 3u);
+  // Committed-empty covers only [0, 1): the fresh FIFO before the first
+  // commit took effect.
+  EXPECT_EQ(counters.empty_cycles, 1u);
 }
 
 TEST(Fifo, NonPowerOfTwoCapacityWrapsCorrectly) {
@@ -133,7 +172,7 @@ TEST(Fifo, NonPowerOfTwoCapacityWrapsCorrectly) {
     if (f.CanPop(now)) {
       EXPECT_EQ(f.Pop(now), next_pop++);
     }
-    f.Commit();
+    f.Commit(now);
     ++now;
   }
   EXPECT_GT(next_pop, 10);

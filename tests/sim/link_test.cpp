@@ -93,8 +93,8 @@ TEST(Link, BackpressuresWhenReceiverStalls) {
 /// boundary the engine would apply).
 void StepManually(Link<int>& link, Fifo<int>& tx, Fifo<int>& rx, Cycle now) {
   link.Step(now);
-  tx.Commit();
-  rx.Commit();
+  tx.Commit(now);
+  rx.Commit(now);
 }
 
 TEST(Link, CreditWindowIsExactlyLatencyPlusOneUnderRxStall) {

@@ -23,12 +23,12 @@ std::vector<int> Drive(PollingArbiter& arb,
     int granted = -1;
     if (in != nullptr) {
       (void)in->Pop(now);
-      arb.Serviced();
+      arb.Serviced(now);
       for (std::size_t i = 0; i < inputs.size(); ++i) {
         if (inputs[i] == in) granted = static_cast<int>(i);
       }
     }
-    for (sim::Fifo<net::Packet>* f : inputs) f->Commit();
+    for (sim::Fifo<net::Packet>* f : inputs) f->Commit(now);
     grants.push_back(granted);
     ++now;
   }
@@ -49,7 +49,7 @@ TEST(PollingArbiter, SingleSourceAtREqualsOneIsOneInFive) {
   // Keep input 0 saturated.
   for (int c = 0; c < 3; ++c) {
     fifos[0]->Push(DataPacket(0), now);
-    fifos[0]->Commit();
+    fifos[0]->Commit(now);
     ++now;
   }
   auto refill = [&](sim::Cycle at) {
@@ -62,10 +62,10 @@ TEST(PollingArbiter, SingleSourceAtREqualsOneIsOneInFive) {
     int granted = -1;
     if (in != nullptr) {
       (void)in->Pop(now);
-      arb.Serviced();
+      arb.Serviced(now);
       granted = 0;
     }
-    for (auto& f : fifos) f->Commit();
+    for (auto& f : fifos) f->Commit(now);
     grants.push_back(granted);
     ++now;
   }
@@ -84,8 +84,8 @@ TEST(PollingArbiter, BurstsUpToRFromOneSource) {
   // Preload 8 packets into `a`.
   for (int i = 0; i < 8; ++i) {
     a.Push(DataPacket(0), now);
-    a.Commit();
-    b.Commit();
+    a.Commit(now);
+    b.Commit(now);
     ++now;
   }
   const std::vector<int> grants = Drive(arb, {&a, &b}, 12, now);
@@ -108,8 +108,8 @@ TEST(PollingArbiter, AlternatesBetweenTwoActiveSources) {
   for (int i = 0; i < 10; ++i) {
     a.Push(DataPacket(0), now);
     b.Push(DataPacket(1), now);
-    a.Commit();
-    b.Commit();
+    a.Commit(now);
+    b.Commit(now);
     ++now;
   }
   const std::vector<int> grants = Drive(arb, {&a, &b}, 20, now);
@@ -135,15 +135,15 @@ TEST(PollingArbiter, StalledGrantRetriesSameInput) {
   arb.AddInput(a);
   arb.AddInput(b);
   a.Push(DataPacket(0), now);
-  a.Commit();
-  b.Commit();
+  a.Commit(now);
+  b.Commit(now);
   ++now;
   // Select grants input a; the caller stalls (output full).
   PacketFifo* first = arb.Select(now);
   ASSERT_EQ(first, &a);
-  arb.Stalled();
-  a.Commit();
-  b.Commit();
+  arb.Stalled(now);
+  a.Commit(now);
+  b.Commit(now);
   ++now;
   // Next cycle the same input must be offered again (hardware cannot drop
   // the latched packet).

@@ -281,6 +281,45 @@ TEST(Fabric, RejectsDoublyWiredNetworkInterface) {
   EXPECT_THROW(Fabric(engine2, 2, 2, self, std::move(all2)), ConfigError);
 }
 
+TEST(Fabric, UploadRoutesRejectsCorruptTableBeforeUploading) {
+  // A corrupt table must be rejected whole — validated against the wiring
+  // before any CKS is touched — so a failed upload leaves the previously
+  // uploaded routes fully intact.
+  Engine engine;
+  const Topology topo = Topology::Bus(3);
+  Fabric fabric = MakeSimpleFabric(engine, topo, 0);
+  fabric.UploadRoutes(net::ComputeRoutes(topo, RoutingScheme::kAuto));
+
+  RoutingTable wrong_ranks(2);
+  EXPECT_THROW(fabric.UploadRoutes(wrong_ranks), ConfigError);
+
+  RoutingTable oor = net::ComputeRoutes(topo, RoutingScheme::kAuto);
+  oor.set_next_port(2, 0, topo.ports_per_rank());  // out of range
+  EXPECT_THROW(fabric.UploadRoutes(oor), ConfigError);
+
+  RoutingTable unwired = net::ComputeRoutes(topo, RoutingScheme::kAuto);
+  unwired.set_next_port(0, 2, 3);  // rank 0 port 3 carries no cable on a bus
+  try {
+    fabric.UploadRoutes(unwired);
+    FAIL() << "unwired port accepted";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("unwired"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("rank 0"), std::string::npos);
+  }
+
+  // Missing route (-1 off the diagonal) is likewise rejected up front.
+  RoutingTable incomplete = net::ComputeRoutes(topo, RoutingScheme::kAuto);
+  incomplete.set_next_port(1, 2, -1);
+  EXPECT_THROW(fabric.UploadRoutes(incomplete), ConfigError);
+
+  // The original routes survived every failed upload: traffic still flows.
+  std::vector<std::uint32_t> sink;
+  engine.AddKernel(SendPackets(fabric.SendEndpoint(0, 0), 0, 2, 0, 10), "s");
+  engine.AddKernel(RecvPackets(fabric.RecvEndpoint(2, 0), 10, sink), "r");
+  engine.Run();
+  EXPECT_EQ(sink.size(), 10u);
+}
+
 TEST(Fabric, RawConnectionListMatchesTopologyBuild) {
   // Building from Topology::Connections() by hand must behave identically to
   // the topology constructor: traffic still delivers end to end.
