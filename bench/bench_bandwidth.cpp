@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   cli.AddFlag("no-r-sweep", "skip the R ablation series");
   AddJsonOption(cli);
   AddObsOptions(cli);
+  AddFaultOptions(cli);
   if (!cli.Parse(argc, argv)) return 2;
 
   const net::Topology topo = net::Topology::Bus(8);
@@ -81,6 +82,29 @@ int main(int argc, char** argv) {
   }
   std::printf("\npeak QSFP line rate: 40.00 Gbit/s; payload peak after "
               "4B/32B headers: 35.00 Gbit/s\n");
+
+  // Faulty series: the 1-hop stream at the largest size over reliable links
+  // with the requested fault plan; overhead vs the lossless 1-hop run.
+  core::ClusterConfig fault_config;
+  fault_config.fabric.poll_r = static_cast<int>(cli.GetInt("poll-r"));
+  if (ConfigureFaults(cli, fault_config) && !sizes.empty()) {
+    ConfigureObs(cli, fault_config);
+    const std::uint64_t bytes = sizes.back();
+    const core::RunResult lossless = StreamOnce(topo, 0, 1, bytes, config);
+    const WallTimer timer;
+    const core::RunResult faulty =
+        StreamOnce(topo, 0, 1, bytes, fault_config, &obs);
+    const double lossless_bw = clock.GigabitsPerSecond(bytes, lossless.cycles);
+    const double faulty_bw = clock.GigabitsPerSecond(bytes, faulty.cycles);
+    PrintTitle("fault plan active — 1 hop, " + FormatBytes(bytes) +
+               " over reliable links");
+    std::printf("bandwidth: %.2f Gbit/s (lossless: %.2f, overhead %+.1f%%)\n",
+                faulty_bw, lossless_bw,
+                100.0 * (lossless_bw - faulty_bw) / lossless_bw);
+    report.AddResult("1hop+faults/" + FormatBytes(bytes), faulty.cycles,
+                     clock.CyclesToMicros(faulty.cycles), timer.Seconds());
+    MaybeWriteFaults(report, obs.faults);
+  }
 
   if (!cli.GetFlag("no-r-sweep")) {
     PrintTitle("ablation — plateau bandwidth vs CK polling parameter R "

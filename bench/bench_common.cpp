@@ -97,6 +97,29 @@ void MaybeWriteObs(const CliParser& cli, PerfReport& report,
   write_doc("trace", "TRACE_", obs.trace);
 }
 
+void AddFaultOptions(CliParser& cli) {
+  cli.AddString("fault-plan", "",
+                "enable fault injection + reliable links: an inline spec "
+                "(\"drop=0.01,corrupt=0.001,budget=4\") or a JSON plan file "
+                "(see src/fault/fault.h)");
+  cli.AddInt("fault-seed", 0,
+             "override the fault plan's seed (0 = keep the plan's)");
+}
+
+bool ConfigureFaults(const CliParser& cli, core::ClusterConfig& config) {
+  const std::string plan = cli.GetString("fault-plan");
+  if (plan.empty()) return false;
+  config.fabric.fault = fault::FaultPlan::Parse(plan);
+  const std::int64_t seed = cli.GetInt("fault-seed");
+  if (seed != 0) config.fabric.fault.seed = static_cast<std::uint64_t>(seed);
+  return true;
+}
+
+void MaybeWriteFaults(PerfReport& report, const json::Value& faults) {
+  if (faults.is_null()) return;
+  report.SetSection("faults", faults);
+}
+
 core::RunResult StreamOnce(const net::Topology& topo, int src, int dst,
                            std::uint64_t bytes,
                            const core::ClusterConfig& config,

@@ -43,6 +43,20 @@ bool ConfigureObs(const CliParser& cli, core::ClusterConfig& config);
 void MaybeWriteObs(const CliParser& cli, PerfReport& report,
                    const core::RunTelemetry& obs);
 
+/// Register the shared fault-injection options: `--fault-plan <spec|file>`
+/// (inline spec like "drop=0.01,corrupt=0.001,budget=4" or a JSON plan
+/// file; see fault/fault.h) and `--fault-seed <n>` (plan seed override).
+void AddFaultOptions(CliParser& cli);
+
+/// Parse `--fault-plan` into `config.fabric.fault`, applying a nonzero
+/// `--fault-seed`. Returns true when a plan was enabled (the bench should
+/// then run a faulty series and report the overhead vs the lossless runs).
+bool ConfigureFaults(const CliParser& cli, core::ClusterConfig& config);
+
+/// Embed the fault/reliability report under "faults" in the bench report
+/// (no-op when `faults` is null, i.e. no plan was enabled).
+void MaybeWriteFaults(PerfReport& report, const json::Value& faults);
+
 /// The SPMD spec used by the microbenchmarks: one send and one recv
 /// endpoint on port 0 of every rank.
 inline core::ProgramSpec P2pSpec() {

@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
   cli.AddInt("messages", 4000, "messages to inject per configuration");
   AddJsonOption(cli);
   AddObsOptions(cli);
+  AddFaultOptions(cli);
   if (!cli.Parse(argc, argv)) return 2;
   core::RunTelemetry obs;
 
@@ -74,6 +75,30 @@ int main(int argc, char** argv) {
   std::printf("%10.2f %10.2f %10.2f %10.2f\n", rates[0], rates[1], rates[2],
               rates[3]);
   std::printf("\n(paper: 5 / 2.5 / 1.8 / 1.69)\n");
+
+  // Faulty series: the same R=8 injection run over reliable links with the
+  // requested fault plan; overhead is measured against the lossless R=8 run.
+  core::ClusterConfig fault_config;
+  fault_config.fabric.poll_r = 8;
+  if (ConfigureFaults(cli, fault_config)) {
+    ConfigureObs(cli, fault_config);
+    core::Cluster cluster(topo, P2pSpec(), fault_config);
+    cluster.AddKernel(0, OneElementMessages(cluster.context(0), 1, n),
+                      "inject");
+    cluster.AddKernel(1, DrainPackets(cluster.context(1), 0, n), "drain");
+    const WallTimer timer;
+    const core::RunResult result = cluster.Run();
+    obs = cluster.CaptureTelemetry();
+    const double faulty_rate =
+        static_cast<double>(result.cycles) / static_cast<double>(n);
+    PrintTitle("fault plan active — R = 8 over reliable links");
+    std::printf("cycles/message: %.2f (lossless: %.2f, overhead %+.1f%%)\n",
+                faulty_rate, rates[2],
+                100.0 * (faulty_rate - rates[2]) / rates[2]);
+    report.AddResult("R=8+faults", result.cycles,
+                     clock.CyclesToMicros(result.cycles), timer.Seconds());
+    MaybeWriteFaults(report, cluster.FaultsJson());
+  }
   MaybeWriteObs(cli, report, obs);
   MaybeWriteReport(cli, report);
   return 0;

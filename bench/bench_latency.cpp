@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   cli.AddInt("rounds", 16, "ping-pong rounds to average over");
   AddJsonOption(cli);
   AddObsOptions(cli);
+  AddFaultOptions(cli);
   if (!cli.Parse(argc, argv)) return 2;
 
   const net::Topology topo = net::Topology::Bus(8);
@@ -44,6 +45,24 @@ int main(int argc, char** argv) {
   std::printf("%14.2f %10.3f %10.3f %10.3f\n", host.LatencyUs(4), smi_us[0],
               smi_us[1], smi_us[2]);
   std::printf("\n(paper: 36.61 / 0.801 / 2.896 / 5.103)\n");
+
+  // Faulty series: the 1-hop ping-pong over reliable links with the
+  // requested fault plan vs the lossless 1-hop latency.
+  core::ClusterConfig fault_config;
+  if (ConfigureFaults(cli, fault_config)) {
+    ConfigureObs(cli, fault_config);
+    const WallTimer timer;
+    const sim::Cycle cycles =
+        PingPongOnce(topo, 0, 1, fault_config, rounds, &obs);
+    const double faulty_us = clock.CyclesToMicros(cycles) / (2.0 * rounds);
+    PrintTitle("fault plan active — 1 hop over reliable links");
+    std::printf("latency: %.3f usecs (lossless: %.3f, overhead %+.1f%%)\n",
+                faulty_us, smi_us[0],
+                100.0 * (faulty_us - smi_us[0]) / smi_us[0]);
+    report.AddResult("1hop+faults", cycles, clock.CyclesToMicros(cycles),
+                     timer.Seconds());
+    MaybeWriteFaults(report, obs.faults);
+  }
   MaybeWriteObs(cli, report, obs);
   MaybeWriteReport(cli, report);
   return 0;

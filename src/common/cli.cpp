@@ -1,5 +1,7 @@
 #include "common/cli.h"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
@@ -7,29 +9,103 @@
 #include "common/string_util.h"
 
 namespace smi {
+namespace {
+
+/// Strict number parsing: the whole token must be consumed and the value must
+/// be representable. Returns false on any trailing garbage ("10x"), empty
+/// input, or out-of-range value, so callers can reject instead of silently
+/// truncating the way a null-end-pointer strtoll/strtod call would.
+bool ParseInt64Strict(const std::string& text, std::int64_t* out) {
+  if (text.empty() || std::isspace(static_cast<unsigned char>(text[0]))) {
+    return false;  // strtoll would silently skip leading whitespace
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) return false;
+  if (errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDoubleStrict(const std::string& text, double* out) {
+  if (text.empty() || std::isspace(static_cast<unsigned char>(text[0]))) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  if (errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+bool IsFlagValue(const std::string& v) {
+  return v == "0" || v == "1" || v == "true" || v == "false";
+}
+
+}  // namespace
 
 void CliParser::AddInt(const std::string& name, std::int64_t default_value,
                        const std::string& help) {
-  options_[name] = Option{Kind::kInt, help, std::to_string(default_value)};
+  const std::string text = std::to_string(default_value);
+  options_[name] = Option{Kind::kInt, help, text, text};
   order_.push_back(name);
 }
 
 void CliParser::AddDouble(const std::string& name, double default_value,
                           const std::string& help) {
-  options_[name] = Option{Kind::kDouble, help, FormatDouble(default_value, 17)};
+  const std::string text = FormatDouble(default_value, 17);
+  options_[name] = Option{Kind::kDouble, help, text, text};
   order_.push_back(name);
 }
 
 void CliParser::AddString(const std::string& name,
                           const std::string& default_value,
                           const std::string& help) {
-  options_[name] = Option{Kind::kString, help, default_value};
+  options_[name] = Option{Kind::kString, help, default_value, default_value};
   order_.push_back(name);
 }
 
 void CliParser::AddFlag(const std::string& name, const std::string& help) {
-  options_[name] = Option{Kind::kFlag, help, "0"};
+  options_[name] = Option{Kind::kFlag, help, "0", "0"};
   order_.push_back(name);
+}
+
+bool CliParser::Validate(const std::string& name, const Option& opt,
+                         const std::string& value) const {
+  switch (opt.kind) {
+    case Kind::kInt: {
+      std::int64_t v = 0;
+      if (!ParseInt64Strict(value, &v)) {
+        std::fprintf(stderr, "option --%s expects an integer, got '%s'\n",
+                     name.c_str(), value.c_str());
+        return false;
+      }
+      return true;
+    }
+    case Kind::kDouble: {
+      double v = 0;
+      if (!ParseDoubleStrict(value, &v)) {
+        std::fprintf(stderr, "option --%s expects a number, got '%s'\n",
+                     name.c_str(), value.c_str());
+        return false;
+      }
+      return true;
+    }
+    case Kind::kFlag:
+      if (!IsFlagValue(value)) {
+        std::fprintf(stderr,
+                     "option --%s expects 0/1/true/false, got '%s'\n",
+                     name.c_str(), value.c_str());
+        return false;
+      }
+      return true;
+    case Kind::kString:
+      return true;
+  }
+  return true;
 }
 
 bool CliParser::Parse(int argc, char** argv) {
@@ -59,16 +135,18 @@ bool CliParser::Parse(int argc, char** argv) {
       PrintUsage();
       return false;
     }
-    if (it->second.kind == Kind::kFlag) {
-      it->second.value = has_value ? value : "1";
-      continue;
-    }
-    if (!has_value) {
+    if (it->second.kind != Kind::kFlag && !has_value) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "option --%s requires a value\n", arg.c_str());
         return false;
       }
       value = argv[++i];
+      has_value = true;
+    }
+    if (it->second.kind == Kind::kFlag && !has_value) value = "1";
+    if (!Validate(arg, it->second, value)) {
+      PrintUsage();
+      return false;
     }
     it->second.value = value;
   }
@@ -85,11 +163,23 @@ const CliParser::Option& CliParser::Find(const std::string& name,
 }
 
 std::int64_t CliParser::GetInt(const std::string& name) const {
-  return std::strtoll(Find(name, Kind::kInt).value.c_str(), nullptr, 10);
+  const Option& opt = Find(name, Kind::kInt);
+  std::int64_t v = 0;
+  if (!ParseInt64Strict(opt.value, &v)) {
+    throw ConfigError("option --" + name + " holds a non-integer value: '" +
+                      opt.value + "'");
+  }
+  return v;
 }
 
 double CliParser::GetDouble(const std::string& name) const {
-  return std::strtod(Find(name, Kind::kDouble).value.c_str(), nullptr);
+  const Option& opt = Find(name, Kind::kDouble);
+  double v = 0;
+  if (!ParseDoubleStrict(opt.value, &v)) {
+    throw ConfigError("option --" + name + " holds a non-numeric value: '" +
+                      opt.value + "'");
+  }
+  return v;
 }
 
 const std::string& CliParser::GetString(const std::string& name) const {
@@ -107,7 +197,7 @@ void CliParser::PrintUsage() const {
   for (const std::string& name : order_) {
     const Option& opt = options_.at(name);
     std::fprintf(stderr, "  --%-22s %s (default: %s)\n", name.c_str(),
-                 opt.help.c_str(), opt.value.c_str());
+                 opt.help.c_str(), opt.default_value.c_str());
   }
 }
 

@@ -42,10 +42,13 @@ class CliParser {
   struct Option {
     Kind kind;
     std::string help;
-    std::string value;  // textual; typed accessors convert
+    std::string value;          // textual; typed accessors convert
+    std::string default_value;  // pristine default, for usage output
   };
 
   const Option& Find(const std::string& name, Kind kind) const;
+  bool Validate(const std::string& name, const Option& opt,
+                const std::string& value) const;
 
   std::string program_;
   std::string description_;

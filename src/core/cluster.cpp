@@ -152,11 +152,14 @@ json::Value Cluster::TraceJson() const {
                                                 : json::Value();
 }
 
+json::Value Cluster::FaultsJson() const { return fabric_->FaultsJson(); }
+
 RunTelemetry Cluster::CaptureTelemetry() const {
   RunTelemetry t;
   t.counters = CountersJson();
   t.summary = CountersSummaryJson();
   t.trace = TraceJson();
+  t.faults = FaultsJson();
   return t;
 }
 

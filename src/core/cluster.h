@@ -45,6 +45,7 @@ struct RunTelemetry {
   json::Value counters;  ///< per-entity counter document
   json::Value summary;   ///< aggregate totals (small; embeddable in reports)
   json::Value trace;     ///< Chrome trace-event document
+  json::Value faults;    ///< fault/reliability report (null without a plan)
   bool captured() const { return !summary.is_null(); }
 };
 
@@ -96,7 +97,10 @@ class Cluster {
   json::Value CountersJson() const;
   json::Value CountersSummaryJson() const;
   json::Value TraceJson() const;
-  /// All three documents at once — call after Run(), before destruction.
+  /// Fault/reliability report (null when no fault plan is enabled);
+  /// independent of the telemetry switches. See Fabric::FaultsJson.
+  json::Value FaultsJson() const;
+  /// All documents at once — call after Run(), before destruction.
   RunTelemetry CaptureTelemetry() const;
 
   sim::Engine& engine() { return *engine_; }

@@ -1,0 +1,253 @@
+#include "fault/fault.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace smi::fault {
+namespace {
+
+/// SplitMix64 finalizer: the per-decision hash of the fault stream.
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double ToUnitDouble(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double ParseRate(const std::string& key, const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size() || errno == ERANGE ||
+      v < 0.0 || v > 1.0) {
+    throw ConfigError("fault spec: " + key + " expects a rate in [0,1], got '" +
+                      text + "'");
+  }
+  return v;
+}
+
+std::uint64_t ParseU64(const std::string& key, const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || end != text.c_str() + text.size() || errno == ERANGE) {
+    throw ConfigError("fault spec: " + key +
+                      " expects a non-negative integer, got '" + text + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+LinkFaultSpec SpecFromJson(const json::Value& v) {
+  LinkFaultSpec spec;
+  spec.drop_rate = v.get_double("drop_rate", 0.0);
+  spec.corrupt_rate = v.get_double("corrupt_rate", 0.0);
+  if (spec.drop_rate < 0.0 || spec.drop_rate > 1.0 || spec.corrupt_rate < 0.0 ||
+      spec.corrupt_rate > 1.0 || spec.drop_rate + spec.corrupt_rate > 1.0) {
+    throw ConfigError("fault plan: drop_rate/corrupt_rate must lie in [0,1] "
+                      "and sum to at most 1");
+  }
+  if (v.contains("outages")) {
+    for (const json::Value& o : v.at("outages").as_array()) {
+      const json::Array& pair = o.as_array();
+      if (pair.size() != 2) {
+        throw ConfigError("fault plan: an outage is a [from, to) cycle pair");
+      }
+      const auto from = static_cast<Cycle>(pair[0].as_int());
+      const auto to = static_cast<Cycle>(pair[1].as_int());
+      if (to <= from) {
+        throw ConfigError("fault plan: outage window must have to > from");
+      }
+      spec.outages.emplace_back(from, to);
+    }
+  }
+  if (v.contains("kill_at")) {
+    spec.kill_at = static_cast<Cycle>(v.at("kill_at").as_int());
+  }
+  return spec;
+}
+
+json::Value SpecToJson(const LinkFaultSpec& spec) {
+  json::Object o;
+  o["drop_rate"] = spec.drop_rate;
+  o["corrupt_rate"] = spec.corrupt_rate;
+  if (!spec.outages.empty()) {
+    json::Array outages;
+    for (const auto& [from, to] : spec.outages) {
+      outages.push_back(json::Array{json::Value(from), json::Value(to)});
+    }
+    o["outages"] = std::move(outages);
+  }
+  if (spec.kill_at != sim::kNeverCycle) o["kill_at"] = spec.kill_at;
+  return o;
+}
+
+}  // namespace
+
+bool LinkFaultSpec::Active() const {
+  return drop_rate > 0.0 || corrupt_rate > 0.0 || !outages.empty() ||
+         kill_at != sim::kNeverCycle;
+}
+
+const LinkFaultSpec& FaultPlan::SpecFor(const std::string& directed_key,
+                                        const std::string& cable_key) const {
+  auto it = links.find(directed_key);
+  if (it != links.end()) return it->second;
+  it = links.find(cable_key);
+  if (it != links.end()) return it->second;
+  return default_spec;
+}
+
+json::Value FaultPlan::ToJson() const {
+  json::Object o;
+  o["seed"] = seed;
+  json::Object rel;
+  rel["retx_timeout"] = reliability.retx_timeout;
+  rel["backoff_cap"] = reliability.backoff_cap;
+  rel["window"] = static_cast<std::uint64_t>(reliability.window);
+  rel["retry_budget"] = reliability.retry_budget;
+  rel["failover_delay"] = reliability.failover_delay;
+  o["reliability"] = std::move(rel);
+  o["default"] = SpecToJson(default_spec);
+  if (!links.empty()) {
+    json::Object by_link;
+    for (const auto& [key, spec] : links) by_link[key] = SpecToJson(spec);
+    o["links"] = std::move(by_link);
+  }
+  return o;
+}
+
+FaultPlan FaultPlan::FromJson(const json::Value& v) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = static_cast<std::uint64_t>(v.get_int("seed", 1));
+  if (v.contains("reliability")) {
+    const json::Value& rel = v.at("reliability");
+    plan.reliability.retx_timeout =
+        static_cast<Cycle>(rel.get_int("retx_timeout", 0));
+    plan.reliability.backoff_cap =
+        static_cast<int>(rel.get_int("backoff_cap", 6));
+    plan.reliability.window =
+        static_cast<std::size_t>(rel.get_int("window", 0));
+    plan.reliability.retry_budget =
+        static_cast<std::uint64_t>(rel.get_int("retry_budget", 0));
+    plan.reliability.failover_delay =
+        static_cast<Cycle>(rel.get_int("failover_delay", 0));
+  }
+  if (v.contains("default")) plan.default_spec = SpecFromJson(v.at("default"));
+  if (v.contains("links")) {
+    for (const auto& [key, spec] : v.at("links").as_object()) {
+      plan.links[key] = SpecFromJson(spec);
+    }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::Parse(const std::string& text) {
+  if (std::FILE* f = std::fopen(text.c_str(), "rb"); f != nullptr) {
+    std::fclose(f);
+    return FromJson(json::ParseFile(text));
+  }
+  FaultPlan plan;
+  plan.enabled = true;
+  for (const std::string& field : Split(text, ',')) {
+    const std::string item{Trim(field)};
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw ConfigError("fault spec: expected key=value, got '" + item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "drop") {
+      plan.default_spec.drop_rate = ParseRate(key, value);
+    } else if (key == "corrupt") {
+      plan.default_spec.corrupt_rate = ParseRate(key, value);
+    } else if (key == "seed") {
+      plan.seed = ParseU64(key, value);
+    } else if (key == "timeout") {
+      plan.reliability.retx_timeout = ParseU64(key, value);
+    } else if (key == "backoff_cap") {
+      plan.reliability.backoff_cap = static_cast<int>(ParseU64(key, value));
+    } else if (key == "window") {
+      plan.reliability.window = static_cast<std::size_t>(ParseU64(key, value));
+    } else if (key == "budget") {
+      plan.reliability.retry_budget = ParseU64(key, value);
+    } else if (key == "failover_delay") {
+      plan.reliability.failover_delay = ParseU64(key, value);
+    } else if (key == "kill") {
+      plan.default_spec.kill_at = ParseU64(key, value);
+    } else if (key == "outage") {
+      const std::size_t colon = value.find(':');
+      if (colon == std::string::npos) {
+        throw ConfigError("fault spec: outage expects from:to, got '" + value +
+                          "'");
+      }
+      const Cycle from = ParseU64(key, value.substr(0, colon));
+      const Cycle to = ParseU64(key, value.substr(colon + 1));
+      if (to <= from) {
+        throw ConfigError("fault spec: outage window must have to > from");
+      }
+      plan.default_spec.outages.emplace_back(from, to);
+    } else {
+      throw ConfigError("fault spec: unknown key '" + key + "'");
+    }
+  }
+  if (plan.default_spec.drop_rate + plan.default_spec.corrupt_rate > 1.0) {
+    throw ConfigError("fault spec: drop + corrupt rates must sum to at most 1");
+  }
+  return plan;
+}
+
+std::string DirectedKey(int from_rank, int from_port, int to_rank,
+                        int to_port) {
+  return std::to_string(from_rank) + ":" + std::to_string(from_port) + "->" +
+         std::to_string(to_rank) + ":" + std::to_string(to_port);
+}
+
+std::string CableKey(int a_rank, int a_port, int b_rank, int b_port) {
+  if (b_rank < a_rank || (b_rank == a_rank && b_port < a_port)) {
+    std::swap(a_rank, b_rank);
+    std::swap(a_port, b_port);
+  }
+  return std::to_string(a_rank) + ":" + std::to_string(a_port) + "<->" +
+         std::to_string(b_rank) + ":" + std::to_string(b_port);
+}
+
+LinkFaultModel::LinkFaultModel(const LinkFaultSpec& spec, std::uint64_t seed,
+                               const std::string& link_key)
+    : spec_(spec),
+      stream_(SplitMix64(seed ^ sim::Fnv1a64(link_key.data(),
+                                             link_key.size()))) {}
+
+std::uint64_t LinkFaultModel::Mix(Cycle now, std::uint64_t salt) const {
+  return SplitMix64(stream_ ^ SplitMix64(now * 0x9e3779b97f4a7c15ull + salt));
+}
+
+LinkFaultModel::Action LinkFaultModel::OnWireEntry(Cycle now, int channel) {
+  if (now >= spec_.kill_at) return Action::kDrop;
+  for (const auto& [from, to] : spec_.outages) {
+    if (now >= from && now < to) return Action::kDrop;
+  }
+  if (spec_.drop_rate == 0.0 && spec_.corrupt_rate == 0.0) {
+    return Action::kNone;
+  }
+  const double u =
+      ToUnitDouble(Mix(now, 0x5bd1e995u + static_cast<std::uint64_t>(channel)));
+  if (u < spec_.drop_rate) return Action::kDrop;
+  if (u < spec_.drop_rate + spec_.corrupt_rate) return Action::kCorrupt;
+  return Action::kNone;
+}
+
+std::uint64_t LinkFaultModel::CorruptionPattern(Cycle now) {
+  return Mix(now, 0xc2b2ae3d27d4eb4full);
+}
+
+}  // namespace smi::fault

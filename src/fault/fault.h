@@ -1,0 +1,106 @@
+#ifndef SMI_FAULT_FAULT_H
+#define SMI_FAULT_FAULT_H
+
+/// \file fault.h
+/// Deterministic fault plans for the simulated fabric.
+///
+/// A `FaultPlan` describes, per serial link, which faults the wire injects:
+/// independent per-cycle drop/corruption probabilities, transient outage
+/// windows (every wire entry during [from, to) is lost), and a permanent
+/// kill cycle from which the cable is silently dead. Plans can be loaded
+/// from JSON files or from a compact inline spec string, and are applied by
+/// the transport fabric, which swaps its lossless links for `ReliableLink`s
+/// when a plan is enabled (see transport/fabric.h).
+///
+/// Determinism contract: `LinkFaultModel` — the `sim::LinkFaultHook`
+/// implementation — derives every decision from a counter-mode hash of
+/// (plan seed, link name, cycle, channel). It keeps no mutable state, so
+/// fault decisions are independent of scheduler, thread count, and the
+/// real-time order in which links are stepped; the same plan + seed yields
+/// bit-identical runs under all three schedulers.
+///
+/// Link keys: a spec can be attached to one direction of a cable with
+/// "r:p->r:p" (e.g. "0:1->1:0"), to both directions with the cable key
+/// "a:pa<->b:pb" (lower endpoint first; use `CableKey` to canonicalize), or
+/// to every link via the plan's default spec. Lookup order: directed key,
+/// cable key, default.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "sim/clock.h"
+#include "sim/link_fault.h"
+
+namespace smi::fault {
+
+using sim::Cycle;
+
+/// Fault behaviour of one directed link's wire.
+struct LinkFaultSpec {
+  double drop_rate = 0.0;     ///< per-wire-entry loss probability
+  double corrupt_rate = 0.0;  ///< per-wire-entry corruption probability
+  std::vector<std::pair<Cycle, Cycle>> outages;  ///< [from, to) total loss
+  Cycle kill_at = sim::kNeverCycle;  ///< permanently dead from this cycle
+
+  /// True if this spec can ever inject a fault.
+  bool Active() const;
+};
+
+/// Reliability-protocol tuning shared by every link of a plan. Zero means
+/// "derive from the link latency" (see ReliableLinkConfig).
+struct ReliabilityConfig {
+  Cycle retx_timeout = 0;          ///< base retransmission timeout
+  int backoff_cap = 6;             ///< max exponential backoff doublings
+  std::size_t window = 0;          ///< go-back-N window
+  std::uint64_t retry_budget = 0;  ///< timeout rounds before death; 0 = never
+  Cycle failover_delay = 0;        ///< death-to-reroute delay (clamped >= latency + 1)
+};
+
+struct FaultPlan {
+  bool enabled = false;
+  std::uint64_t seed = 1;
+  ReliabilityConfig reliability;
+  LinkFaultSpec default_spec;
+  std::map<std::string, LinkFaultSpec> links;  ///< directed or cable keys
+
+  /// Spec for a directed link, looked up as directed key, then cable key,
+  /// then the plan default.
+  const LinkFaultSpec& SpecFor(const std::string& directed_key,
+                               const std::string& cable_key) const;
+
+  json::Value ToJson() const;
+  static FaultPlan FromJson(const json::Value& v);
+
+  /// Parse `text` as an inline spec ("drop=0.01,corrupt=0.001,budget=4,...")
+  /// or, if it names a readable file, as a JSON plan file. The returned plan
+  /// is enabled.
+  static FaultPlan Parse(const std::string& text);
+};
+
+/// Canonical keys used by plans and reports.
+std::string DirectedKey(int from_rank, int from_port, int to_rank, int to_port);
+std::string CableKey(int a_rank, int a_port, int b_rank, int b_port);
+
+/// Stateless per-link fault decision function (see determinism contract).
+class LinkFaultModel final : public sim::LinkFaultHook {
+ public:
+  LinkFaultModel(const LinkFaultSpec& spec, std::uint64_t seed,
+                 const std::string& link_key);
+
+  Action OnWireEntry(Cycle now, int channel) override;
+  std::uint64_t CorruptionPattern(Cycle now) override;
+
+ private:
+  std::uint64_t Mix(Cycle now, std::uint64_t salt) const;
+
+  LinkFaultSpec spec_;
+  std::uint64_t stream_;  ///< seed folded with the link key
+};
+
+}  // namespace smi::fault
+
+#endif  // SMI_FAULT_FAULT_H

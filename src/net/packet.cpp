@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "sim/link_fault.h"
+
 namespace smi::net {
 
 const char* OpTypeName(OpType op) {
@@ -33,6 +35,11 @@ Packet Packet::FromWire(const std::array<std::uint8_t, kPacketBytes>& wire) {
   p.hdr = Header::Decode(h);
   std::memcpy(p.payload.data(), wire.data() + kHeaderBytes, kPayloadBytes);
   return p;
+}
+
+std::uint32_t Packet::Checksum() const {
+  const auto wire = ToWire();
+  return sim::Fnv1a32(wire.data(), wire.size());
 }
 
 std::string Packet::DebugString() const {

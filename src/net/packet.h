@@ -98,6 +98,10 @@ struct Packet {
   std::array<std::uint8_t, kPacketBytes> ToWire() const;
   static Packet FromWire(const std::array<std::uint8_t, kPacketBytes>& wire);
 
+  /// FNV-1a over the full 32-byte wire image — the integrity checksum the
+  /// reliable link transmits alongside each packet (see sim/reliable_link.h).
+  std::uint32_t Checksum() const;
+
   std::string DebugString() const;
 };
 

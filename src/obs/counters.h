@@ -219,6 +219,14 @@ struct LinkCounters {
   Cycle latency = 0;
   std::uint64_t busy_cycles = 0;          ///< cycles a payload was delivered
   std::uint64_t credit_stall_cycles = 0;  ///< TX had data, credit window full
+  // Reliability-protocol counters (always 0 on lossless links). Sender-side
+  // events journal through tx_journal, receiver-side through rx_journal.
+  std::uint64_t retransmits = 0;         ///< frames re-entered the wire (TX)
+  std::uint64_t timeouts = 0;            ///< retransmission timer fired (TX)
+  std::uint64_t wire_drops = 0;          ///< frames lost to faults (TX entry)
+  std::uint64_t wire_corruptions = 0;    ///< frames corrupted by faults (TX entry)
+  std::uint64_t checksum_failures = 0;   ///< corrupted frames caught (RX)
+  std::uint64_t seq_discards = 0;        ///< duplicate/out-of-order frames (RX)
   Journal rx_journal;
   Journal tx_journal;
   bool trace = false;
@@ -228,6 +236,30 @@ struct LinkCounters {
     ++busy_cycles;
     rx_journal.Add(&busy_cycles, now, 1);
     if (trace) deliveries.push_back(now);
+  }
+  void OnRetransmit(Cycle now) {
+    ++retransmits;
+    tx_journal.Add(&retransmits, now, 1);
+  }
+  void OnTimeout(Cycle now) {
+    ++timeouts;
+    tx_journal.Add(&timeouts, now, 1);
+  }
+  void OnWireDrop(Cycle now) {
+    ++wire_drops;
+    tx_journal.Add(&wire_drops, now, 1);
+  }
+  void OnWireCorruption(Cycle now) {
+    ++wire_corruptions;
+    tx_journal.Add(&wire_corruptions, now, 1);
+  }
+  void OnChecksumFailure(Cycle now) {
+    ++checksum_failures;
+    rx_journal.Add(&checksum_failures, now, 1);
+  }
+  void OnSeqDiscard(Cycle now) {
+    ++seq_discards;
+    rx_journal.Add(&seq_discards, now, 1);
   }
   /// Called once per sender-side step with this cycle's stall state; closes
   /// the span [tx_from_, now) carried by the previous state.

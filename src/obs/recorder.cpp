@@ -111,6 +111,12 @@ json::Value Recorder::CountersJson() const {
     row["latency"] = json::Value(static_cast<std::int64_t>(l.latency));
     row["busy_cycles"] = json::Value(l.busy_cycles);
     row["credit_stall_cycles"] = json::Value(l.credit_stall_cycles);
+    row["retransmits"] = json::Value(l.retransmits);
+    row["timeouts"] = json::Value(l.timeouts);
+    row["wire_drops"] = json::Value(l.wire_drops);
+    row["wire_corruptions"] = json::Value(l.wire_corruptions);
+    row["checksum_failures"] = json::Value(l.checksum_failures);
+    row["seq_discards"] = json::Value(l.seq_discards);
     links.push_back(json::Value(std::move(row)));
   }
 
@@ -154,9 +160,12 @@ json::Value Recorder::SummaryJson() const {
     ck_stalls += c.stalls;
   }
   std::uint64_t busy = 0, credit_stalls = 0;
+  std::uint64_t retransmits = 0, checksum_failures = 0;
   for (const auto& l : links_) {
     busy += l.busy_cycles;
     credit_stalls += l.credit_stall_cycles;
+    retransmits += l.retransmits;
+    checksum_failures += l.checksum_failures;
   }
   std::uint64_t active = 0;
   for (const auto& k : kernels_) active += k.resumes;
@@ -177,6 +186,8 @@ json::Value Recorder::SummaryJson() const {
   doc["ck_stalls"] = json::Value(ck_stalls);
   doc["link_busy_cycles"] = json::Value(busy);
   doc["link_credit_stall_cycles"] = json::Value(credit_stalls);
+  doc["link_retransmits"] = json::Value(retransmits);
+  doc["link_checksum_failures"] = json::Value(checksum_failures);
   doc["kernel_active_cycles"] = json::Value(active);
   return json::Value(std::move(doc));
 }

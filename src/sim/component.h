@@ -126,6 +126,23 @@ class CutLink {
   virtual const FifoBase* tx_wake_fifo() const = 0;
   virtual const FifoBase* rx_wake_fifo() const = 0;
   virtual Cycle NextRxSelfWake(Cycle now) const = 0;
+
+  /// Sender half's timed self-wake. The lossless link's sender only ever
+  /// reacts to FIFO activity, hence the kNever default; a reliable link also
+  /// wakes on acknowledgement maturity and retransmission timeouts.
+  virtual Cycle NextTxSelfWake(Cycle /*now*/) const { return kNeverCycle; }
+
+  /// Bracket a parallel run. Called for *every* cut component (split or
+  /// not) when the parallel scheduler starts/finishes, so links that keep
+  /// trimmable per-cycle statistics (retransmit counters, death events) can
+  /// switch their undo logs on and off.
+  virtual void BeginParallelRun() {}
+  virtual void EndParallelRun() {}
+
+  /// Epoch boundary notification for cut components that were *not* split
+  /// (both endpoints landed in one partition). Split components piggyback on
+  /// ExchangeAtBarrier to age out their undo logs; unsplit ones get this.
+  virtual void OnUnsplitBarrier(Cycle /*epoch_start*/) {}
 };
 
 }  // namespace smi::sim

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <sstream>
 #include <thread>
+#include <tuple>
 #include <unordered_set>
 
 #include "common/error.h"
@@ -32,7 +33,9 @@ class CutTxHalf final : public Component {
   void DeclareWakeFifos(std::vector<const FifoBase*>& out) const override {
     out.push_back(cut_->tx_wake_fifo());
   }
-  Cycle NextSelfWake(Cycle /*now*/) const override { return kNeverCycle; }
+  Cycle NextSelfWake(Cycle now) const override {
+    return cut_->NextTxSelfWake(now);
+  }
 
  private:
   CutLink* cut_;
@@ -124,6 +127,68 @@ std::size_t Engine::pending_kernels() const {
     if (!slot.done) ++pending;
   }
   return pending;
+}
+
+void Engine::ScheduleGlobalEvent(Cycle cycle, std::uint64_t order_key,
+                                 std::function<void(Cycle)> fn) {
+  std::lock_guard<std::mutex> lock(global_events_mutex_);
+  global_events_.push_back(
+      GlobalEvent{cycle, order_key, global_event_seq_++, std::move(fn)});
+  if (cycle < next_global_event_.load(std::memory_order_relaxed)) {
+    next_global_event_.store(cycle, std::memory_order_relaxed);
+  }
+}
+
+void Engine::ConstrainEpochLength(Cycle bound) {
+  epoch_cap_external_ =
+      std::min(epoch_cap_external_, std::max<Cycle>(bound, 1));
+}
+
+void Engine::WakeComponentAt(Component& component, Cycle cycle) {
+  std::size_t index = components_.size();
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i].get() == &component) {
+      index = i;
+      break;
+    }
+  }
+  // Unknown component, or no event-driven run prepared yet (the synchronous
+  // scheduler steps everything each cycle regardless).
+  if (index >= comp_recs_.size() || index >= comp_part_.size()) return;
+  if (!partitions_.empty()) {
+    ScheduleComponent(partitions_[static_cast<std::size_t>(comp_part_[index])],
+                      index, cycle);
+  } else {
+    ScheduleComponent(whole_, index, cycle);
+  }
+}
+
+void Engine::RunGlobalEventsAt(Cycle now) {
+  if (next_global_event_.load(std::memory_order_relaxed) > now) return;
+  std::vector<GlobalEvent> due;
+  {
+    std::lock_guard<std::mutex> lock(global_events_mutex_);
+    std::vector<GlobalEvent> kept;
+    Cycle next = kNeverCycle;
+    for (GlobalEvent& ev : global_events_) {
+      if (ev.cycle <= now) {
+        due.push_back(std::move(ev));
+      } else {
+        next = std::min(next, ev.cycle);
+        kept.push_back(std::move(ev));
+      }
+    }
+    global_events_.swap(kept);
+    next_global_event_.store(next, std::memory_order_relaxed);
+  }
+  // Deterministic execution order regardless of which thread scheduled what
+  // when: cycle, then the caller-chosen key, then scheduling order.
+  std::sort(due.begin(), due.end(),
+            [](const GlobalEvent& a, const GlobalEvent& b) {
+              return std::tie(a.cycle, a.order_key, a.seq) <
+                     std::tie(b.cycle, b.order_key, b.seq);
+            });
+  for (GlobalEvent& ev : due) ev.fn(now);
 }
 
 void Engine::AdvanceClock(Partition& p, Cycle target) {
@@ -510,6 +575,7 @@ RunStats Engine::Run() {
   if (config_.scheduler == SchedulerKind::kSynchronous) {
     RefreshWholeClock();
     while (!AllAppKernelsDone()) {
+      RunGlobalEventsAt(now_);
       const bool progress = StepCycleSync();
       if (progress) {
         idle_cycles_ = 0;
@@ -526,6 +592,7 @@ RunStats Engine::Run() {
 
   PrepareWholePartition();
   while (!AllAppKernelsDone()) {
+    RunGlobalEventsAt(now_);
     const bool progress = StepCycleEvent(whole_);
     if (progress) {
       idle_cycles_ = 0;
@@ -537,7 +604,8 @@ RunStats Engine::Run() {
                   std::to_string(config_.max_cycles));
     }
     if (AllAppKernelsDone()) break;
-    const Cycle next = NextEventCycle(whole_);
+    const Cycle next =
+        std::min(NextEventCycle(whole_), NextGlobalEventCycle());
     if (next > now_) JumpIdleCycles(next, /*accounted=*/true);
   }
   return FinishRun(/*partitions=*/1);
@@ -548,6 +616,7 @@ bool Engine::RunFor(Cycle cycles) {
   if (config_.scheduler == SchedulerKind::kSynchronous) {
     RefreshWholeClock();
     for (Cycle i = 0; i < cycles && !AllAppKernelsDone(); ++i) {
+      RunGlobalEventsAt(now_);
       StepCycleSync();
     }
     return AllAppKernelsDone();
@@ -558,12 +627,14 @@ bool Engine::RunFor(Cycle cycles) {
   PrepareWholePartition();
   const Cycle end = now_ + cycles;
   while (now_ < end && !AllAppKernelsDone()) {
+    RunGlobalEventsAt(now_);
     StepCycleEvent(whole_);
     // The synchronous loop stops stepping the moment the last kernel
     // finishes, leaving `now_` at the completion cycle — so re-check before
     // jumping ahead.
     if (now_ >= end || AllAppKernelsDone()) break;
-    const Cycle next = NextEventCycle(whole_);
+    const Cycle next =
+        std::min(NextEventCycle(whole_), NextGlobalEventCycle());
     if (next > now_) JumpIdleCycles(std::min(next, end), /*accounted=*/false);
   }
   return AllAppKernelsDone();
@@ -662,6 +733,10 @@ void Engine::PrepareParallelRun(unsigned workers) {
     fifos_[i]->AttachScheduler(this, &p.dirty, i);
   }
 
+  // All cut links — split or not — log trimmable per-cycle events during a
+  // parallel run so the final-epoch overshoot can be undone (see CutLink).
+  for (CutRec& cut : cuts_) cut.cut->BeginParallelRun();
+
   comp_recs_.assign(components_.size(), ComponentRec{});
   fifo_recs_.assign(fifos_.size(), FifoRec{});
   for (Partition& p : partitions_) PreparePartition(p);
@@ -678,6 +753,7 @@ void Engine::CleanupParallelRun() {
     cut.cut->EndSplit();
     cut.split = false;
   }
+  for (CutRec& cut : cuts_) cut.cut->EndParallelRun();
   if (base_component_count_ != 0 &&
       components_.size() > base_component_count_) {
     components_.resize(base_component_count_);
@@ -778,12 +854,22 @@ RunStats Engine::RunParallel() {
   Cycle barrier_cycle = now_;
   for (;;) {
     // --- Barrier work at `barrier_cycle` (every partition synced here) ---
+    // Global events due at this barrier run first, single-threaded, exactly
+    // as the sequential loops run them at the top of the cycle. The epoch
+    // bound below never extends past the next pending event, so an event's
+    // cycle always lands on a barrier (given the scheduling contract —
+    // see ScheduleGlobalEvent).
+    RunGlobalEventsAt(barrier_cycle);
     // Exchange cut-link payloads/credits and derive the epoch length: the
     // smallest of every split link's lookahead (pipeline latency) and credit
-    // slack, the watchdog fire cycle and the max-cycles guard.
-    Cycle bound = kMaxEpochCycles;
+    // slack, the external epoch cap, the watchdog fire cycle and the
+    // max-cycles guard.
+    Cycle bound = std::min(kMaxEpochCycles, epoch_cap_external_);
     for (CutRec& cut : cuts_) {
-      if (!cut.split) continue;
+      if (!cut.split) {
+        cut.cut->OnUnsplitBarrier(barrier_cycle);
+        continue;
+      }
       const Cycle slack = cut.cut->ExchangeAtBarrier(barrier_cycle);
       const Cycle lookahead = std::max<Cycle>(cut.cut->link_latency(), 1);
       bound = std::min(bound, std::min(lookahead, slack));
@@ -807,6 +893,10 @@ RunStats Engine::RunParallel() {
     epoch_end = std::min(epoch_end, fire_at);
     if (config_.max_cycles != 0) {
       epoch_end = std::min(epoch_end, config_.max_cycles);
+    }
+    const Cycle next_global = NextGlobalEventCycle();
+    if (next_global != kNeverCycle) {
+      epoch_end = std::min(epoch_end, next_global);
     }
     if (epoch_end <= barrier_cycle) epoch_end = barrier_cycle + 1;
 
@@ -874,7 +964,7 @@ RunStats Engine::RunParallel() {
         }
       }
       for (CutRec& cut : cuts_) {
-        if (cut.split) cut.cut->TrimDeliveriesAtOrAfter(finish_p1);
+        cut.cut->TrimDeliveriesAtOrAfter(finish_p1);
       }
       if (recorder_ != nullptr) recorder_->TrimAtOrAfter(finish_p1);
       now_ = finish_p1;

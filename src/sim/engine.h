@@ -97,11 +97,14 @@
 /// and asserts identical cycle counts, kernel resumes, link traffic and
 /// payloads.
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <exception>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <queue>
 #include <string>
 #include <utility>
@@ -234,6 +237,32 @@ class Engine {
   /// Number of registered kernels that have not finished (incl. daemons).
   std::size_t pending_kernels() const;
 
+  /// Schedule `fn` to run once, single-threaded, at the top of cycle `cycle`
+  /// (before kernels poll and components step), under every scheduler. Under
+  /// the parallel scheduler events are delivered at epoch barriers, so a
+  /// caller that schedules events with a minimum lead time must also declare
+  /// that lead time via ConstrainEpochLength — otherwise partitions may have
+  /// advanced past `cycle` before the barrier arrives. Thread-safe: may be
+  /// called from worker threads mid-epoch (e.g. a link death report).
+  /// Events due at the same cycle run ordered by `order_key`, then by
+  /// scheduling order, so cross-thread scheduling races cannot change
+  /// execution order.
+  void ScheduleGlobalEvent(Cycle cycle, std::uint64_t order_key,
+                           std::function<void(Cycle)> fn);
+  /// Earliest pending global event cycle, or kNeverCycle.
+  Cycle NextGlobalEventCycle() const {
+    return next_global_event_.load(std::memory_order_relaxed);
+  }
+  /// Permanently cap parallel epoch lengths at `bound` cycles (keeps the
+  /// minimum across calls). Required by ScheduleGlobalEvent users whose
+  /// events must not land inside an already-running epoch.
+  void ConstrainEpochLength(Cycle bound);
+  /// Request a step of `component` at `cycle` (used by global events that
+  /// alter component state outside the normal wake sources). No-op before
+  /// the first event-driven/parallel run is prepared; the synchronous
+  /// scheduler steps everything anyway.
+  void WakeComponentAt(Component& component, Cycle cycle);
+
   /// Telemetry recorder, created lazily at the first Run with
   /// `collect_counters`/`collect_trace` set; null when collection is off.
   /// Counters and trace buffers are finalized when Run returns.
@@ -344,6 +373,10 @@ class Engine {
   void JumpIdleCycles(Cycle target, bool accounted);
   RunStats FinishRun(unsigned partitions);
   void AppendResumeLog(Partition& p, Cycle cycle);
+  /// Run every pending global event with cycle <= now (see
+  /// ScheduleGlobalEvent). Single-threaded: called from the sequential
+  /// loops' cycle tops and from the parallel barrier.
+  void RunGlobalEventsAt(Cycle now);
   /// Create the recorder (if configured) and attach counter blocks to any
   /// not-yet-attached FIFOs, components and kernels, in registration order.
   void EnsureObservability();
@@ -372,6 +405,20 @@ class Engine {
   std::vector<int> comp_tags_;
   std::vector<int> kernel_tags_;
   std::vector<CutRec> cuts_;
+
+  // Global events (see ScheduleGlobalEvent). Guarded by the mutex because
+  // worker threads may schedule mid-epoch; executed only single-threaded.
+  struct GlobalEvent {
+    Cycle cycle = 0;
+    std::uint64_t order_key = 0;
+    std::uint64_t seq = 0;
+    std::function<void(Cycle)> fn;
+  };
+  mutable std::mutex global_events_mutex_;
+  std::vector<GlobalEvent> global_events_;
+  std::uint64_t global_event_seq_ = 0;
+  std::atomic<Cycle> next_global_event_{kNeverCycle};
+  Cycle epoch_cap_external_ = kNeverCycle;
 
   // Entity -> partition maps, resolved per run (all zero for sequential).
   std::vector<int> fifo_part_;

@@ -178,6 +178,20 @@ class Fifo final : public FifoBase {
     return ring_[static_cast<std::size_t>(head_) & mask_];
   }
 
+  /// Maintenance drain used by link failover: removes every element —
+  /// committed and staged — ignoring the one-pop-per-cycle port limit.
+  /// Only legal between cycles (from an engine global event or barrier),
+  /// never from a component's Step.
+  std::vector<T> DrainAll(Cycle now) {
+    std::vector<T> out;
+    out.reserve(occupancy());
+    while (head_ < tail_) {
+      out.push_back(std::move(ring_[static_cast<std::size_t>(head_) & mask_]));
+      RecordPop(now);
+    }
+    return out;
+  }
+
  private:
   static std::size_t RingSize(std::size_t capacity) {
     std::size_t n = 1;

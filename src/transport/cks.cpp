@@ -41,6 +41,20 @@ PacketFifo* Cks::Route(const net::Packet& pkt) const {
 }
 
 void Cks::Step(sim::Cycle now) {
+  // Failover-recovered packets go first, one per cycle, before any arbitered
+  // input — the recovered window must re-enter the stream ahead of traffic
+  // that was queued behind it.
+  if (!recovery_.empty()) {
+    PacketFifo* out = Route(recovery_.front());
+    if (out->CanPush(now)) {
+      const net::Packet pkt = recovery_.front();
+      recovery_.pop_front();
+      out->Push(pkt, now);
+      ++forwarded_;
+      if (obs_ != nullptr) obs_->OnForward(static_cast<int>(pkt.hdr.op), now);
+    }
+    return;
+  }
   PacketFifo* in = arbiter_.Select(now);
   if (in == nullptr) return;
   PacketFifo* out = Route(in->Front(now));

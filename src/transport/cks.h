@@ -16,6 +16,7 @@
 /// the fabric.
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,15 @@ class Cks final : public sim::Component {
     next_port_ = std::move(next_port);
   }
 
+  /// Re-queue packets stranded by a link failover (see transport/fabric.h).
+  /// They take strict priority over arbitered input — one per cycle, routed
+  /// with the *current* table — which preserves the original stream order of
+  /// the recovered in-flight window before any new traffic interleaves.
+  void InjectRecovered(std::vector<net::Packet> packets) {
+    for (net::Packet& pkt : packets) recovery_.push_back(pkt);
+  }
+  std::size_t recovery_pending() const { return recovery_.size(); }
+
   void Step(sim::Cycle now) override;
 
   /// Registers a CkCounters block (forwarded-by-op, polls/hits/bursts/
@@ -65,7 +75,9 @@ class Cks final : public sim::Component {
     arbiter_.AppendInputs(out);
   }
   sim::Cycle NextSelfWake(sim::Cycle now) const override {
-    return arbiter_.AnyInputHasData() ? now + 1 : sim::kNeverCycle;
+    return (!recovery_.empty() || arbiter_.AnyInputHasData())
+               ? now + 1
+               : sim::kNeverCycle;
   }
 
   std::uint64_t forwarded() const { return forwarded_; }
@@ -84,6 +96,7 @@ class Cks final : public sim::Component {
   PacketFifo* to_ckr_ = nullptr;
   std::vector<PacketFifo*> to_cks_;
   std::vector<int> next_port_;
+  std::deque<net::Packet> recovery_;  ///< failover re-queue (see above)
   std::uint64_t forwarded_ = 0;
   obs::CkCounters* obs_ = nullptr;
 };

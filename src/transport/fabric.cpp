@@ -1,5 +1,7 @@
 #include "transport/fabric.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace smi::transport {
@@ -24,7 +26,8 @@ Fabric::Fabric(
     sim::Engine& engine, int num_ranks, int ports_per_rank,
     const std::vector<std::pair<net::PortId, net::PortId>>& connections,
     std::vector<RankEndpoints> endpoints, FabricConfig config)
-    : num_ranks_(num_ranks),
+    : engine_(&engine),
+      num_ranks_(num_ranks),
       ports_per_rank_(ports_per_rank),
       config_(config) {
   if (num_ranks_ < 1) throw ConfigError("fabric needs at least one rank");
@@ -168,6 +171,24 @@ void Fabric::BuildLinks(
       static_cast<std::size_t>(num_ranks_) *
           static_cast<std::size_t>(ports_per_rank_),
       false);
+  const fault::FaultPlan& plan = config_.fault;
+  sim::ReliableLinkConfig rcfg;
+  if (plan.enabled) {
+    rcfg.latency = config_.link_latency;
+    rcfg.window = plan.reliability.window;
+    rcfg.rto = plan.reliability.retx_timeout;
+    rcfg.backoff_cap = plan.reliability.backoff_cap;
+    rcfg.retry_budget = plan.reliability.retry_budget;
+    // A failover event scheduled mid-epoch must land at or after the next
+    // barrier; clamping the delay to latency + 1 (>= every epoch length this
+    // fabric's links allow) and capping epochs at the delay guarantees it.
+    failover_delay_ =
+        std::max<sim::Cycle>(plan.reliability.failover_delay,
+                             config_.link_latency + 1);
+    if (plan.reliability.retry_budget != 0) {
+      engine.ConstrainEpochLength(failover_delay_);
+    }
+  }
   for (const auto& [a, b] : connections) {
     check(a);
     check(b);
@@ -183,6 +204,8 @@ void Fabric::BuildLinks(
       }
       wired[iface(p)] = true;
     }
+    const std::size_t cable_index = cables_.size();
+    cables_.push_back(Cable{a, b, 0, 0, true});
     // Two directed links per cable, each with its own interface FIFOs. The
     // TX FIFO is written by the sending rank's CKS, the RX FIFO read by the
     // receiving rank's CKR, so the only entity spanning ranks is the link
@@ -203,14 +226,45 @@ void Fabric::BuildLinks(
           .ckr[static_cast<std::size_t>(to.port)]
           ->AddInput(rx);
       engine.SetPartitionTag(from.rank);
-      sim::Link<net::Packet>& link =
-          engine.MakeComponent<sim::Link<net::Packet>>(
-              "link." + std::to_string(from.rank) + ":" +
-                  std::to_string(from.port) + "->" + std::to_string(to.rank) +
-                  ":" + std::to_string(to.port),
-              tx, rx, config_.link_latency);
-      engine.MarkCutComponent(link, link, from.rank, to.rank);
-      links_.push_back(&link);
+      const std::string link_name =
+          "link." + std::to_string(from.rank) + ":" +
+          std::to_string(from.port) + "->" + std::to_string(to.rank) + ":" +
+          std::to_string(to.port);
+      const std::size_t link_index = link_recs_.size();
+      LinkRec rec;
+      rec.from = from;
+      rec.to = to;
+      rec.cable = cable_index;
+      rec.tx = &tx;
+      if (plan.enabled) {
+        sim::ReliableLink<net::Packet>& link =
+            engine.MakeComponent<sim::ReliableLink<net::Packet>>(
+                link_name, tx, rx, rcfg);
+        engine.MarkCutComponent(link, link, from.rank, to.rank);
+        const fault::LinkFaultSpec& spec = plan.SpecFor(
+            fault::DirectedKey(from.rank, from.port, to.rank, to.port),
+            fault::CableKey(a.rank, a.port, b.rank, b.port));
+        if (spec.Active()) {
+          fault_models_.emplace_back(spec, plan.seed, link_name);
+          link.set_fault_hook(&fault_models_.back());
+        }
+        if (plan.reliability.retry_budget != 0) {
+          link.set_death_sink(this, link_index);
+        }
+        rec.rlink = &link;
+      } else {
+        sim::Link<net::Packet>& link =
+            engine.MakeComponent<sim::Link<net::Packet>>(
+                link_name, tx, rx, config_.link_latency);
+        engine.MarkCutComponent(link, link, from.rank, to.rank);
+        rec.plain = &link;
+      }
+      if (from.rank == a.rank) {
+        cables_[cable_index].fwd_link = link_index;
+      } else {
+        cables_[cable_index].rev_link = link_index;
+      }
+      link_recs_.push_back(rec);
     }
   }
 }
@@ -274,10 +328,140 @@ void Fabric::UploadRoutes(const net::RoutingTable& routes) {
 
 std::uint64_t Fabric::TotalLinkPackets() const {
   std::uint64_t total = 0;
-  for (const sim::Link<net::Packet>* link : links_) {
-    total += link->delivered();
+  for (const LinkRec& rec : link_recs_) {
+    total += rec.plain != nullptr ? rec.plain->delivered()
+                                  : rec.rlink->delivered();
   }
   return total;
+}
+
+void Fabric::OnLinkDead(std::size_t link_id, sim::Cycle now) {
+  // Called from a link's StepTx, possibly on a worker thread mid-epoch. All
+  // fabric mutation is deferred into a global event so it runs
+  // single-threaded at the top of a cycle; `link_id` orders same-cycle
+  // deaths deterministically regardless of reporting thread order.
+  engine_->ScheduleGlobalEvent(
+      now + failover_delay_, link_id, [this, link_id, now](sim::Cycle at) {
+        ExecuteFailover(link_id, now, at);
+      });
+}
+
+void Fabric::ExecuteFailover(std::size_t link_id, sim::Cycle death_cycle,
+                             sim::Cycle now) {
+  LinkRec& dead_rec = link_recs_[link_id];
+  // The final-epoch trim can resurrect a death that happened after the
+  // completion cycle; the scheduled event still fires on a later run and
+  // must then do nothing. Likewise a cable whose other direction already
+  // triggered the failover.
+  if (dead_rec.rlink == nullptr || !dead_rec.rlink->dead()) return;
+  Cable& cable = cables_[dead_rec.cable];
+  if (!cable.alive) return;
+  cable.alive = false;
+  const std::string cable_key =
+      fault::CableKey(cable.a.rank, cable.a.port, cable.b.rank, cable.b.port);
+
+  // Recompute deadlock-free routes over the surviving cables and re-upload
+  // through the validating path. A disconnected survivor graph is
+  // unrecoverable: report it as a routing failure at the failover cycle.
+  net::Topology topo(num_ranks_, ports_per_rank_);
+  for (const Cable& c : cables_) {
+    if (c.alive) topo.Connect(c.a, c.b);
+  }
+  if (!topo.IsConnected()) {
+    throw RoutingError("link failover: cable " + cable_key +
+                       " died at cycle " + std::to_string(death_cycle) +
+                       " and the surviving cables leave the cluster "
+                       "disconnected");
+  }
+  UploadRoutes(net::ComputeRoutes(topo, net::RoutingScheme::kAuto));
+
+  // Both directions freeze. Recover each direction's undelivered stream —
+  // receiver-buffered frames, unacked window frames, then the packets still
+  // queued in the CKS-side net FIFO — and re-queue it, in order, into the
+  // sending CKS for routing over the new tables. Lower link index first so
+  // the order is a pure function of the fabric, not of the reporting race.
+  std::uint64_t recovered_total = 0;
+  std::size_t ids[2] = {cable.fwd_link, cable.rev_link};
+  if (ids[1] < ids[0]) std::swap(ids[0], ids[1]);
+  for (const std::size_t id : ids) {
+    LinkRec& rec = link_recs_[id];
+    std::vector<net::Packet> recovered = rec.rlink->TakeUndelivered();
+    std::vector<net::Packet> queued = rec.tx->DrainAll(now);
+    recovered.insert(recovered.end(), queued.begin(), queued.end());
+    rec.rlink->Quiesce();
+    recovered_total += recovered.size();
+    Cks* sender = ranks_[static_cast<std::size_t>(rec.from.rank)]
+                      .cks[static_cast<std::size_t>(rec.from.port)];
+    sender->InjectRecovered(std::move(recovered));
+    engine_->WakeComponentAt(*sender, now);
+  }
+  failovers_.push_back(
+      FailoverRecord{cable_key, death_cycle, now, recovered_total});
+}
+
+json::Value Fabric::FaultsJson() const {
+  if (!config_.fault.enabled) return json::Value();
+  json::Object o;
+  o["enabled"] = true;
+  o["seed"] = config_.fault.seed;
+  json::Array links;
+  sim::ReliableLink<net::Packet>::Stats totals;
+  for (const LinkRec& rec : link_recs_) {
+    if (rec.rlink == nullptr) continue;
+    const auto& s = rec.rlink->stats();
+    json::Object row;
+    row["link"] = fault::DirectedKey(rec.from.rank, rec.from.port,
+                                     rec.to.rank, rec.to.port);
+    row["dead"] = rec.rlink->dead();
+    row["frames_sent"] = s.frames_sent;
+    row["retransmits"] = s.retransmits;
+    row["timeouts"] = s.timeouts;
+    row["wire_drops"] = s.wire_drops;
+    row["wire_corruptions"] = s.wire_corruptions;
+    row["checksum_failures"] = s.checksum_failures;
+    row["seq_discards"] = s.seq_discards;
+    row["acks_sent"] = s.acks_sent;
+    row["acks_dropped"] = s.acks_dropped;
+    row["delivered"] = s.delivered;
+    row["recovered"] = s.recovered;
+    links.push_back(std::move(row));
+    totals.frames_sent += s.frames_sent;
+    totals.retransmits += s.retransmits;
+    totals.timeouts += s.timeouts;
+    totals.wire_drops += s.wire_drops;
+    totals.wire_corruptions += s.wire_corruptions;
+    totals.checksum_failures += s.checksum_failures;
+    totals.seq_discards += s.seq_discards;
+    totals.acks_sent += s.acks_sent;
+    totals.acks_dropped += s.acks_dropped;
+    totals.delivered += s.delivered;
+    totals.recovered += s.recovered;
+  }
+  o["links"] = std::move(links);
+  json::Array fos;
+  for (const FailoverRecord& fo : failovers_) {
+    json::Object row;
+    row["cable"] = fo.cable;
+    row["death_cycle"] = fo.death_cycle;
+    row["failover_cycle"] = fo.failover_cycle;
+    row["recovered"] = fo.recovered;
+    fos.push_back(std::move(row));
+  }
+  o["failovers"] = std::move(fos);
+  json::Object tot;
+  tot["frames_sent"] = totals.frames_sent;
+  tot["retransmits"] = totals.retransmits;
+  tot["timeouts"] = totals.timeouts;
+  tot["wire_drops"] = totals.wire_drops;
+  tot["wire_corruptions"] = totals.wire_corruptions;
+  tot["checksum_failures"] = totals.checksum_failures;
+  tot["seq_discards"] = totals.seq_discards;
+  tot["acks_sent"] = totals.acks_sent;
+  tot["acks_dropped"] = totals.acks_dropped;
+  tot["delivered"] = totals.delivered;
+  tot["recovered"] = totals.recovered;
+  o["totals"] = std::move(tot);
+  return o;
 }
 
 const Cks& Fabric::cks(int rank, int port) const {

@@ -12,18 +12,37 @@
 /// routing tables are uploaded afterwards and can be replaced at runtime
 /// (`UploadRoutes`), allowing topology/rank-count changes without
 /// "rebuilding the bitstream".
+///
+/// ## Fault injection and failover
+///
+/// When `FabricConfig::fault` carries an enabled `fault::FaultPlan`, every
+/// serial link is built as a `sim::ReliableLink` instead of the lossless
+/// `sim::Link`: per-frame sequence numbers + checksums, go-back-N
+/// retransmission, and — for plans with a finite retry budget — permanent
+/// death detection. A death is reported through `sim::LinkDeathSink` into a
+/// deterministic engine global event that fires `failover_delay` cycles
+/// later: the fabric marks the cable dead, recomputes deadlock-free routes
+/// over the surviving cables, re-uploads them through the validating
+/// `UploadRoutes`, and re-queues every undelivered in-flight payload of both
+/// directions into the sending CKS (`Cks::InjectRecovered`). `FaultsJson`
+/// exposes the per-link reliability counters and the failover history.
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/json.h"
+#include "fault/fault.h"
 #include "net/packet.h"
 #include "net/routing.h"
 #include "net/topology.h"
 #include "sim/engine.h"
 #include "sim/link.h"
+#include "sim/link_fault.h"
+#include "sim/reliable_link.h"
 #include "transport/ckr.h"
 #include "transport/cks.h"
 
@@ -42,6 +61,9 @@ struct FabricConfig {
   /// Serial link pipeline latency in cycles. 105 cycles at 156.25 MHz
   /// (0.67 us) calibrates the per-hop latency to the paper's Table 3.
   sim::Cycle link_latency = 105;
+  /// Fault plan. When `fault.enabled`, links are built as reliable links and
+  /// the plan's per-link specs drive the injected faults (see file comment).
+  fault::FaultPlan fault;
 };
 
 /// Which application endpoints exist on a rank. In the paper this is the
@@ -53,7 +75,7 @@ struct RankEndpoints {
   std::vector<int> recv_ports;
 };
 
-class Fabric {
+class Fabric final : public sim::LinkDeathSink {
  public:
   /// Build the transport fabric into `engine`. `endpoints[r]` lists the
   /// application endpoints of rank r (use a single-element vector replicated
@@ -88,6 +110,18 @@ class Fabric {
   const Cks& cks(int rank, int port) const;
   const Ckr& ckr(int rank, int port) const;
 
+  /// Fault/reliability report: null when no fault plan is enabled, else an
+  /// object with the plan seed, per-link reliability counters and the
+  /// failover history. Stable across schedulers (bit-identical runs).
+  json::Value FaultsJson() const;
+  /// Failovers executed so far (permanent link failures rerouted around).
+  std::size_t failover_count() const { return failovers_.size(); }
+
+  /// sim::LinkDeathSink — called by a reliable link (possibly from a worker
+  /// thread) when its retry budget is exhausted. Schedules the failover as a
+  /// deterministic engine global event; never mutates fabric state directly.
+  void OnLinkDead(std::size_t link_id, sim::Cycle now) override;
+
  private:
   struct Rank {
     std::vector<Cks*> cks;
@@ -95,17 +129,50 @@ class Fabric {
     std::map<int, PacketFifo*> send_endpoints;  // app port -> FIFO
     std::map<int, PacketFifo*> recv_endpoints;
   };
+  /// One bidirectional cable (= two directed links).
+  struct Cable {
+    net::PortId a, b;
+    std::size_t fwd_link = 0;  ///< a -> b directed link index
+    std::size_t rev_link = 0;  ///< b -> a directed link index
+    bool alive = true;
+  };
+  /// One directed link (index shared by links_/rlinks_ reporting).
+  struct LinkRec {
+    net::PortId from, to;
+    std::size_t cable = 0;
+    PacketFifo* tx = nullptr;  ///< CKS-side net FIFO feeding the link
+    sim::Link<net::Packet>* plain = nullptr;        ///< lossless build
+    sim::ReliableLink<net::Packet>* rlink = nullptr;  ///< fault-plan build
+  };
+  struct FailoverRecord {
+    std::string cable;
+    sim::Cycle death_cycle = 0;
+    sim::Cycle failover_cycle = 0;
+    std::uint64_t recovered = 0;  ///< payloads re-queued into the CKSes
+  };
 
   void BuildRank(sim::Engine& engine, int r, const RankEndpoints& eps);
   void BuildLinks(
       sim::Engine& engine,
       const std::vector<std::pair<net::PortId, net::PortId>>& connections);
+  /// The failover itself; runs as an engine global event at the top of a
+  /// cycle under every scheduler. Idempotent: a no-op if the cable already
+  /// failed over or the death was undone by the final-epoch trim.
+  void ExecuteFailover(std::size_t link_id, sim::Cycle death_cycle,
+                       sim::Cycle now);
 
+  sim::Engine* engine_ = nullptr;
   int num_ranks_;
   int ports_per_rank_;
   FabricConfig config_;
   std::vector<Rank> ranks_;
-  std::vector<sim::Link<net::Packet>*> links_;
+  std::vector<LinkRec> link_recs_;
+  std::vector<Cable> cables_;
+  /// Owned fault models, one per faulted directed link (deque: the links
+  /// hold stable pointers into it).
+  std::deque<fault::LinkFaultModel> fault_models_;
+  std::vector<FailoverRecord> failovers_;
+  sim::Cycle failover_delay_ = 0;  ///< resolved death-to-reroute delay
   bool routes_uploaded_ = false;
 };
 

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "common/error.h"
@@ -64,6 +67,101 @@ TEST(Cli, TypeMismatchThrows) {
   cli.AddInt("n", 0, "count");
   EXPECT_THROW(cli.GetString("n"), ConfigError);
   EXPECT_THROW(cli.GetInt("unregistered"), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Strict value parsing. A null-end-pointer strtoll would silently accept
+// "10x" as 10; Parse must instead reject the whole invocation with a clear
+// diagnostic, at parse time rather than at first Get.
+
+bool ParseArgs(CliParser& cli, std::vector<std::string> args) {
+  auto argv = MakeArgv(args);
+  return cli.Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, RejectsTrailingGarbageOnInt) {
+  for (const char* bad : {"10x", "x10", "1.5", "abc", "", " 7", "7 "}) {
+    CliParser cli("prog", "test");
+    cli.AddInt("n", 0, "count");
+    EXPECT_FALSE(ParseArgs(cli, {"prog", "--n", bad})) << "value '" << bad
+                                                       << "'";
+  }
+}
+
+TEST(Cli, RejectsOutOfRangeInt) {
+  CliParser cli("prog", "test");
+  cli.AddInt("n", 0, "count");
+  EXPECT_FALSE(ParseArgs(cli, {"prog", "--n", "99999999999999999999999"}));
+}
+
+TEST(Cli, AcceptsFullRangeInt) {
+  CliParser cli("prog", "test");
+  cli.AddInt("n", 0, "count");
+  ASSERT_TRUE(ParseArgs(cli, {"prog", "--n", "-9223372036854775808"}));
+  EXPECT_EQ(cli.GetInt("n"), std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(Cli, RejectsTrailingGarbageOnDouble) {
+  for (const char* bad : {"0.5x", "x0.5", "", "1e", "0,5"}) {
+    CliParser cli("prog", "test");
+    cli.AddDouble("rate", 0.0, "rate");
+    EXPECT_FALSE(ParseArgs(cli, {"prog", "--rate", bad})) << "value '" << bad
+                                                          << "'";
+  }
+}
+
+TEST(Cli, AcceptsScientificDouble) {
+  CliParser cli("prog", "test");
+  cli.AddDouble("rate", 0.0, "rate");
+  ASSERT_TRUE(ParseArgs(cli, {"prog", "--rate", "2.5e-3"}));
+  EXPECT_DOUBLE_EQ(cli.GetDouble("rate"), 2.5e-3);
+}
+
+// ---------------------------------------------------------------------------
+// Flag values. GetFlag used to treat any unrecognized value ("yes", "on",
+// typos) as false; now only 0/1/true/false are accepted, and the check
+// happens at Parse time.
+
+TEST(Cli, FlagAcceptsCanonicalValues) {
+  const struct {
+    const char* text;
+    bool expected;
+  } cases[] = {{"1", true}, {"true", true}, {"0", false}, {"false", false}};
+  for (const auto& c : cases) {
+    CliParser cli("prog", "test");
+    cli.AddFlag("verbose", "verbosity");
+    ASSERT_TRUE(ParseArgs(cli, {"prog", std::string("--verbose=") + c.text}));
+    EXPECT_EQ(cli.GetFlag("verbose"), c.expected) << "value '" << c.text
+                                                  << "'";
+  }
+}
+
+TEST(Cli, FlagRejectsUnrecognizedValuesAtParseTime) {
+  for (const char* bad : {"yes", "no", "on", "off", "TRUE", "2", ""}) {
+    CliParser cli("prog", "test");
+    cli.AddFlag("verbose", "verbosity");
+    EXPECT_FALSE(ParseArgs(cli, {"prog", std::string("--verbose=") + bad}))
+        << "value '" << bad << "'";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Usage output. PrintUsage must show the registered default, not whatever
+// value the current invocation happened to override it with.
+
+TEST(Cli, UsageShowsPristineDefaultAfterOverride) {
+  CliParser cli("prog", "test");
+  cli.AddInt("n", 42, "count");
+  cli.AddString("mode", "fast", "mode");
+  ASSERT_TRUE(ParseArgs(cli, {"prog", "--n", "7", "--mode", "slow"}));
+  EXPECT_EQ(cli.GetInt("n"), 7);
+  testing::internal::CaptureStderr();
+  cli.PrintUsage();
+  const std::string usage = testing::internal::GetCapturedStderr();
+  EXPECT_NE(usage.find("(default: 42)"), std::string::npos) << usage;
+  EXPECT_NE(usage.find("(default: fast)"), std::string::npos) << usage;
+  EXPECT_EQ(usage.find("(default: 7)"), std::string::npos) << usage;
+  EXPECT_EQ(usage.find("(default: slow)"), std::string::npos) << usage;
 }
 
 }  // namespace

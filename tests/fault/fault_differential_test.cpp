@@ -1,0 +1,241 @@
+/// \file fault_differential_test.cpp
+/// Differential tests for fault injection and the reliability protocol at
+/// cluster level: a seeded fault plan (drops, corruption, outages, permanent
+/// cable death with failover) must leave the application result exactly
+/// equal to the lossless reference — every payload delivered exactly once,
+/// in order — and the run must be bit-identical (cycles, traffic, fault
+/// telemetry) under the synchronous, event-driven, and parallel schedulers
+/// at several worker-thread counts. This extends the exactness guarantee of
+/// engine_differential_test.cpp to faulty runs, which is the point of making
+/// fault decisions pure functions of (seed, link, cycle).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "core/smi.h"
+#include "fault/fault.h"
+
+namespace smi::core {
+namespace {
+
+using net::Topology;
+using sim::Cycle;
+using sim::Kernel;
+using sim::SchedulerKind;
+
+const unsigned kThreadCounts[] = {1, 2, 3, 4, 8};
+
+Kernel Sender(Context& ctx, int n) {
+  SendChannel ch = ctx.OpenSendChannel(n, DataType::kInt, /*destination=*/1,
+                                       /*port=*/0, ctx.world());
+  for (int i = 0; i < n; ++i) co_await ch.Push<std::int32_t>(i * 3);
+}
+
+Kernel Receiver(Context& ctx, int n, std::vector<std::int32_t>& sink) {
+  RecvChannel ch = ctx.OpenRecvChannel(n, DataType::kInt, /*source=*/0,
+                                       /*port=*/0, ctx.world());
+  for (int i = 0; i < n; ++i) sink.push_back(co_await ch.Pop<std::int32_t>());
+}
+
+struct FaultObservation {
+  Cycle cycles = 0;
+  std::uint64_t link_packets = 0;
+  std::uint64_t kernel_resumes = 0;
+  std::string faults;    ///< Fabric::FaultsJson() serialization
+  std::string counters;  ///< per-entity telemetry counters, when collected
+};
+
+ClusterConfig WithScheduler(SchedulerKind kind, unsigned threads = 1) {
+  ClusterConfig config;
+  config.engine.scheduler = kind;
+  config.engine.threads = threads;
+  return config;
+}
+
+/// One sender->receiver stream over `topo` under `config`; returns the run
+/// observation including the serialized fault report.
+FaultObservation RunStream(ClusterConfig config, const Topology& topo, int n,
+                           std::vector<std::int32_t>& sink) {
+  ProgramSpec spec;
+  spec.Add(OpSpec::Send(0, DataType::kInt));
+  spec.Add(OpSpec::Recv(0, DataType::kInt));
+  Cluster cluster(topo, spec, config);
+  cluster.AddKernel(0, Sender(cluster.context(0), n), "s");
+  cluster.AddKernel(1, Receiver(cluster.context(1), n, sink), "r");
+  const RunResult result = cluster.Run();
+  FaultObservation obs{result.cycles, result.link_packets,
+                       result.kernel_resumes, cluster.FaultsJson().dump(),
+                       ""};
+  if (config.engine.collect_counters) {
+    obs.counters = cluster.CaptureTelemetry().counters.dump();
+  }
+  return obs;
+}
+
+/// Runs the stream under all three schedulers with the given fault plan and
+/// checks payloads and the full observation against the synchronous
+/// reference. Returns the synchronous observation.
+FaultObservation ExpectFaultySchedulersIdentical(const fault::FaultPlan& plan,
+                                                 const Topology& topo, int n,
+                                                 bool collect_counters =
+                                                     false) {
+  // The lossless reference result the faulty runs must reproduce.
+  std::vector<std::int32_t> reference;
+  RunStream(WithScheduler(SchedulerKind::kSynchronous), topo, n, reference);
+  EXPECT_EQ(reference.size(), static_cast<std::size_t>(n));
+
+  const auto config = [&](SchedulerKind kind, unsigned threads = 1) {
+    ClusterConfig c = WithScheduler(kind, threads);
+    c.fabric.fault = plan;
+    c.engine.collect_counters = collect_counters;
+    return c;
+  };
+
+  std::vector<std::int32_t> sync_sink;
+  const FaultObservation sync =
+      RunStream(config(SchedulerKind::kSynchronous), topo, n, sync_sink);
+  // Exactly-once, in-order delivery despite the faults.
+  EXPECT_EQ(sync_sink, reference);
+
+  std::vector<std::int32_t> event_sink;
+  const FaultObservation event =
+      RunStream(config(SchedulerKind::kEventDriven), topo, n, event_sink);
+  EXPECT_EQ(event_sink, reference);
+  EXPECT_EQ(event.cycles, sync.cycles);
+  EXPECT_EQ(event.link_packets, sync.link_packets);
+  EXPECT_EQ(event.kernel_resumes, sync.kernel_resumes);
+  EXPECT_EQ(event.faults, sync.faults);
+  EXPECT_EQ(event.counters, sync.counters);
+
+  for (const unsigned threads : kThreadCounts) {
+    std::vector<std::int32_t> par_sink;
+    const FaultObservation par =
+        RunStream(config(SchedulerKind::kParallel, threads), topo, n,
+                  par_sink);
+    EXPECT_EQ(par_sink, reference) << "threads=" << threads;
+    EXPECT_EQ(par.cycles, sync.cycles) << "threads=" << threads;
+    EXPECT_EQ(par.link_packets, sync.link_packets) << "threads=" << threads;
+    EXPECT_EQ(par.kernel_resumes, sync.kernel_resumes)
+        << "threads=" << threads;
+    EXPECT_EQ(par.faults, sync.faults) << "threads=" << threads;
+    EXPECT_EQ(par.counters, sync.counters) << "threads=" << threads;
+  }
+  return sync;
+}
+
+// ---------------------------------------------------------------------------
+// Seeded drop + corruption plans.
+
+TEST(FaultDifferential, LossyStreamMatchesLosslessReference) {
+  const fault::FaultPlan plan =
+      fault::FaultPlan::Parse("drop=0.05,corrupt=0.01,seed=3");
+  const FaultObservation obs =
+      ExpectFaultySchedulersIdentical(plan, Topology::Ring(4), 400);
+  // The plan actually bit: the report shows wire losses and recovery work.
+  const json::Value faults = json::Parse(obs.faults);
+  EXPECT_TRUE(faults.get_bool("enabled", false));
+  EXPECT_GT(faults.at("totals").get_int("wire_drops", 0), 0);
+  EXPECT_GT(faults.at("totals").get_int("retransmits", 0), 0);
+  EXPECT_EQ(faults.at("failovers").as_array().size(), 0u);
+}
+
+TEST(FaultDifferential, DifferentSeedsGiveDifferentFaultsSameResult) {
+  std::vector<std::int32_t> a_sink, b_sink;
+  const Topology topo = Topology::Ring(4);
+  ClusterConfig a = WithScheduler(SchedulerKind::kSynchronous);
+  a.fabric.fault = fault::FaultPlan::Parse("drop=0.08,seed=1");
+  ClusterConfig b = WithScheduler(SchedulerKind::kSynchronous);
+  b.fabric.fault = fault::FaultPlan::Parse("drop=0.08,seed=2");
+  const FaultObservation oa = RunStream(a, topo, 400, a_sink);
+  const FaultObservation ob = RunStream(b, topo, 400, b_sink);
+  EXPECT_EQ(a_sink, b_sink);       // the application result is seed-blind
+  EXPECT_NE(oa.faults, ob.faults);  // but the fault trace is not
+}
+
+TEST(FaultDifferential, TelemetryCountersAreBitIdenticalUnderFaults) {
+  const fault::FaultPlan plan =
+      fault::FaultPlan::Parse("drop=0.03,corrupt=0.01,seed=11");
+  ExpectFaultySchedulersIdentical(plan, Topology::Ring(4), 200,
+                                  /*collect_counters=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Transient outage windows.
+
+TEST(FaultDifferential, OutageWindowIsRiddenOut) {
+  // Frames enter the wire from roughly cycle 10; the outage swallows most
+  // of the stream and the retransmission timer replays it once it lifts.
+  const fault::FaultPlan plan = fault::FaultPlan::Parse("outage=20:300,seed=5");
+  const FaultObservation obs =
+      ExpectFaultySchedulersIdentical(plan, Topology::Ring(4), 400);
+  const json::Value faults = json::Parse(obs.faults);
+  EXPECT_GT(faults.at("totals").get_int("timeouts", 0), 0);
+  EXPECT_EQ(faults.at("failovers").as_array().size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Permanent cable death -> reroute -> completion (graceful degradation).
+
+fault::FaultPlan KillCablePlan(const std::string& cable_key, Cycle kill_at) {
+  fault::FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = 9;
+  plan.reliability.retx_timeout = 250;  // > RTT at the default 105-cycle latency
+  plan.reliability.backoff_cap = 1;
+  plan.reliability.retry_budget = 1;
+  fault::LinkFaultSpec spec;
+  spec.kill_at = kill_at;
+  plan.links[cable_key] = spec;
+  return plan;
+}
+
+void ExpectFailoverCompletes(const fault::FaultPlan& plan,
+                             const Topology& topo,
+                             const std::string& cable_key) {
+  const FaultObservation obs =
+      ExpectFaultySchedulersIdentical(plan, topo, 400);
+  const json::Value faults = json::Parse(obs.faults);
+  const json::Array& failovers = faults.at("failovers").as_array();
+  ASSERT_EQ(failovers.size(), 1u);
+  EXPECT_EQ(failovers[0].get_string("cable", ""), cable_key);
+  EXPECT_GT(failovers[0].get_int("failover_cycle", 0),
+            failovers[0].get_int("death_cycle", 0));
+  // The dead link shows up as dead in the per-link report.
+  bool saw_dead = false;
+  for (const json::Value& row : faults.at("links").as_array()) {
+    saw_dead |= row.get_bool("dead", false);
+  }
+  EXPECT_TRUE(saw_dead);
+}
+
+TEST(FaultDifferential, RingSurvivesCableDeathByRerouting) {
+  // Ring(4): route 0->1 uses the direct cable; after its death at cycle 30
+  // (mid-stream: frames enter the wire from ~cycle 10) the remainder must
+  // complete over 0->3->2->1.
+  ExpectFailoverCompletes(KillCablePlan("0:1<->1:0", 30), Topology::Ring(4),
+                          "0:1<->1:0");
+}
+
+TEST(FaultDifferential, TorusSurvivesCableDeathByRerouting) {
+  // 2x2 torus: ranks 0 and 1 are connected by two parallel cables (east and
+  // the wraparound west); the route uses the east one, and killing it
+  // leaves a detour.
+  ExpectFailoverCompletes(KillCablePlan("0:1<->1:3", 30),
+                          Topology::Torus2D(2, 2), "0:1<->1:3");
+}
+
+TEST(FaultDifferential, DisconnectingFailureIsReportedNotHung) {
+  // Bus(4): the 0<->1 cable is the only path; its death must surface as a
+  // routing error rather than a silent hang or a wrong result.
+  ClusterConfig config = WithScheduler(SchedulerKind::kSynchronous);
+  config.fabric.fault = KillCablePlan("0:1<->1:0", 30);
+  std::vector<std::int32_t> sink;
+  EXPECT_THROW(RunStream(config, Topology::Bus(4), 400, sink), RoutingError);
+}
+
+}  // namespace
+}  // namespace smi::core
