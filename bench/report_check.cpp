@@ -1,0 +1,74 @@
+/// \file report_check.cpp
+/// Schema validator for BENCH_<name>.json reports, used by the CI smoke
+/// step. The parser itself rejects bare nan/inf (non-finite numbers are
+/// serialized as null), so any non-finite metric that slipped into a report
+/// fails here either as a parse error or as a null where a number belongs.
+///
+/// Usage: report_check FILE [FILE...]; exits non-zero on the first invalid
+/// report.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/error.h"
+#include "common/json.h"
+
+namespace {
+
+using smi::json::Value;
+
+void Require(bool ok, const std::string& file, const std::string& what) {
+  if (!ok) {
+    std::fprintf(stderr, "%s: %s\n", file.c_str(), what.c_str());
+    std::exit(1);
+  }
+}
+
+void RequireFiniteNumber(const Value& row, const char* key,
+                         const std::string& file) {
+  Require(row.contains(key), file,
+          std::string("result missing \"") + key + "\"");
+  // The parser guarantees finiteness; a null here means a non-finite value
+  // was serialized (json::DumpNumber emits null for nan/inf).
+  Require(row.at(key).is_number(), file,
+          std::string("result \"") + key +
+              "\" is not a finite number (nan/inf serialize as null)");
+}
+
+void CheckReport(const std::string& file) {
+  Value doc;
+  try {
+    doc = smi::json::ParseFile(file);
+  } catch (const smi::Error& e) {
+    Require(false, file, std::string("parse error: ") + e.what());
+  }
+  Require(doc.contains("name") && doc.at("name").is_string(), file,
+          "missing string \"name\"");
+  Require(doc.contains("parameters") && doc.at("parameters").is_object(),
+          file, "missing object \"parameters\"");
+  Require(doc.contains("results") && doc.at("results").is_array(), file,
+          "missing array \"results\"");
+  const auto& results = doc.at("results").as_array();
+  Require(!results.empty(), file, "empty \"results\"");
+  for (const Value& row : results) {
+    Require(row.is_object() && row.contains("name") &&
+                row.at("name").is_string(),
+            file, "result row missing string \"name\"");
+    RequireFiniteNumber(row, "cycles", file);
+    RequireFiniteNumber(row, "simulated_microseconds", file);
+    RequireFiniteNumber(row, "wall_seconds", file);
+  }
+  std::printf("%s: ok (%zu results)\n", file.c_str(), results.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: report_check FILE [FILE...]\n");
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) CheckReport(argv[i]);
+  return 0;
+}

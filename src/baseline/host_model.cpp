@@ -62,4 +62,17 @@ double HostModel::ReduceUs(std::uint64_t bytes, int ranks) const {
          static_cast<double>(ranks - 1) * per_src + write;
 }
 
+double HostModel::AllreduceUs(std::uint64_t bytes, int ranks) const {
+  if (ranks < 2) return 0.0;
+  const double dram = 1e-9 / config_.dram_gbps;
+  const double pcie = 1e-9 / config_.pcie_gbps;
+  const double b = static_cast<double>(bytes);
+  // Reduce up to the root host, then broadcast the folded buffer back out.
+  // The root keeps the result in host memory between the phases: subtract
+  // one fixed overhead and the intermediate device write + readback that
+  // ReduceUs ends with and BcastUs begins with.
+  const double saved = config_.overhead_us + 2.0 * b * (pcie + dram) * 1e6;
+  return ReduceUs(bytes, ranks) + BcastUs(bytes, ranks) - saved;
+}
+
 }  // namespace smi::baseline

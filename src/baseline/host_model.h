@@ -65,6 +65,13 @@ class HostModel {
   /// MPI+OpenCL reduce of `bytes` contributed per rank toward one root.
   double ReduceUs(std::uint64_t bytes, int ranks) const;
 
+  /// MPI+OpenCL allreduce: reduce to one host followed by a broadcast of
+  /// the result. The two phases share one OpenCL round trip (the root folds
+  /// in host memory and re-sends without touching its device in between),
+  /// so one fixed overhead and the root's intermediate device write/readback
+  /// are saved versus ReduceUs + BcastUs.
+  double AllreduceUs(std::uint64_t bytes, int ranks) const;
+
  private:
   double StageSecondsPerByte() const;
 

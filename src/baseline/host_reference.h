@@ -1,0 +1,58 @@
+#ifndef SMI_BASELINE_HOST_REFERENCE_H
+#define SMI_BASELINE_HOST_REFERENCE_H
+
+/// \file host_reference.h
+/// Bit-exact host references for the collectives, used by conformance tests
+/// to pin down what the simulated fabric must produce. Reductions fold in
+/// communicator rank order through the same core::ApplyReduceOp the support
+/// kernels use, element by element — so for exactly-representable data the
+/// comparison is bit-exact, and any fold-order dependence lives in one
+/// place.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.h"
+#include "core/types.h"
+
+namespace smi::baseline {
+
+/// Broadcast: every rank receives the root's buffer unchanged.
+template <typename T>
+std::vector<T> HostBcast(const std::vector<T>& root_data) {
+  return root_data;
+}
+
+/// Reduce: element-wise fold of per_rank[0..n-1] in rank order.
+/// per_rank must be rectangular (same count on every rank).
+template <typename T>
+std::vector<T> HostReduce(const std::vector<std::vector<T>>& per_rank,
+                          core::ReduceOp op) {
+  if (per_rank.empty()) return {};
+  const core::DataType type = core::DataTypeOf<T>::value;
+  const std::size_t count = per_rank.front().size();
+  std::vector<T> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    core::Element acc = core::ReduceIdentity(op, type);
+    for (const std::vector<T>& contrib : per_rank) {
+      if (contrib.size() != count) {
+        throw ConfigError("HostReduce: ragged contributions");
+      }
+      acc = core::ApplyReduceOp(op, type, acc,
+                                core::Element::Of<T>(contrib[i]));
+    }
+    out[i] = acc.As<T>();
+  }
+  return out;
+}
+
+/// Allreduce: the Reduce fold, delivered to every rank.
+template <typename T>
+std::vector<T> HostAllreduce(const std::vector<std::vector<T>>& per_rank,
+                             core::ReduceOp op) {
+  return HostReduce(per_rank, op);
+}
+
+}  // namespace smi::baseline
+
+#endif  // SMI_BASELINE_HOST_REFERENCE_H

@@ -7,7 +7,7 @@ namespace smi::codegen {
 resources::Resources FabricPlan::EstimateResources() const {
   resources::Resources total = resources::Transport(ports_per_rank);
   for (const SupportKernelPlan& sk : support_kernels) {
-    total += resources::CollectiveKernel(sk.kind);
+    total += resources::CollectiveKernel(sk.kind, sk.algo);
   }
   return total;
 }
@@ -33,6 +33,8 @@ json::Value FabricPlan::ToJson() const {
     o["port"] = json::Value(sk.app_port);
     o["kind"] = json::Value(core::CollKindName(sk.kind));
     o["type"] = json::Value(core::DataTypeName(sk.type));
+    o["algo"] =
+        json::Value(sk.algo == core::CollAlgo::kTree ? "tree" : "linear");
     sks.push_back(json::Value(std::move(o)));
   }
   root["support_kernels"] = json::Value(std::move(sks));
@@ -60,7 +62,8 @@ core::DataType TypeFromName(const std::string& name) {
 core::CollKind KindFromName(const std::string& name) {
   for (const core::CollKind k :
        {core::CollKind::kBcast, core::CollKind::kReduce,
-        core::CollKind::kScatter, core::CollKind::kGather}) {
+        core::CollKind::kScatter, core::CollKind::kGather,
+        core::CollKind::kAllreduce}) {
     if (name == core::CollKindName(k)) return k;
   }
   throw ParseError("unknown collective kind in plan: " + name);
@@ -86,6 +89,12 @@ FabricPlan FabricPlan::FromJson(const json::Value& v) {
     sk.app_port = static_cast<int>(o.at("port").as_int());
     sk.kind = KindFromName(o.at("kind").as_string());
     sk.type = TypeFromName(o.at("type").as_string());
+    const std::string algo = o.get_string("algo", "linear");
+    if (algo == "tree") {
+      sk.algo = core::CollAlgo::kTree;
+    } else if (algo != "linear") {
+      throw ParseError("unknown collective algo in plan: " + algo);
+    }
     plan.support_kernels.push_back(sk);
   }
   return plan;
@@ -111,7 +120,7 @@ FabricPlan Plan(const core::ProgramSpec& spec, int ports_per_rank,
     }
     if (op.is_collective()) {
       plan.support_kernels.push_back(
-          SupportKernelPlan{op.port, *op.coll_kind(), op.type});
+          SupportKernelPlan{op.port, *op.coll_kind(), op.type, op.algo});
     }
   }
   return plan;

@@ -34,6 +34,7 @@ struct SupportKernelPlan {
   int app_port = 0;
   core::CollKind kind = core::CollKind::kBcast;
   core::DataType type = core::DataType::kInt;
+  core::CollAlgo algo = core::CollAlgo::kLinear;
 };
 
 struct FabricPlan {

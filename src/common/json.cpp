@@ -91,7 +91,21 @@ class Parser {
         Fail("invalid literal");
       case 'n':
         if (Consume("null")) return Value(nullptr);
+        if (Consume("nan")) {
+          Fail("'nan' is not valid JSON (non-finite numbers cannot be "
+               "represented; serialize them as null)");
+        }
         Fail("invalid literal");
+      case 'N':
+        if (Consume("NaN")) {
+          Fail("'NaN' is not valid JSON (non-finite numbers cannot be "
+               "represented; serialize them as null)");
+        }
+        Fail("invalid literal");
+      case 'i':
+      case 'I':
+        Fail("'inf' is not valid JSON (non-finite numbers cannot be "
+             "represented; serialize them as null)");
       default:
         return ParseNumber();
     }
@@ -223,6 +237,12 @@ class Parser {
   Value ParseNumber() {
     const std::size_t start = pos_;
     if (Peek() == '-') ++pos_;
+    if (pos_ < text_.size() &&
+        (text_[pos_] == 'i' || text_[pos_] == 'I' || text_[pos_] == 'n' ||
+         text_[pos_] == 'N')) {
+      Fail("'-inf'/'-nan' is not valid JSON (non-finite numbers cannot be "
+           "represented; serialize them as null)");
+    }
     while (pos_ < text_.size() &&
            (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
             text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
@@ -234,6 +254,7 @@ class Parser {
     char* end = nullptr;
     const double d = std::strtod(token.c_str(), &end);
     if (end != token.c_str() + token.size()) Fail("invalid number");
+    if (!std::isfinite(d)) Fail("number out of double range");
     return Value(d);
   }
 
@@ -266,6 +287,12 @@ void DumpString(std::string& out, const std::string& s) {
 }
 
 void DumpNumber(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    // JSON has no representation for nan/inf; "%.17g" would emit an invalid
+    // document. null keeps the report machine-readable.
+    out += "null";
+    return;
+  }
   if (d == std::floor(d) && std::abs(d) < 1e15) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));

@@ -57,9 +57,7 @@ double SampleStats::Percentile(double p) const {
 
 double SampleStats::mean() const {
   if (samples_.empty()) return 0.0;
-  double sum = 0.0;
-  for (const double s : samples_) sum += s;
-  return sum / static_cast<double>(samples_.size());
+  return sum_ / static_cast<double>(samples_.size());
 }
 
 double SampleStats::min() const {

@@ -40,6 +40,7 @@ class SampleStats {
  public:
   void Add(double x) {
     samples_.push_back(x);
+    sum_ += x;
     sorted_ = false;
   }
   std::size_t count() const { return samples_.size(); }
@@ -56,6 +57,9 @@ class SampleStats {
   void EnsureSorted() const;
 
   mutable std::vector<double> samples_;
+  /// Running sum maintained by Add, so mean() is O(1) like the sorted cache
+  /// makes percentiles O(1) after the first query.
+  double sum_ = 0.0;
   mutable bool sorted_ = true;  // an empty sample set is trivially sorted
 };
 

@@ -154,6 +154,11 @@ json::Value Cluster::TraceJson() const {
 
 json::Value Cluster::FaultsJson() const { return fabric_->FaultsJson(); }
 
+void Cluster::Annotate(const std::string& key, json::Value value) {
+  obs::Recorder* rec = engine_->recorder();
+  if (rec != nullptr) rec->Annotate(key, std::move(value));
+}
+
 RunTelemetry Cluster::CaptureTelemetry() const {
   RunTelemetry t;
   t.counters = CountersJson();

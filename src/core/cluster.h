@@ -103,6 +103,11 @@ class Cluster {
   /// All documents at once — call after Run(), before destruction.
   RunTelemetry CaptureTelemetry() const;
 
+  /// Attach a JSON annotation to the telemetry documents (see
+  /// obs::Recorder::Annotate); no-op when telemetry is disabled. Call
+  /// before CaptureTelemetry.
+  void Annotate(const std::string& key, json::Value value);
+
   sim::Engine& engine() { return *engine_; }
   transport::Fabric& fabric() { return *fabric_; }
   const net::RoutingTable& routes() const { return routes_; }

@@ -19,7 +19,16 @@
 
 namespace smi::core {
 
-enum class CollKind : std::uint8_t { kBcast, kReduce, kScatter, kGather };
+enum class CollKind : std::uint8_t {
+  kBcast,
+  kReduce,
+  kScatter,
+  kGather,
+  /// Reduce-then-broadcast composition on a single collective port: every
+  /// rank contributes `count` elements and every rank receives the reduced
+  /// results (rootless, like MPI_Allreduce).
+  kAllreduce,
+};
 
 const char* CollKindName(CollKind k);
 

@@ -4,32 +4,41 @@
 
 namespace smi::core {
 
+// The mask arithmetic is done in unsigned: for relative ranks >= 2^30 the
+// probe `mask << 1` reaches 2^31, which overflows (UB) in int but is
+// well-defined in unsigned. Ranks themselves stay within int range, so the
+// final casts back are value-preserving.
+
 int BinomialParent(int rel) {
   if (rel < 0) throw ConfigError("negative tree rank");
   if (rel == 0) return -1;
-  int mask = 1;
-  while ((mask << 1) <= rel) mask <<= 1;  // highest set bit
-  return rel & ~mask;
+  const auto r = static_cast<unsigned>(rel);
+  unsigned mask = 1;
+  while ((mask << 1) <= r) mask <<= 1;  // highest set bit
+  return static_cast<int>(r & ~mask);
 }
 
 std::vector<int> BinomialChildren(int rel, int n) {
   if (rel < 0 || rel >= n) throw ConfigError("tree rank out of range");
   std::vector<int> children;
+  const auto r = static_cast<unsigned>(rel);
+  const auto un = static_cast<unsigned>(n);
   // The first candidate mask is one above rel's highest set bit (1 for the
   // root).
-  int mask = 1;
-  while (mask <= rel) mask <<= 1;
-  for (; mask < n; mask <<= 1) {
-    const int child = rel | mask;
-    if (child < n) children.push_back(child);
+  unsigned mask = 1;
+  while (mask <= r) mask <<= 1;
+  for (; mask < un; mask <<= 1) {
+    const unsigned child = r | mask;
+    if (child < un) children.push_back(static_cast<int>(child));
   }
   return children;
 }
 
 int BinomialDepth(int n) {
+  if (n <= 1) return 0;
   int depth = 0;
-  int reach = 1;
-  while (reach < n) {
+  unsigned reach = 1;
+  while (reach < static_cast<unsigned>(n)) {
     reach <<= 1;
     ++depth;
   }

@@ -72,6 +72,8 @@ class CollChannelBase {
 
   TokenFifo& app_in() { return *app_in_; }
   TokenFifo& app_out() { return *app_out_; }
+  const TokenFifo& app_in() const { return *app_in_; }
+  const TokenFifo& app_out() const { return *app_out_; }
 
  protected:
   template <typename T>
@@ -104,6 +106,7 @@ template <typename T> struct BcastAwaitable;
 template <typename T> struct ReduceAwaitable;
 template <typename T> struct ScatterAwaitable;
 template <typename T> struct GatherAwaitable;
+template <typename T> struct AllreduceAwaitable;
 }  // namespace detail
 
 /// SMI_BChannel: the root streams `count` elements to every other rank in
@@ -181,6 +184,26 @@ class GatherChannel : public CollChannelBase {
 
  private:
   template <typename T> friend struct detail::GatherAwaitable;
+};
+
+/// Allreduce: every rank contributes `count` elements and every rank
+/// receives all `count` reduced results — the rootless reduce-then-broadcast
+/// composition. Every rank calls Allreduce exactly `count` times.
+class AllreduceChannel : public CollChannelBase {
+ public:
+  using CollChannelBase::CollChannelBase;
+  ReduceOp op() const { return config_.op; }
+
+  /// Sends data_snd; *data_rcv receives the element-wise reduction across
+  /// all ranks (written on every rank, unlike Reduce).
+  template <typename T>
+  detail::AllreduceAwaitable<T> Allreduce(const T& data_snd, T& data_rcv) {
+    CheckType<T>();
+    return detail::AllreduceAwaitable<T>(this, data_snd, &data_rcv);
+  }
+
+ private:
+  template <typename T> friend struct detail::AllreduceAwaitable;
 };
 
 // ---------------------------------------------------------------------------
@@ -359,6 +382,41 @@ struct GatherAwaitable final
     return sim::kNeverCycle;
   }
   bool await_resume() const noexcept { return received; }
+};
+
+template <typename T>
+struct AllreduceAwaitable final
+    : sim::detail::AwaitableBase<AllreduceAwaitable<T>> {
+  AllreduceAwaitable(AllreduceChannel* c, const T& s, T* r)
+      : chan(c), snd(s), rcv(r) {}
+  AllreduceChannel* chan;
+  T snd;
+  T* rcv;
+  bool pushed = false;
+
+  bool TryComplete(sim::Cycle now) override {
+    if (!chan->EnsureConfigSent(now)) return false;
+    if (!pushed) {
+      if (!chan->app_in().CanPush(now)) return false;
+      chan->app_in().Push(CollToken(Element::Of<T>(snd)), now);
+      pushed = true;
+    }
+    if (!chan->app_out().CanPop(now)) return false;
+    *rcv = chan->PopElement(now).As<T>();
+    ++chan->calls_;
+    return true;
+  }
+  std::string Describe() const override {
+    return std::string("SMI_Allreduce") +
+           (pushed ? " (awaiting result)" : " (sending)");
+  }
+  void WatchFifos(std::vector<const sim::FifoBase*>& out) const override {
+    CollWakeHints<AllreduceChannel>::Watch(chan, out);
+  }
+  sim::Cycle NextPollCycle(sim::Cycle /*now*/) const override {
+    return sim::kNeverCycle;
+  }
+  void await_resume() const noexcept {}
 };
 
 }  // namespace detail

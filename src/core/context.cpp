@@ -75,6 +75,19 @@ ReduceChannel Context::OpenReduceChannel(int count, DataType type, ReduceOp op,
   return ReduceChannel(std::move(cfg), rank_, *cp.app_in, *cp.app_out);
 }
 
+AllreduceChannel Context::OpenAllreduceChannel(int count, DataType type,
+                                               ReduceOp op, int port,
+                                               const Communicator& comm,
+                                               int credits) {
+  const CollPort& cp = FindCollPort(port, CollKind::kAllreduce, type);
+  // Rootless at the API level; the kernel's reduce/broadcast tree is rooted
+  // at communicator rank 0 as an implementation detail.
+  CollConfig cfg = MakeCollConfig(CollKind::kAllreduce, count, type, port,
+                                  /*root=*/0, comm, credits);
+  cfg.op = op;
+  return AllreduceChannel(std::move(cfg), rank_, *cp.app_in, *cp.app_out);
+}
+
 ScatterChannel Context::OpenScatterChannel(int count, DataType type, int port,
                                            int root,
                                            const Communicator& comm) {

@@ -51,6 +51,12 @@ class Context {
                                   int port, int root, const Communicator& comm,
                                   int credits = 64);
 
+  /// Allreduce channel open. Rootless: every rank contributes and every rank
+  /// receives the reduced results. `credits` as for OpenReduceChannel.
+  AllreduceChannel OpenAllreduceChannel(int count, DataType type, ReduceOp op,
+                                        int port, const Communicator& comm,
+                                        int credits = 64);
+
   /// Scatter/Gather channel opens (§3.2 leaves these to "the same scheme").
   ScatterChannel OpenScatterChannel(int count, DataType type, int port,
                                     int root, const Communicator& comm);

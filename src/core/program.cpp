@@ -14,6 +14,7 @@ const char* OpKindName(OpSpec::Kind kind) {
     case OpSpec::Kind::kReduce: return "reduce";
     case OpSpec::Kind::kScatter: return "scatter";
     case OpSpec::Kind::kGather: return "gather";
+    case OpSpec::Kind::kAllreduce: return "allreduce";
   }
   return "?";
 }
@@ -27,6 +28,7 @@ OpSpec::Kind KindFromName(const std::string& name) {
   if (name == "reduce") return OpSpec::Kind::kReduce;
   if (name == "scatter") return OpSpec::Kind::kScatter;
   if (name == "gather") return OpSpec::Kind::kGather;
+  if (name == "allreduce") return OpSpec::Kind::kAllreduce;
   throw ParseError("unknown op kind: " + name);
 }
 

@@ -29,6 +29,7 @@ struct OpSpec {
     kReduce,
     kScatter,
     kGather,
+    kAllreduce,
   };
 
   Kind kind = Kind::kSend;
@@ -56,6 +57,10 @@ struct OpSpec {
   static OpSpec Gather(int port, DataType type) {
     return OpSpec{Kind::kGather, port, type, CollAlgo::kLinear};
   }
+  static OpSpec Allreduce(int port, DataType type,
+                          CollAlgo algo = CollAlgo::kLinear) {
+    return OpSpec{Kind::kAllreduce, port, type, algo};
+  }
 
   bool is_collective() const { return kind != Kind::kSend && kind != Kind::kRecv; }
   std::optional<CollKind> coll_kind() const {
@@ -64,6 +69,7 @@ struct OpSpec {
       case Kind::kReduce: return CollKind::kReduce;
       case Kind::kScatter: return CollKind::kScatter;
       case Kind::kGather: return CollKind::kGather;
+      case Kind::kAllreduce: return CollKind::kAllreduce;
       default: return std::nullopt;
     }
   }

@@ -88,6 +88,7 @@ const char* CollKindName(CollKind k) {
     case CollKind::kReduce: return "Reduce";
     case CollKind::kScatter: return "Scatter";
     case CollKind::kGather: return "Gather";
+    case CollKind::kAllreduce: return "Allreduce";
   }
   return "?";
 }

@@ -56,8 +56,17 @@ sim::Kernel GatherSupportKernel(SupportCtx ctx);
 sim::Kernel TreeBcastSupportKernel(SupportCtx ctx);
 sim::Kernel TreeReduceSupportKernel(SupportCtx ctx);
 
+/// Allreduce (all-to-all reduction): a Reduce-up / Bcast-down composition
+/// sharing one collective port. Contributions flow toward relative rank 0
+/// under the Reduce credit protocol; completed results flow back down the
+/// same tree as data packets, and every rank's application receives all
+/// `count` reduced elements. `algo` selects the tree shape: kLinear is a
+/// flat tree (rank 0 parents everyone — the linear Reduce/Bcast pair),
+/// kTree the binomial tree of coll_tree.h.
+sim::Kernel AllreduceSupportKernel(SupportCtx ctx, CollAlgo algo);
+
 /// Dispatch by kind/algo (used by the fabric builder). Scatter and Gather
-/// only exist in the linear variant.
+/// only exist in the linear variant; Allreduce exists in both.
 sim::Kernel MakeSupportKernel(CollKind kind, CollAlgo algo, SupportCtx ctx);
 
 }  // namespace smi::core

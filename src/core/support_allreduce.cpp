@@ -1,0 +1,289 @@
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/error.h"
+#include "core/coll_tree.h"
+#include "core/support.h"
+
+/// \file support_allreduce.cpp
+/// Allreduce support kernel: the reduce-then-broadcast composition on a
+/// single collective port (§4.4 names composition of the existing support
+/// kernels as the path to further collectives). One kernel instance carries
+/// both phases:
+///
+///  * Up phase — identical protocol to (Tree)Reduce: every node folds its
+///    application stream with its children's partials in a C-deep window
+///    and forwards completed elements to its parent, tile by tile under
+///    per-edge credit flow control. Unlike Reduce, *all* credits are
+///    explicit (including tile 0): a parent grants tile 0 when it enters
+///    the open, so a fast child can never push data from open k+1 into a
+///    parent still folding open k.
+///  * Down phase — the root's completed results double as the broadcast
+///    payload: each result is delivered to the local application and
+///    forwarded down the same tree, one child per cycle. Elements travel
+///    one per packet in both phases because the Allreduce channel is a
+///    per-element request/response rendezvous (see the in-loop comments).
+///    No READY rendezvous is needed: a down packet for open k can only
+///    exist after every rank contributed to open k, which implies every
+///    rank has entered open k.
+///
+/// Credits that arrive while a node is still draining the previous open's
+/// down phase are banked in a ledger keyed by the granting rank (the same
+/// role the READY ledger plays for Bcast/Scatter) and consumed when the
+/// next open needs them.
+///
+/// The tree shape is a build-time parameter: kLinear is a flat tree (rank 0
+/// parents all n-1 peers — the linear Reduce/Bcast pair), kTree the
+/// binomial tree of coll_tree.h with logarithmic fan-in/out at every node.
+
+namespace smi::core {
+namespace {
+
+using net::OpType;
+using net::Packet;
+using sim::Cycle;
+using sim::Kernel;
+using sim::NextCycle;
+using sim::fifo_pop;
+
+CollConfig GetConfig(CollToken&& tok, const char* kernel) {
+  if (!std::holds_alternative<CollConfig>(tok)) {
+    throw ConfigError(std::string(kernel) +
+                      ": expected a channel-open config token");
+  }
+  return std::get<CollConfig>(std::move(tok));
+}
+
+Element GetElement(CollToken&& tok, const char* kernel) {
+  if (!std::holds_alternative<Element>(tok)) {
+    throw ConfigError(std::string(kernel) +
+                      ": expected a data element, got a config token");
+  }
+  return std::get<Element>(tok);
+}
+
+int MyCommRank(const CollConfig& cfg, int my_global, const char* kernel) {
+  for (std::size_t i = 0; i < cfg.comm_global.size(); ++i) {
+    if (cfg.comm_global[i] == my_global) return static_cast<int>(i);
+  }
+  throw ConfigError(std::string(kernel) + ": rank not in communicator");
+}
+
+Packet MakeSync(const SupportCtx& ctx, int dst_global, OpType op) {
+  Packet p;
+  p.hdr.src = static_cast<std::uint8_t>(ctx.my_global);
+  p.hdr.dst = static_cast<std::uint8_t>(dst_global);
+  p.hdr.port = static_cast<std::uint8_t>(ctx.port);
+  p.hdr.op = op;
+  return p;
+}
+
+void PackElement(Packet& pkt, int index, const Element& e, std::size_t size) {
+  pkt.StoreBytes(static_cast<std::size_t>(index) * size, e.bytes.data(), size);
+}
+
+Element UnpackElement(const Packet& pkt, int index, std::size_t size) {
+  Element e;
+  pkt.LoadBytes(static_cast<std::size_t>(index) * size, e.bytes.data(), size);
+  return e;
+}
+
+/// Root-relative rank -> global rank.
+int RelToGlobal(const CollConfig& cfg, int rel) {
+  const int n = static_cast<int>(cfg.comm_global.size());
+  const int comm_rank = (rel + cfg.root_comm) % n;
+  return cfg.comm_global[static_cast<std::size_t>(comm_rank)];
+}
+
+}  // namespace
+
+Kernel AllreduceSupportKernel(SupportCtx ctx, CollAlgo algo) {
+  // Credits banked across opens, keyed by the granting (parent) global
+  // rank. Grants for open k+1 can arrive while this node still drains open
+  // k's down phase; totals per edge balance exactly (ceil(count/C) grants
+  // granted and consumed per open), so nothing leaks between parents.
+  std::map<int, int> credit_ledger;
+  for (;;) {
+    const CollConfig cfg =
+        GetConfig(co_await fifo_pop(*ctx.app_in), "AllreduceSupport");
+    const int n = static_cast<int>(cfg.comm_global.size());
+    const int me = MyCommRank(cfg, ctx.my_global, "AllreduceSupport");
+    const int rel = (me - cfg.root_comm + n) % n;
+    std::vector<int> children_rel;
+    int parent_rel = -1;
+    if (algo == CollAlgo::kTree) {
+      children_rel = BinomialChildren(rel, n);
+      parent_rel = rel == 0 ? -1 : BinomialParent(rel);
+    } else {
+      // Flat tree: relative rank 0 parents every other rank.
+      if (rel == 0) {
+        for (int r = 1; r < n; ++r) children_rel.push_back(r);
+      } else {
+        parent_rel = 0;
+      }
+    }
+    const bool is_root = rel == 0;
+    const int parent_global =
+        parent_rel < 0 ? -1 : RelToGlobal(cfg, parent_rel);
+    std::vector<int> child_globals;
+    for (const int child : children_rel) {
+      child_globals.push_back(RelToGlobal(cfg, child));
+    }
+    const std::size_t esz = SizeOf(cfg.type);
+    const int C = std::max(1, cfg.credits);
+    const int sources = 1 + static_cast<int>(child_globals.size());
+
+    if (cfg.count == 0) continue;
+
+    // --- Up phase (reduce toward rel 0) ---
+    std::vector<Element> accum(static_cast<std::size_t>(C),
+                               ReduceIdentity(cfg.op, cfg.type));
+    std::vector<int> contrib(static_cast<std::size_t>(C), 0);
+    std::map<int, int> child_next;  // per child global rank: next element
+    for (const int g : child_globals) child_next[g] = 0;
+    int local_next = 0;
+    int up_done = 0;        // elements fully folded and dispatched upward
+                            // (at the root: delivered + staged downward)
+    int granted_tiles = 1;  // tiles granted to children (tile 0 below)
+    int parent_tiles = 0;   // tiles of parent credit consumed this open
+    std::vector<int> pending_credits = child_globals;  // explicit tile-0 grant
+    Packet up_pkt =
+        MakeSync(ctx, parent_global < 0 ? 0 : parent_global, OpType::kData);
+
+    // --- Down phase (result broadcast from rel 0) ---
+    int delivered = 0;  // result elements pushed to the application
+    Packet down_pkt = MakeSync(ctx, 0, OpType::kData);  // root result staging
+    std::vector<int> fwd_pending;  // children still owed the current packet
+    Packet cur_down;               // non-root: packet being delivered
+    int deliver_idx = 0;
+    bool have_down = false;
+
+    while (up_done < cfg.count || delivered < cfg.count ||
+           !fwd_pending.empty() || have_down) {
+      const Cycle now = *ctx.now;
+      // (1) Advance the up phase: once every source contributed the next
+      // element, it becomes a result (root) or flows to the parent under
+      // credit flow control.
+      if (up_done < cfg.count &&
+          contrib[static_cast<std::size_t>(up_done % C)] == sources) {
+        const std::size_t slot = static_cast<std::size_t>(up_done % C);
+        bool advanced = false;
+        if (is_root) {
+          // The result is final: deliver locally and stage it into the down
+          // packet, which must not still be in flight to the children.
+          if (fwd_pending.empty() && ctx.app_out->CanPush(now)) {
+            ctx.app_out->Push(CollToken(accum[slot]), now);
+            ++delivered;
+            if (!child_globals.empty()) {
+              // Same per-element rendezvous constraint as the up phase: a
+              // result held in a partially filled down packet would block
+              // every non-root rank's pop of that result.
+              PackElement(down_pkt, 0, accum[slot], esz);
+              down_pkt.hdr.count = 1;
+              fwd_pending = child_globals;
+            }
+            advanced = true;
+          }
+        } else {
+          if (up_done >= parent_tiles * C &&
+              credit_ledger[parent_global] > 0) {
+            --credit_ledger[parent_global];
+            ++parent_tiles;
+          }
+          if (up_done < parent_tiles * C &&
+              ctx.net_out->CanPush(now)) {
+            // One element per packet: the Allreduce channel is a per-element
+            // request/response rendezvous (the application pushes element i
+            // and blocks until result i returns), so holding element i in a
+            // partially filled packet would stall the whole communicator.
+            PackElement(up_pkt, 0, accum[slot], esz);
+            up_pkt.hdr.count = 1;
+            ctx.net_out->Push(up_pkt, now);
+            advanced = true;
+          }
+        }
+        if (advanced) {
+          accum[slot] = ReduceIdentity(cfg.op, cfg.type);
+          contrib[slot] = 0;
+          ++up_done;
+          if (up_done % C == 0 && granted_tiles * C < cfg.count) {
+            ++granted_tiles;
+            for (const int g : child_globals) pending_credits.push_back(g);
+          }
+        }
+      }
+      // (2) Fold one local element within the accumulation window.
+      if (local_next < cfg.count && local_next < up_done + C &&
+          ctx.app_in->CanPop(now)) {
+        const Element e =
+            GetElement(ctx.app_in->Pop(now), "AllreduceSupport");
+        const std::size_t slot = static_cast<std::size_t>(local_next % C);
+        accum[slot] = ApplyReduceOp(cfg.op, cfg.type, accum[slot], e);
+        ++contrib[slot];
+        ++local_next;
+      }
+      // (3) Classify one incoming packet: parent credit, parent down-data,
+      // or child contribution. Held back while a down packet is still being
+      // delivered, so down packets are consumed strictly in order.
+      if (!have_down && ctx.net_in->CanPop(now)) {
+        const Packet p = ctx.net_in->Pop(now);
+        if (p.hdr.op == OpType::kCredit) {
+          ++credit_ledger[p.hdr.src];
+        } else if (p.hdr.op == OpType::kData && p.hdr.src == parent_global) {
+          cur_down = p;
+          deliver_idx = 0;
+          have_down = true;
+          fwd_pending = child_globals;
+        } else if (p.hdr.op == OpType::kData &&
+                   child_next.count(p.hdr.src) != 0) {
+          auto& next = child_next[p.hdr.src];
+          for (int e = 0; e < p.hdr.count; ++e) {
+            const int idx = next++;
+            if (idx >= granted_tiles * C) {
+              throw ConfigError(
+                  "AllreduceSupport: child exceeded its credit window");
+            }
+            const std::size_t slot = static_cast<std::size_t>(idx % C);
+            accum[slot] = ApplyReduceOp(cfg.op, cfg.type, accum[slot],
+                                        UnpackElement(p, e, esz));
+            ++contrib[slot];
+          }
+        } else {
+          throw ConfigError("AllreduceSupport: unexpected packet: " +
+                            p.DebugString());
+        }
+      }
+      // (4) Deliver one element of the current down packet to the
+      // application.
+      if (have_down && deliver_idx < cur_down.hdr.count &&
+          ctx.app_out->CanPush(now)) {
+        ctx.app_out->Push(CollToken(UnpackElement(cur_down, deliver_idx, esz)),
+                          now);
+        ++deliver_idx;
+        ++delivered;
+      }
+      // (5) Forward the staged/current down packet to one child per cycle.
+      if (!fwd_pending.empty() && ctx.net_out->CanPush(now)) {
+        Packet p = is_root ? down_pkt : cur_down;
+        p.hdr.src = static_cast<std::uint8_t>(ctx.my_global);
+        p.hdr.dst = static_cast<std::uint8_t>(fwd_pending.back());
+        ctx.net_out->Push(p, now);
+        fwd_pending.pop_back();
+      }
+      if (have_down && deliver_idx == cur_down.hdr.count &&
+          fwd_pending.empty()) {
+        have_down = false;
+      }
+      // (6) Send one pending credit to a child.
+      if (!pending_credits.empty() && ctx.net_out->CanPush(now)) {
+        ctx.net_out->Push(
+            MakeSync(ctx, pending_credits.back(), OpType::kCredit), now);
+        pending_credits.pop_back();
+      }
+      co_await NextCycle{};
+    }
+  }
+}
+
+}  // namespace smi::core

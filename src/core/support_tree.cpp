@@ -285,6 +285,8 @@ Kernel TreeReduceSupportKernel(SupportCtx ctx) {
 }
 
 Kernel MakeSupportKernel(CollKind kind, CollAlgo algo, SupportCtx ctx) {
+  // Allreduce embeds both phases in one kernel and exists in both shapes.
+  if (kind == CollKind::kAllreduce) return AllreduceSupportKernel(ctx, algo);
   if (algo == CollAlgo::kTree) {
     switch (kind) {
       case CollKind::kBcast: return TreeBcastSupportKernel(ctx);

@@ -75,6 +75,10 @@ void Recorder::Finalize(Cycle total_cycles) {
   for (auto& k : kernels_) k.Finalize(total_cycles);
 }
 
+void Recorder::Annotate(const std::string& key, json::Value value) {
+  annotations_[key] = std::move(value);
+}
+
 json::Value Recorder::CountersJson() const {
   json::Array fifos;
   for (const auto& f : fifos_) {
@@ -141,6 +145,7 @@ json::Value Recorder::CountersJson() const {
   doc["cks"] = json::Value(std::move(cks));
   doc["links"] = json::Value(std::move(links));
   doc["kernels"] = json::Value(std::move(kernels));
+  if (!annotations_.empty()) doc["annotations"] = json::Value(annotations_);
   return json::Value(std::move(doc));
 }
 
@@ -189,6 +194,7 @@ json::Value Recorder::SummaryJson() const {
   doc["link_retransmits"] = json::Value(retransmits);
   doc["link_checksum_failures"] = json::Value(checksum_failures);
   doc["kernel_active_cycles"] = json::Value(active);
+  if (!annotations_.empty()) doc["annotations"] = json::Value(annotations_);
   return json::Value(std::move(doc));
 }
 

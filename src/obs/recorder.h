@@ -42,6 +42,12 @@ class Recorder {
   /// (the merged finish cycle; partitions overshoot it in the final epoch).
   void TrimAtOrAfter(Cycle cycle);
 
+  /// Attach an arbitrary JSON annotation (e.g. the MPI shim's collective
+  /// algorithm-selector decisions), exported under "annotations" in both
+  /// the counter and summary documents. Single-threaded: call before or
+  /// after Run(), not from kernels. Re-annotating a key replaces it.
+  void Annotate(const std::string& key, json::Value value);
+
   /// Close all open duration spans at end of run; `total_cycles` is the
   /// run's final cycle count. Idempotent per run; a later run finalizes
   /// again at its own end.
@@ -65,6 +71,7 @@ class Recorder {
   std::deque<CkCounters> cks_;
   std::deque<LinkCounters> links_;
   std::deque<KernelProbe> kernels_;
+  json::Object annotations_;
 };
 
 }  // namespace smi::obs

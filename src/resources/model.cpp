@@ -63,6 +63,24 @@ Resources CollectiveKernel(core::CollKind kind) {
       r.luts = 2800;
       r.ffs = 3900;
       break;
+    case core::CollKind::kAllreduce:
+      // Reduce + Bcast composition: both protocol halves are instantiated
+      // in the one kernel, so the cost is the sum of the two Table 2 rows.
+      r.luts = 10268 + 2560;
+      r.ffs = 14648 + 3593;
+      r.dsps = 6;
+      break;
+  }
+  return r;
+}
+
+Resources CollectiveKernel(core::CollKind kind, core::CollAlgo algo) {
+  Resources r = CollectiveKernel(kind);
+  if (algo == core::CollAlgo::kTree) {
+    // Structural estimate: the tree kernels add the binomial-tree walk and
+    // per-child sequencing/credit state on top of the linear datapath.
+    r.luts *= 1.15;
+    r.ffs *= 1.15;
   }
   return r;
 }

@@ -69,7 +69,15 @@ Resources CommunicationKernels(int ports);
 Resources Transport(int ports);
 
 /// Collective support kernels (Table 2; Reduce is the FP32 SUM variant).
+/// Allreduce is not in the paper: it is modeled as the sum of the Reduce
+/// and Bcast kernel costs (the composition instantiates both protocol
+/// halves around one shared port).
 Resources CollectiveKernel(core::CollKind kind);
+
+/// Algorithm-aware variant: the binomial-tree kernels carry extra
+/// parent/children bookkeeping (tree walk, per-child sequence state) over
+/// the linear ones, modeled as a structural 15% LUT/FF overhead.
+Resources CollectiveKernel(core::CollKind kind, core::CollAlgo algo);
 
 /// Percentages of `device` consumed by `r`.
 struct Utilization {

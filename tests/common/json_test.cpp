@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 namespace smi::json {
 namespace {
 
@@ -93,6 +96,41 @@ TEST(Json, DefaultsViaGetters) {
   EXPECT_EQ(v.get_string("missing", "y"), "y");
   EXPECT_EQ(v.get_bool("b", false), true);
   EXPECT_DOUBLE_EQ(v.get_double("d", 0.0), 0.5);
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull) {
+  // JSON has no nan/inf; emitting "%.17g" of either would produce a document
+  // no parser (including ours) accepts. They degrade to null instead.
+  EXPECT_EQ(Value(std::nan("")).dump(), "null");
+  EXPECT_EQ(Value(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Value(-std::numeric_limits<double>::infinity()).dump(), "null");
+  Object obj;
+  obj["bad"] = Value(std::nan(""));
+  obj["good"] = Value(1.5);
+  const Value round = Parse(Value(std::move(obj)).dump());
+  EXPECT_TRUE(round.at("bad").is_null());
+  EXPECT_DOUBLE_EQ(round.at("good").as_double(), 1.5);
+}
+
+TEST(Json, RejectsNonFiniteLiterals) {
+  EXPECT_THROW(Parse("nan"), smi::ParseError);
+  EXPECT_THROW(Parse("NaN"), smi::ParseError);
+  EXPECT_THROW(Parse("inf"), smi::ParseError);
+  EXPECT_THROW(Parse("Infinity"), smi::ParseError);
+  EXPECT_THROW(Parse("-inf"), smi::ParseError);
+  EXPECT_THROW(Parse("-nan"), smi::ParseError);
+  EXPECT_THROW(Parse("[1, nan]"), smi::ParseError);
+  EXPECT_THROW(Parse("{\"x\": inf}"), smi::ParseError);
+}
+
+TEST(Json, RejectsNumbersBeyondDoubleRange) {
+  // strtod overflows these to +/-inf; the parser must not let a non-finite
+  // value in through the numeric back door either.
+  EXPECT_THROW(Parse("1e999"), smi::ParseError);
+  EXPECT_THROW(Parse("-1e999"), smi::ParseError);
+  // The largest finite double still parses.
+  EXPECT_DOUBLE_EQ(Parse("1.7976931348623157e308").as_double(),
+                   std::numeric_limits<double>::max());
 }
 
 TEST(Json, RoundTripsThroughDump) {

@@ -98,6 +98,20 @@ TEST(SampleStats, PercentilesAreMonotonic) {
   EXPECT_DOUBLE_EQ(prev, 99.0);
 }
 
+TEST(SampleStats, MeanTracksAddsAfterQuery) {
+  // mean() reads a running sum maintained by Add; an Add after a mean()
+  // query must be reflected in the next query (the sum is not a stale
+  // snapshot like a lazily cached value would be).
+  SampleStats s;
+  s.Add(2.0);
+  s.Add(4.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  s.Add(12.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 6.0);
+  s.Add(-18.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
 TEST(SampleStats, SingleSample) {
   SampleStats s;
   s.Add(7.5);

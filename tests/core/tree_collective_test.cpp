@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <climits>
 #include <vector>
 
 #include "core/coll_tree.h"
@@ -53,6 +54,39 @@ TEST(BinomialTree, Depth) {
   EXPECT_EQ(BinomialDepth(2), 1);
   EXPECT_EQ(BinomialDepth(8), 3);
   EXPECT_EQ(BinomialDepth(9), 4);
+}
+
+TEST(BinomialTree, LargeRankBoundaries) {
+  // The mask walk probes one bit above the rank's highest set bit; for
+  // ranks at or above 2^30 that probe reaches 2^31, which is UB in signed
+  // arithmetic. The unsigned implementation must stay exact up to INT_MAX.
+  constexpr int kBit30 = 1 << 30;
+  EXPECT_EQ(BinomialParent(kBit30), 0);
+  EXPECT_EQ(BinomialParent(kBit30 + 5), 5);
+  EXPECT_EQ(BinomialParent(INT_MAX), INT_MAX - kBit30);
+  // The root of an INT_MAX-wide tree has one child per bit: 31 of them.
+  const std::vector<int> root_children = BinomialChildren(0, INT_MAX);
+  ASSERT_EQ(root_children.size(), 31u);
+  for (std::size_t i = 0; i < root_children.size(); ++i) {
+    EXPECT_EQ(root_children[i], 1 << i);
+  }
+  // INT_MAX - 1 = 0x7ffffffe: every candidate `rel | mask` with mask below
+  // bit 30 is already set, so it is childless despite not being the last
+  // rank numerically.
+  EXPECT_EQ(BinomialChildren(INT_MAX - 1, INT_MAX), (std::vector<int>{}));
+  EXPECT_EQ(BinomialChildren(kBit30, kBit30 + 1), (std::vector<int>{}));
+  EXPECT_EQ(BinomialDepth(INT_MAX), 31);
+  EXPECT_EQ(BinomialDepth(kBit30), 30);
+  EXPECT_EQ(BinomialDepth(kBit30 + 1), 31);
+}
+
+TEST(BinomialTree, DegenerateShapes) {
+  EXPECT_EQ(BinomialDepth(0), 0);
+  EXPECT_EQ(BinomialDepth(1), 0);
+  EXPECT_EQ(BinomialChildren(0, 1), (std::vector<int>{}));
+  EXPECT_THROW(BinomialParent(-1), ConfigError);
+  EXPECT_THROW(BinomialChildren(-1, 4), ConfigError);
+  EXPECT_THROW(BinomialChildren(4, 4), ConfigError);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,141 @@
+/// \file selector_test.cpp
+/// Per-size algorithm selection: default-table thresholds (exact
+/// boundaries), first-match-wins ordering, the Scatter/Gather clamp, and
+/// the strict JSON round trip.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "mpi/selector.h"
+
+namespace smi::mpi {
+namespace {
+
+using core::CollAlgo;
+using core::CollKind;
+
+TEST(Selector, DefaultThresholdBoundaries) {
+  const Selector s = Selector::Defaults();
+  // comm <= 3: always linear, any size.
+  EXPECT_EQ(s.Choose(CollKind::kBcast, 1 << 20, 2), CollAlgo::kLinear);
+  EXPECT_EQ(s.Choose(CollKind::kReduce, 1 << 20, 3), CollAlgo::kLinear);
+  // comm 4-7: switches at exactly 4096 bytes.
+  EXPECT_EQ(s.Choose(CollKind::kBcast, 4095, 4), CollAlgo::kLinear);
+  EXPECT_EQ(s.Choose(CollKind::kBcast, 4096, 4), CollAlgo::kTree);
+  EXPECT_EQ(s.Choose(CollKind::kAllreduce, 4095, 7), CollAlgo::kLinear);
+  EXPECT_EQ(s.Choose(CollKind::kAllreduce, 4096, 7), CollAlgo::kTree);
+  // comm >= 8: switches at exactly 256 bytes.
+  EXPECT_EQ(s.Choose(CollKind::kReduce, 255, 8), CollAlgo::kLinear);
+  EXPECT_EQ(s.Choose(CollKind::kReduce, 256, 8), CollAlgo::kTree);
+  EXPECT_EQ(s.Choose(CollKind::kAllreduce, 256, 64), CollAlgo::kTree);
+}
+
+TEST(Selector, NoMatchFallsBackToLinear) {
+  // comm 4-7 below the byte threshold matches no rule at all (rule 2's
+  // min_comm is 8), exercising the fallback rather than a rule verdict.
+  const Selector s = Selector::Defaults();
+  EXPECT_EQ(s.Choose(CollKind::kBcast, 0, 5), CollAlgo::kLinear);
+  // An empty table always falls back.
+  EXPECT_EQ(Selector().Choose(CollKind::kBcast, 1 << 20, 16),
+            CollAlgo::kLinear);
+}
+
+TEST(Selector, ScatterGatherClampToLinear) {
+  // Only linear Scatter/Gather support kernels exist; even an explicit tree
+  // verdict is clamped.
+  const Selector force_tree(
+      {SelectorRule{std::nullopt, 0, 0, 0, 0, CollAlgo::kTree}});
+  EXPECT_EQ(force_tree.Choose(CollKind::kScatter, 1 << 20, 16),
+            CollAlgo::kLinear);
+  EXPECT_EQ(force_tree.Choose(CollKind::kGather, 1 << 20, 16),
+            CollAlgo::kLinear);
+  EXPECT_EQ(force_tree.Choose(CollKind::kBcast, 1, 2), CollAlgo::kTree);
+}
+
+TEST(Selector, FirstMatchWins) {
+  const Selector s({
+      SelectorRule{CollKind::kBcast, 0, 0, 0, 0, CollAlgo::kTree},
+      SelectorRule{std::nullopt, 0, 0, 0, 0, CollAlgo::kLinear},
+  });
+  EXPECT_EQ(s.Choose(CollKind::kBcast, 8, 2), CollAlgo::kTree);
+  EXPECT_EQ(s.Choose(CollKind::kReduce, 8, 2), CollAlgo::kLinear);
+}
+
+TEST(Selector, JsonRoundTrip) {
+  const Selector defaults = Selector::Defaults();
+  const Selector again = Selector::FromJson(defaults.ToJson());
+  ASSERT_EQ(again.rules().size(), defaults.rules().size());
+  for (std::size_t i = 0; i < defaults.rules().size(); ++i) {
+    const SelectorRule& a = defaults.rules()[i];
+    const SelectorRule& b = again.rules()[i];
+    EXPECT_EQ(a.kind, b.kind) << "rule " << i;
+    EXPECT_EQ(a.min_comm, b.min_comm) << "rule " << i;
+    EXPECT_EQ(a.max_comm, b.max_comm) << "rule " << i;
+    EXPECT_EQ(a.min_bytes, b.min_bytes) << "rule " << i;
+    EXPECT_EQ(a.max_bytes, b.max_bytes) << "rule " << i;
+    EXPECT_EQ(a.algo, b.algo) << "rule " << i;
+  }
+  // Behavioral equality on a probe grid, which is what actually matters.
+  for (const int comm : {1, 2, 4, 7, 8, 16}) {
+    for (const std::uint64_t bytes : {0ull, 255ull, 256ull, 4095ull, 4096ull,
+                                      1ull << 20}) {
+      EXPECT_EQ(defaults.Choose(CollKind::kAllreduce, bytes, comm),
+                again.Choose(CollKind::kAllreduce, bytes, comm))
+          << "comm=" << comm << " bytes=" << bytes;
+    }
+  }
+}
+
+TEST(Selector, JsonParsesExplicitTable) {
+  const json::Value doc = json::Parse(R"({
+    "rules": [
+      {"collective": "Allreduce", "min_bytes": 1024, "algorithm": "tree"},
+      {"collective": "any", "algorithm": "linear"}
+    ]})");
+  const Selector s = Selector::FromJson(doc);
+  ASSERT_EQ(s.rules().size(), 2u);
+  EXPECT_EQ(s.Choose(CollKind::kAllreduce, 2048, 8), CollAlgo::kTree);
+  EXPECT_EQ(s.Choose(CollKind::kAllreduce, 512, 8), CollAlgo::kLinear);
+  EXPECT_EQ(s.Choose(CollKind::kBcast, 2048, 8), CollAlgo::kLinear);
+}
+
+TEST(Selector, JsonRejectsMalformedTables) {
+  EXPECT_THROW(Selector::FromJson(json::Parse(R"({
+      "rules": [{"collective": "Alltoall", "algorithm": "tree"}]})")),
+               ParseError);
+  EXPECT_THROW(Selector::FromJson(json::Parse(R"({
+      "rules": [{"algorithm": "quadratic"}]})")),
+               ParseError);
+  EXPECT_THROW(Selector::FromJson(json::Parse(R"({
+      "rules": [{"min_comm": -1, "algorithm": "tree"}]})")),
+               ParseError);
+  EXPECT_THROW(Selector::FromJson(json::Parse(R"({
+      "rules": [{"min_bytes": 10, "max_bytes": 5, "algorithm": "tree"}]})")),
+               ParseError);
+  EXPECT_THROW(Selector::FromJson(json::Parse(R"({
+      "rules": [{"min_comm": 8, "max_comm": 4, "algorithm": "tree"}]})")),
+               ParseError);
+  // A rule missing "algorithm" entirely.
+  EXPECT_THROW(Selector::FromJson(json::Parse(R"({"rules": [{}]})")),
+               ParseError);
+  // Error messages name the offending rule.
+  try {
+    Selector::FromJson(json::Parse(R"({
+        "rules": [{"algorithm": "tree"},
+                  {"algorithm": "bogus"}]})"));
+    FAIL();
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("rule 1"), std::string::npos);
+  }
+}
+
+TEST(Selector, FromFileReadsOverride) {
+  const std::string path = ::testing::TempDir() + "/smi_selector_test.json";
+  json::WriteFile(path, Selector::Defaults().ToJson());
+  const Selector s = Selector::FromFile(path);
+  EXPECT_EQ(s.rules().size(), Selector::Defaults().rules().size());
+  EXPECT_THROW(Selector::FromFile("/nonexistent/rules.json"), ParseError);
+}
+
+}  // namespace
+}  // namespace smi::mpi
