@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   AddJsonOption(cli);
   AddObsOptions(cli);
   AddFaultOptions(cli);
+  AddFidelityOptions(cli);
   if (!cli.Parse(argc, argv)) return 2;
 
   const net::Topology topo = net::Topology::Bus(8);
@@ -62,6 +63,7 @@ int main(int argc, char** argv) {
   core::ClusterConfig config;
   config.fabric.poll_r = static_cast<int>(cli.GetInt("poll-r"));
   ConfigureObs(cli, config);
+  ConfigureFidelity(cli, config);
   core::RunTelemetry obs;
 
   for (const std::uint64_t bytes : sizes) {
@@ -121,6 +123,7 @@ int main(int argc, char** argv) {
                        clock.CyclesToMicros(res.cycles), timer.Seconds());
     }
   }
+  MaybeWriteFidelity(report, obs.fidelity);
   MaybeWriteObs(cli, report, obs);
   MaybeWriteReport(cli, report);
   return 0;

@@ -120,6 +120,30 @@ void MaybeWriteFaults(PerfReport& report, const json::Value& faults) {
   report.SetSection("faults", faults);
 }
 
+void AddFidelityOptions(CliParser& cli) {
+  cli.AddString("fidelity", "cycle",
+                "link simulation fidelity: \"cycle\" (cycle-accurate), "
+                "\"flow\" (analytic flow model), or \"auto\" (flow with "
+                "automatic drop-down to cycle accuracy; see sim/fidelity.h)");
+  cli.AddString("fidelity-calibration", "",
+                "flow-model calibration constants, a JSON file like "
+                "data/fidelity_calibration.json (empty = identity constants)");
+}
+
+bool ConfigureFidelity(const CliParser& cli, core::ClusterConfig& config) {
+  config.engine.fidelity.mode = sim::ParseFidelityMode(cli.GetString("fidelity"));
+  const std::string calib = cli.GetString("fidelity-calibration");
+  if (!calib.empty()) {
+    config.engine.fidelity.calibration = sim::FidelityCalibration::FromFile(calib);
+  }
+  return config.engine.fidelity.enabled();
+}
+
+void MaybeWriteFidelity(PerfReport& report, const json::Value& fidelity) {
+  if (fidelity.is_null()) return;
+  report.SetSection("fidelity", fidelity);
+}
+
 core::RunResult StreamOnce(const net::Topology& topo, int src, int dst,
                            std::uint64_t bytes,
                            const core::ClusterConfig& config,

@@ -57,6 +57,21 @@ bool ConfigureFaults(const CliParser& cli, core::ClusterConfig& config);
 /// (no-op when `faults` is null, i.e. no plan was enabled).
 void MaybeWriteFaults(PerfReport& report, const json::Value& faults);
 
+/// Register the shared link-fidelity options: `--fidelity {cycle,flow,auto}`
+/// (see sim/fidelity.h; default "cycle" keeps the cycle-accurate links) and
+/// `--fidelity-calibration <file>` (flow-model calibration JSON; identity
+/// constants when empty).
+void AddFidelityOptions(CliParser& cli);
+
+/// Parse the fidelity options into `config.engine.fidelity`. The mode token
+/// is matched strictly ("Auto", "flow," and "" are rejected with a
+/// ConfigError). Returns true when a non-cycle mode was selected.
+bool ConfigureFidelity(const CliParser& cli, core::ClusterConfig& config);
+
+/// Embed the link-fidelity report under "fidelity" in the bench report
+/// (no-op when `fidelity` is null, i.e. cycle mode).
+void MaybeWriteFidelity(PerfReport& report, const json::Value& fidelity);
+
 /// The SPMD spec used by the microbenchmarks: one send and one recv
 /// endpoint on port 0 of every rank.
 inline core::ProgramSpec P2pSpec() {

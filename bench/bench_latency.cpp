@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   AddJsonOption(cli);
   AddObsOptions(cli);
   AddFaultOptions(cli);
+  AddFidelityOptions(cli);
   if (!cli.Parse(argc, argv)) return 2;
 
   const net::Topology topo = net::Topology::Bus(8);
@@ -24,6 +25,7 @@ int main(int argc, char** argv) {
   const int rounds = static_cast<int>(cli.GetInt("rounds"));
   core::ClusterConfig config;
   ConfigureObs(cli, config);
+  ConfigureFidelity(cli, config);
   core::RunTelemetry obs;
 
   PrintTitle("Table 3 — measured latency in usecs "
@@ -63,6 +65,7 @@ int main(int argc, char** argv) {
                      timer.Seconds());
     MaybeWriteFaults(report, obs.faults);
   }
+  MaybeWriteFidelity(report, obs.fidelity);
   MaybeWriteObs(cli, report, obs);
   MaybeWriteReport(cli, report);
   return 0;

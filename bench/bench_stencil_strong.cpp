@@ -28,9 +28,11 @@ int main(int argc, char** argv) {
   cli.AddFlag("full", "run the paper's 4096x4096, 32 timesteps (slow)");
   AddJsonOption(cli);
   AddObsOptions(cli);
+  AddFidelityOptions(cli);
   if (!cli.Parse(argc, argv)) return 2;
   core::ClusterConfig cluster_config;
   ConfigureObs(cli, cluster_config);
+  ConfigureFidelity(cli, cluster_config);
   core::RunTelemetry obs;
 
   const bool full = cli.GetFlag("full");
@@ -72,6 +74,7 @@ int main(int argc, char** argv) {
   }
   std::printf("\n(paper, 4096x4096/32: 1.0x 254ms, 3.5x, 3.5x, 12.3x, "
               "23.1x)\n");
+  MaybeWriteFidelity(report, obs.fidelity);
   MaybeWriteObs(cli, report, obs);
   MaybeWriteReport(cli, report);
   return 0;

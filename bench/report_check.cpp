@@ -36,6 +36,45 @@ void RequireFiniteNumber(const Value& row, const char* key,
               "\" is not a finite number (nan/inf serialize as null)");
 }
 
+/// Optional "fidelity" section (benches run with --fidelity): mode plus the
+/// modeled-cycle fraction and transition counts report_check exists to keep
+/// honest — a regression that stops the flow model from engaging shows up
+/// here as a malformed or missing section, not as a silently slower CI run.
+void CheckFidelity(const Value& fid, const std::string& file) {
+  Require(fid.is_object(), file, "\"fidelity\" is not an object");
+  Require(fid.contains("mode") && fid.at("mode").is_string(), file,
+          "fidelity missing string \"mode\"");
+  const std::string& mode = fid.at("mode").as_string();
+  Require(mode == "cycle" || mode == "flow" || mode == "auto", file,
+          "fidelity \"mode\" must be cycle, flow or auto, got \"" + mode +
+              "\"");
+  RequireFiniteNumber(fid, "modeled_fraction", file);
+  const double frac = fid.at("modeled_fraction").as_double();
+  Require(frac >= 0.0 && frac <= 1.0, file,
+          "fidelity \"modeled_fraction\" out of [0, 1]");
+  RequireFiniteNumber(fid, "promotions", file);
+  RequireFiniteNumber(fid, "thrash_warnings", file);
+  Require(fid.contains("demotions") && fid.at("demotions").is_object(), file,
+          "fidelity missing object \"demotions\"");
+  for (const auto& [cause, count] : fid.at("demotions").as_object()) {
+    Require(count.is_number(),
+            file, "fidelity demotion count \"" + cause +
+                      "\" is not a finite number");
+  }
+  if (fid.contains("links")) {
+    Require(fid.at("links").is_array(), file,
+            "fidelity \"links\" is not an array");
+    for (const Value& row : fid.at("links").as_array()) {
+      Require(row.is_object() && row.contains("link") &&
+                  row.at("link").is_string(),
+              file, "fidelity link row missing string \"link\"");
+      RequireFiniteNumber(row, "stepped_cycles", file);
+      RequireFiniteNumber(row, "modeled_cycles", file);
+      RequireFiniteNumber(row, "modeled_fraction", file);
+    }
+  }
+}
+
 void CheckReport(const std::string& file) {
   Value doc;
   try {
@@ -59,6 +98,7 @@ void CheckReport(const std::string& file) {
     RequireFiniteNumber(row, "simulated_microseconds", file);
     RequireFiniteNumber(row, "wall_seconds", file);
   }
+  if (doc.contains("fidelity")) CheckFidelity(doc.at("fidelity"), file);
   std::printf("%s: ok (%zu results)\n", file.c_str(), results.size());
 }
 

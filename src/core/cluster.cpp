@@ -73,6 +73,7 @@ void Cluster::Build(const net::Topology& topology,
       sup.net_out = &fabric_->SendEndpoint(r, op.port);
       sup.net_in = &fabric_->RecvEndpoint(r, op.port);
       sup.now = engine_->now_ptr();
+      sup.engine = engine_.get();
       engine_->AddKernel(MakeSupportKernel(kind, op.algo, sup),
                          "r" + std::to_string(r) + "." +
                              CollKindName(kind) + ".sup." +
@@ -154,6 +155,8 @@ json::Value Cluster::TraceJson() const {
 
 json::Value Cluster::FaultsJson() const { return fabric_->FaultsJson(); }
 
+json::Value Cluster::FidelityJson() const { return fabric_->FidelityJson(); }
+
 void Cluster::Annotate(const std::string& key, json::Value value) {
   obs::Recorder* rec = engine_->recorder();
   if (rec != nullptr) rec->Annotate(key, std::move(value));
@@ -165,6 +168,7 @@ RunTelemetry Cluster::CaptureTelemetry() const {
   t.summary = CountersSummaryJson();
   t.trace = TraceJson();
   t.faults = FaultsJson();
+  t.fidelity = FidelityJson();
   return t;
 }
 

@@ -46,6 +46,7 @@ struct RunTelemetry {
   json::Value summary;   ///< aggregate totals (small; embeddable in reports)
   json::Value trace;     ///< Chrome trace-event document
   json::Value faults;    ///< fault/reliability report (null without a plan)
+  json::Value fidelity;  ///< link-fidelity report (null in cycle mode)
   bool captured() const { return !summary.is_null(); }
 };
 
@@ -100,6 +101,9 @@ class Cluster {
   /// Fault/reliability report (null when no fault plan is enabled);
   /// independent of the telemetry switches. See Fabric::FaultsJson.
   json::Value FaultsJson() const;
+  /// Link-fidelity report (null when the engine's fidelity mode is kCycle);
+  /// independent of the telemetry switches. See Fabric::FidelityJson.
+  json::Value FidelityJson() const;
   /// All documents at once — call after Run(), before destruction.
   RunTelemetry CaptureTelemetry() const;
 

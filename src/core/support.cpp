@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "sim/engine.h"
 
 namespace smi::core {
 namespace {
@@ -82,6 +83,10 @@ class ReadyLedger {
 
 }  // namespace
 
+void NotifyCollectiveSyncPoint(const SupportCtx& ctx) {
+  if (ctx.engine != nullptr) ctx.engine->FidelitySyncPoint();
+}
+
 const char* CollKindName(CollKind k) {
   switch (k) {
     case CollKind::kBcast: return "Bcast";
@@ -104,6 +109,7 @@ Kernel BcastSupportKernel(SupportCtx ctx) {
   for (;;) {
     const CollConfig cfg =
         GetConfig(co_await fifo_pop(*ctx.app_in), "BcastSupport");
+    NotifyCollectiveSyncPoint(ctx);  // channel open
     const int n = static_cast<int>(cfg.comm_global.size());
     const int me = MyCommRank(cfg, ctx.my_global, "BcastSupport");
     const int epp = static_cast<int>(ElementsPerPacket(cfg.type));
@@ -165,6 +171,7 @@ Kernel BcastSupportKernel(SupportCtx ctx) {
         }
       }
     }
+    NotifyCollectiveSyncPoint(ctx);  // channel close
   }
 }
 
@@ -181,6 +188,7 @@ Kernel ReduceSupportKernel(SupportCtx ctx) {
   for (;;) {
     const CollConfig cfg =
         GetConfig(co_await fifo_pop(*ctx.app_in), "ReduceSupport");
+    NotifyCollectiveSyncPoint(ctx);  // channel open
     const int n = static_cast<int>(cfg.comm_global.size());
     const int me = MyCommRank(cfg, ctx.my_global, "ReduceSupport");
     const int epp = static_cast<int>(ElementsPerPacket(cfg.type));
@@ -303,6 +311,7 @@ Kernel ReduceSupportKernel(SupportCtx ctx) {
         ++tile;
       }
     }
+    NotifyCollectiveSyncPoint(ctx);  // channel close
   }
 }
 
@@ -317,6 +326,7 @@ Kernel ScatterSupportKernel(SupportCtx ctx) {
   for (;;) {
     const CollConfig cfg =
         GetConfig(co_await fifo_pop(*ctx.app_in), "ScatterSupport");
+    NotifyCollectiveSyncPoint(ctx);  // channel open
     const int n = static_cast<int>(cfg.comm_global.size());
     const int me = MyCommRank(cfg, ctx.my_global, "ScatterSupport");
     const int epp = static_cast<int>(ElementsPerPacket(cfg.type));
@@ -376,6 +386,7 @@ Kernel ScatterSupportKernel(SupportCtx ctx) {
         }
       }
     }
+    NotifyCollectiveSyncPoint(ctx);  // channel close
   }
 }
 
@@ -388,6 +399,7 @@ Kernel GatherSupportKernel(SupportCtx ctx) {
   for (;;) {
     const CollConfig cfg =
         GetConfig(co_await fifo_pop(*ctx.app_in), "GatherSupport");
+    NotifyCollectiveSyncPoint(ctx);  // channel open
     const int n = static_cast<int>(cfg.comm_global.size());
     const int me = MyCommRank(cfg, ctx.my_global, "GatherSupport");
     const std::size_t esz = SizeOf(cfg.type);
@@ -442,6 +454,7 @@ Kernel GatherSupportKernel(SupportCtx ctx) {
         sent += chunk;
       }
     }
+    NotifyCollectiveSyncPoint(ctx);  // channel close
   }
 }
 

@@ -29,6 +29,10 @@
 #include "sim/kernel.h"
 #include "net/packet.h"
 
+namespace smi::sim {
+class Engine;
+}
+
 namespace smi::core {
 
 /// Wiring of one support kernel.
@@ -40,7 +44,16 @@ struct SupportCtx {
   sim::Fifo<net::Packet>* net_out = nullptr;  ///< to the CKS endpoint
   sim::Fifo<net::Packet>* net_in = nullptr;   ///< from the CKR endpoint
   const sim::Cycle* now = nullptr;            ///< engine cycle counter
+  /// Engine, for fidelity sync points at channel open/close (optional; the
+  /// cluster builder wires it, raw-fabric tests may leave it null).
+  sim::Engine* engine = nullptr;
 };
+
+/// Collective synchronization point: demotes every flow-mode link to cycle
+/// accuracy (sim::Engine::FidelitySyncPoint) so the open/close rendezvous
+/// and credit traffic is timed exactly. No-op when `ctx.engine` is null or
+/// no hybrid-fidelity links exist.
+void NotifyCollectiveSyncPoint(const SupportCtx& ctx);
 
 /// The four support kernels (linear schemes of the reference
 /// implementation). Each runs forever (registered as a daemon).

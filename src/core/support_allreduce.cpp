@@ -107,6 +107,7 @@ Kernel AllreduceSupportKernel(SupportCtx ctx, CollAlgo algo) {
   for (;;) {
     const CollConfig cfg =
         GetConfig(co_await fifo_pop(*ctx.app_in), "AllreduceSupport");
+    NotifyCollectiveSyncPoint(ctx);  // channel open
     const int n = static_cast<int>(cfg.comm_global.size());
     const int me = MyCommRank(cfg, ctx.my_global, "AllreduceSupport");
     const int rel = (me - cfg.root_comm + n) % n;
@@ -283,6 +284,7 @@ Kernel AllreduceSupportKernel(SupportCtx ctx, CollAlgo algo) {
       }
       co_await NextCycle{};
     }
+    NotifyCollectiveSyncPoint(ctx);  // channel close
   }
 }
 

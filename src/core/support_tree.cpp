@@ -86,6 +86,7 @@ Kernel TreeBcastSupportKernel(SupportCtx ctx) {
   for (;;) {
     const CollConfig cfg =
         GetConfig(co_await fifo_pop(*ctx.app_in), "TreeBcastSupport");
+    NotifyCollectiveSyncPoint(ctx);  // channel open
     const int n = static_cast<int>(cfg.comm_global.size());
     const int me = MyCommRank(cfg, ctx.my_global, "TreeBcastSupport");
     const int rel = (me - cfg.root_comm + n) % n;
@@ -147,6 +148,7 @@ Kernel TreeBcastSupportKernel(SupportCtx ctx) {
       }
       done += data.hdr.count;
     }
+    NotifyCollectiveSyncPoint(ctx);  // channel close
   }
 }
 
@@ -162,6 +164,7 @@ Kernel TreeReduceSupportKernel(SupportCtx ctx) {
   for (;;) {
     const CollConfig cfg =
         GetConfig(co_await fifo_pop(*ctx.app_in), "TreeReduceSupport");
+    NotifyCollectiveSyncPoint(ctx);  // channel open
     const int n = static_cast<int>(cfg.comm_global.size());
     const int me = MyCommRank(cfg, ctx.my_global, "TreeReduceSupport");
     const int rel = (me - cfg.root_comm + n) % n;
@@ -281,6 +284,7 @@ Kernel TreeReduceSupportKernel(SupportCtx ctx) {
       }
       co_await NextCycle{};
     }
+    NotifyCollectiveSyncPoint(ctx);  // channel close
   }
 }
 

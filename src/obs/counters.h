@@ -125,6 +125,15 @@ struct FifoCounters {
     ++pops;
     journal.Add(&pops, now, 1);
   }
+  /// Bulk transfer at a modeled flow wake: `n` pushes/pops stamped `now`.
+  void OnPushBulk(Cycle now, std::uint64_t n) {
+    pushes += n;
+    journal.Add(&pushes, now, n);
+  }
+  void OnPopBulk(Cycle now, std::uint64_t n) {
+    pops += n;
+    journal.Add(&pops, now, n);
+  }
   /// Called at each FIFO commit with the newly committed occupancy. The
   /// committed state set at cycle `now` is observed from cycle `now + 1`.
   void OnCommit(Cycle now, std::size_t occupancy, std::size_t capacity) {
@@ -208,6 +217,35 @@ struct CkCounters {
   bool polled_ = false;
 };
 
+/// Per-link fidelity-mode counters (see sim/fidelity.h). Owned by the
+/// FlowLink itself — they are meaningful without the recorder — and exposed
+/// through LinkCounters::fidelity when telemetry is enabled. Not journaled:
+/// fidelity transitions never happen inside parallel epochs (the engine pins
+/// every FlowLink to cycle accuracy for the whole parallel run and the
+/// counters are frozen while pinned).
+struct FidelityCounters {
+  std::uint64_t stepped_cycles = 0;  ///< cycle-accurate Step invocations
+  std::uint64_t modeled_cycles = 0;  ///< cycles covered by modeled wakes
+  std::uint64_t promotions = 0;      ///< cycle -> flow transitions
+  std::uint64_t demotions_congestion = 0;  ///< RX backpressure at a wake
+  std::uint64_t demotions_drain = 0;       ///< TX ran dry at a wake
+  std::uint64_t demotions_sync = 0;        ///< collective sync point
+  std::uint64_t demotions_forced = 0;      ///< pinned by a parallel run
+  std::uint64_t thrash_warnings = 0;       ///< thrash-limit warnings emitted
+
+  std::uint64_t demotions() const {
+    return demotions_congestion + demotions_drain + demotions_sync +
+           demotions_forced;
+  }
+  /// Fraction of link-observed cycles covered by the flow model.
+  double modeled_fraction() const {
+    const std::uint64_t total = stepped_cycles + modeled_cycles;
+    return total == 0 ? 0.0
+                      : static_cast<double>(modeled_cycles) /
+                            static_cast<double>(total);
+  }
+};
+
 /// Per-link counters: utilization (delivery cycles) on the receiver side and
 /// credit-window stalls on the sender side. The two sides run on different
 /// worker threads when the link is split, so each owns a journal. Credit
@@ -229,6 +267,9 @@ struct LinkCounters {
   std::uint64_t seq_discards = 0;        ///< duplicate/out-of-order frames (RX)
   Journal rx_journal;
   Journal tx_journal;
+  /// Fidelity-mode counters of a FlowLink (null for cycle-only links); set
+  /// by the link at attach time, exported under "fidelity" in CountersJson.
+  const FidelityCounters* fidelity = nullptr;
   bool trace = false;
   std::vector<Cycle> deliveries;  ///< delivery cycles (packet-hop timeline)
 
@@ -236,6 +277,14 @@ struct LinkCounters {
     ++busy_cycles;
     rx_journal.Add(&busy_cycles, now, 1);
     if (trace) deliveries.push_back(now);
+  }
+  /// Bulk delivery at a modeled flow wake: `n` payloads, all at cycle `now`.
+  void OnDeliverBulk(Cycle now, std::uint64_t n) {
+    busy_cycles += n;
+    rx_journal.Add(&busy_cycles, now, n);
+    if (trace) {
+      deliveries.insert(deliveries.end(), static_cast<std::size_t>(n), now);
+    }
   }
   void OnRetransmit(Cycle now) {
     ++retransmits;

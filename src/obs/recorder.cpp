@@ -121,6 +121,22 @@ json::Value Recorder::CountersJson() const {
     row["wire_corruptions"] = json::Value(l.wire_corruptions);
     row["checksum_failures"] = json::Value(l.checksum_failures);
     row["seq_discards"] = json::Value(l.seq_discards);
+    if (l.fidelity != nullptr) {
+      const FidelityCounters& f = *l.fidelity;
+      json::Object fid;
+      fid["stepped_cycles"] = json::Value(f.stepped_cycles);
+      fid["modeled_cycles"] = json::Value(f.modeled_cycles);
+      fid["modeled_fraction"] = json::Value(f.modeled_fraction());
+      fid["promotions"] = json::Value(f.promotions);
+      fid["thrash_warnings"] = json::Value(f.thrash_warnings);
+      json::Object dem;
+      dem["congestion"] = json::Value(f.demotions_congestion);
+      dem["drain"] = json::Value(f.demotions_drain);
+      dem["sync"] = json::Value(f.demotions_sync);
+      dem["forced"] = json::Value(f.demotions_forced);
+      fid["demotions"] = json::Value(std::move(dem));
+      row["fidelity"] = json::Value(std::move(fid));
+    }
     links.push_back(json::Value(std::move(row)));
   }
 

@@ -163,6 +163,33 @@ void Engine::WakeComponentAt(Component& component, Cycle cycle) {
   }
 }
 
+void Engine::RegisterFlowLink(FlowLinkControl* link) {
+  if (link != nullptr) flow_links_.push_back(link);
+}
+
+void Engine::FidelitySyncPoint() {
+  // Mid-parallel-run links are already pinned to cycle accuracy; outside a
+  // run there is nothing to demote unless FlowLinks exist.
+  if (parallel_active_ || flow_links_.empty()) return;
+  for (FlowLinkControl* link : flow_links_) link->DemoteForSync(now_);
+}
+
+void Engine::SetComponentFifoWakeSuspended(const Component& component,
+                                           bool suspended) {
+  std::size_t index = components_.size();
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i].get() == &component) {
+      index = i;
+      break;
+    }
+  }
+  if (index >= components_.size()) return;
+  if (comp_fifo_wake_off_.size() < components_.size()) {
+    comp_fifo_wake_off_.resize(components_.size(), 0);
+  }
+  comp_fifo_wake_off_[index] = suspended ? 1 : 0;
+}
+
 void Engine::RunGlobalEventsAt(Cycle now) {
   if (next_global_event_.load(std::memory_order_relaxed) > now) return;
   std::vector<GlobalEvent> due;
@@ -446,6 +473,11 @@ bool Engine::StepCycleEvent(Partition& p) {
     progress = true;
     const FifoRec& rec = fifo_recs_[fifo->sched_index()];
     for (const std::size_t sub : rec.component_subs) {
+      // Flow-mode links opt out of FIFO-commit wakes: they run on timed
+      // modeled wakes instead (their NextSelfWake stays finite meanwhile).
+      if (sub < comp_fifo_wake_off_.size() && comp_fifo_wake_off_[sub] != 0) {
+        continue;
+      }
       ScheduleComponent(p, sub, now + 1);
     }
     for (const std::size_t watcher : rec.kernel_watchers) {
@@ -645,6 +677,12 @@ bool Engine::RunFor(Cycle cycles) {
 // ---------------------------------------------------------------------------
 
 void Engine::PrepareParallelRun(unsigned workers) {
+  // The split-link exactness argument (file comment) only covers
+  // cycle-stepped links: pin every hybrid-fidelity link to cycle accuracy
+  // for the whole run. PreparePartition schedules all components at the
+  // start cycle, so demoted links need no extra wake.
+  parallel_active_ = true;
+  for (FlowLinkControl* link : flow_links_) link->SetForcedCycle(true);
   const std::size_t num_tags = tag_clocks_.size();
   const std::size_t nparts =
       std::max<std::size_t>(1, std::min<std::size_t>(workers,
@@ -768,6 +806,8 @@ void Engine::CleanupParallelRun() {
   // partitions.
   for (Partition& p : partitions_) whole_.resumes += p.resumes;
   partitions_.clear();
+  for (FlowLinkControl* link : flow_links_) link->SetForcedCycle(false);
+  parallel_active_ = false;
 }
 
 void Engine::RunPartitionEpoch(Partition& p) {

@@ -112,6 +112,7 @@
 
 #include "sim/clock.h"
 #include "sim/component.h"
+#include "sim/fidelity.h"
 #include "sim/fifo.h"
 #include "sim/kernel.h"
 
@@ -152,6 +153,12 @@ struct EngineConfig {
   /// Additionally record a Chrome trace-event timeline (kernel activity
   /// intervals and per-link packet hops); implies counter collection.
   bool collect_trace = false;
+  /// Link-fidelity policy (see sim/fidelity.h). With mode kCycle (default)
+  /// the fabric builds the classic cycle-accurate links; kFlow/kAuto make
+  /// it build FlowLinks that switch to the calibrated flow-level model in
+  /// steady state. The parallel scheduler pins every FlowLink to cycle
+  /// accuracy for the duration of each Run, so results stay bit-identical.
+  FidelityPolicy fidelity;
 };
 
 /// Result of a completed run.
@@ -262,6 +269,25 @@ class Engine {
   /// the first event-driven/parallel run is prepared; the synchronous
   /// scheduler steps everything anyway.
   void WakeComponentAt(Component& component, Cycle cycle);
+
+  /// Register a hybrid-fidelity link (called from the FlowLink constructor).
+  /// Registered links are demoted at collective sync points and pinned to
+  /// cycle accuracy across parallel runs.
+  void RegisterFlowLink(FlowLinkControl* link);
+  /// Collective synchronization point (channel open/close): demote every
+  /// flow-mode link to cycle accuracy so the rendezvous traffic is timed
+  /// exactly. No-op while a parallel run is in flight (links are already
+  /// pinned) and when no FlowLinks exist.
+  void FidelitySyncPoint();
+  /// Suppress (or restore) FIFO-commit wakes for `component`. Used by
+  /// flow-mode links, which replace FIFO-driven stepping with timed modeled
+  /// wakes; the component must keep NextSelfWake finite while suspended.
+  void SetComponentFifoWakeSuspended(const Component& component,
+                                     bool suspended);
+  /// Registered hybrid-fidelity links, in registration order (for reports).
+  const std::vector<FlowLinkControl*>& flow_links() const {
+    return flow_links_;
+  }
 
   /// Telemetry recorder, created lazily at the first Run with
   /// `collect_counters`/`collect_trace` set; null when collection is off.
@@ -405,6 +431,13 @@ class Engine {
   std::vector<int> comp_tags_;
   std::vector<int> kernel_tags_;
   std::vector<CutRec> cuts_;
+
+  // Hybrid-fidelity links (see sim/fidelity.h). `comp_fifo_wake_off_` is
+  // indexed by component id; a nonzero entry suppresses FIFO-commit wakes
+  // for that component (flow-mode links run on timed wakes instead).
+  std::vector<FlowLinkControl*> flow_links_;
+  std::vector<char> comp_fifo_wake_off_;
+  bool parallel_active_ = false;
 
   // Global events (see ScheduleGlobalEvent). Guarded by the mutex because
   // worker threads may schedule mid-epoch; executed only single-threaded.

@@ -1,0 +1,192 @@
+#include "sim/fidelity.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace smi::sim {
+
+FlowLinkControl::~FlowLinkControl() = default;
+
+FidelityMode ParseFidelityMode(const std::string& text) {
+  if (text == "cycle") return FidelityMode::kCycle;
+  if (text == "flow") return FidelityMode::kFlow;
+  if (text == "auto") return FidelityMode::kAuto;
+  throw ConfigError("invalid fidelity mode \"" + text +
+                    "\" (expected cycle, flow or auto)");
+}
+
+const char* FidelityModeName(FidelityMode mode) {
+  switch (mode) {
+    case FidelityMode::kCycle:
+      return "cycle";
+    case FidelityMode::kFlow:
+      return "flow";
+    case FidelityMode::kAuto:
+      return "auto";
+  }
+  return "cycle";
+}
+
+namespace {
+
+double RequireFiniteNumber(const json::Value& o, const char* key) {
+  if (!o.contains(key)) {
+    throw ConfigError(std::string("fidelity calibration missing \"") + key +
+                      "\"");
+  }
+  const json::Value& v = o.at(key);
+  if (!v.is_number()) {
+    throw ConfigError(std::string("fidelity calibration \"") + key +
+                      "\" must be a finite number");
+  }
+  return v.as_double();
+}
+
+}  // namespace
+
+FidelityCalibration FidelityCalibration::FromJson(const json::Value& v) {
+  if (!v.is_object()) {
+    throw ConfigError("fidelity calibration must be a JSON object");
+  }
+  FidelityCalibration c;
+  c.cycles_per_payload = RequireFiniteNumber(v, "cycles_per_payload");
+  c.latency_scale = RequireFiniteNumber(v, "latency_scale");
+  const double offset = RequireFiniteNumber(v, "latency_offset");
+  if (offset != std::floor(offset)) {
+    throw ConfigError("fidelity calibration \"latency_offset\" must be an "
+                      "integer");
+  }
+  c.latency_offset = static_cast<std::int64_t>(offset);
+  if (c.cycles_per_payload <= 0.0) {
+    throw ConfigError("fidelity calibration \"cycles_per_payload\" must be "
+                      "> 0");
+  }
+  if (c.latency_scale <= 0.0) {
+    throw ConfigError("fidelity calibration \"latency_scale\" must be > 0");
+  }
+  for (const auto& [key, value] : v.as_object()) {
+    (void)value;
+    if (key != "cycles_per_payload" && key != "latency_scale" &&
+        key != "latency_offset") {
+      throw ConfigError("fidelity calibration has unknown key \"" + key +
+                        "\"");
+    }
+  }
+  return c;
+}
+
+FidelityCalibration FidelityCalibration::FromFile(const std::string& path) {
+  const json::Value doc = json::ParseFile(path);
+  if (!doc.is_object() || !doc.contains("calibration")) {
+    throw ConfigError("fidelity calibration file " + path +
+                      " must hold an object with a \"calibration\" key");
+  }
+  return FromJson(doc.at("calibration"));
+}
+
+json::Value FidelityCalibration::ToJson() const {
+  json::Object o;
+  o["cycles_per_payload"] = cycles_per_payload;
+  o["latency_scale"] = latency_scale;
+  o["latency_offset"] = latency_offset;
+  return o;
+}
+
+FlowBatch PlanFlowTransfer(Cycle last_wake, Cycle now,
+                           std::uint64_t tx_available,
+                           std::uint64_t window_free,
+                           const FidelityCalibration& calib) {
+  FlowBatch batch;
+  if (now <= last_wake) return batch;
+  const Cycle elapsed = now - last_wake;
+  // Bandwidth bound: the cycle-accurate link moves one payload every
+  // cycles_per_payload cycles, so `elapsed` cycles admit at most this many.
+  const auto budget = static_cast<std::uint64_t>(
+      static_cast<double>(elapsed) / calib.cycles_per_payload);
+  batch.interval_budget = budget;
+  batch.accepts = budget;
+  if (tx_available < batch.accepts) batch.accepts = tx_available;
+  if (window_free < batch.accepts) batch.accepts = window_free;
+  if (batch.accepts == 0) return batch;
+  // Pop schedule. TX-bound partial batch (a drained stream tail): every
+  // accepted payload was already committed-available at `last_wake`, and
+  // the credit window stays strictly open throughout, so the cycle-accurate
+  // link would have popped them back-to-back starting right after the last
+  // wake. That *earliest-consistent* schedule is exact — using the
+  // latest-consistent one here would stamp every hop's final batch up to an
+  // interval late and compound per hop down the chain.
+  if (batch.accepts == tx_available && batch.accepts < budget &&
+      batch.accepts < window_free &&
+      batch.accepts <= static_cast<std::uint64_t>(elapsed)) {
+    batch.first_pop = last_wake + 1;
+    return batch;
+  }
+  // Otherwise latest-consistent: one pop per cycle, the last at `now`. On a
+  // saturated link (accepts == elapsed) this is exactly the per-cycle
+  // schedule `last_wake + 1, ..., now`; on an underfull link it errs late
+  // by at most `elapsed`, never early.
+  batch.first_pop = now - (batch.accepts - 1);
+  return batch;
+}
+
+Cycle EstimateHopLatency(Cycle link_latency,
+                         const FidelityCalibration& calib) {
+  const double scaled =
+      std::llround(static_cast<double>(link_latency) * calib.latency_scale) +
+      static_cast<double>(calib.latency_offset);
+  if (scaled <= 0.0) return 0;
+  return static_cast<Cycle>(scaled);
+}
+
+double EstimateSteadyBandwidth(const FidelityCalibration& calib) {
+  return 1.0 / calib.cycles_per_payload;
+}
+
+json::Value FidelityReportJson(
+    FidelityMode mode, const std::vector<const FlowLinkControl*>& links) {
+  json::Object o;
+  o["mode"] = std::string(FidelityModeName(mode));
+  obs::FidelityCounters totals;
+  json::Array rows;
+  for (const FlowLinkControl* link : links) {
+    if (link == nullptr) continue;
+    const obs::FidelityCounters& c = link->fidelity_counters();
+    json::Object row;
+    row["link"] = link->flow_link_name();
+    row["in_flow_mode"] = link->in_flow_mode();
+    row["stepped_cycles"] = c.stepped_cycles;
+    row["modeled_cycles"] = c.modeled_cycles;
+    row["modeled_fraction"] = c.modeled_fraction();
+    row["promotions"] = c.promotions;
+    row["thrash_warnings"] = c.thrash_warnings;
+    json::Object dem;
+    dem["congestion"] = c.demotions_congestion;
+    dem["drain"] = c.demotions_drain;
+    dem["sync"] = c.demotions_sync;
+    dem["forced"] = c.demotions_forced;
+    row["demotions"] = std::move(dem);
+    rows.push_back(std::move(row));
+    totals.stepped_cycles += c.stepped_cycles;
+    totals.modeled_cycles += c.modeled_cycles;
+    totals.promotions += c.promotions;
+    totals.demotions_congestion += c.demotions_congestion;
+    totals.demotions_drain += c.demotions_drain;
+    totals.demotions_sync += c.demotions_sync;
+    totals.demotions_forced += c.demotions_forced;
+    totals.thrash_warnings += c.thrash_warnings;
+  }
+  o["links"] = std::move(rows);
+  o["modeled_fraction"] = totals.modeled_fraction();
+  o["promotions"] = totals.promotions;
+  o["thrash_warnings"] = totals.thrash_warnings;
+  json::Object dem;
+  dem["congestion"] = totals.demotions_congestion;
+  dem["drain"] = totals.demotions_drain;
+  dem["sync"] = totals.demotions_sync;
+  dem["forced"] = totals.demotions_forced;
+  o["demotions"] = std::move(dem);
+  return o;
+}
+
+}  // namespace smi::sim

@@ -19,6 +19,7 @@
 ///     one push and one pop can be accepted per cycle. This is what enforces
 ///     initiation interval 1 on the kernels that use it.
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -68,6 +69,27 @@ class FifoBase {
     return head_ < visible_tail_ && !pop_used_;
   }
 
+  /// --- Modeled bulk access (flow-level link model; see sim/fidelity.h) ---
+  ///
+  /// A flow-modeled link moves several cycles' worth of payloads in one
+  /// wake, deliberately bypassing the one-operation-per-port-per-cycle
+  /// limit — it stands in for the operations the skipped cycles would have
+  /// performed. Commit semantics still hold: bulk pops only consume
+  /// elements committed at the last boundary, bulk pushes only fill slots
+  /// committed free, so no same-cycle producer/consumer can observe the
+  /// transfer early. Only legal from a component's Step (the transfers
+  /// still commit through the normal boundary).
+
+  /// Committed elements available to a modeled bulk pop.
+  std::uint64_t ModeledPopBudget() const {
+    return visible_tail_ > head_ ? visible_tail_ - head_ : 0;
+  }
+  /// Committed-free slots available to a modeled bulk push.
+  std::uint64_t ModeledPushBudget() const {
+    const std::uint64_t used = tail_ - visible_head_;
+    return capacity_ > used ? capacity_ - used : 0;
+  }
+
   /// Commit staged pushes/pops: called by the engine at the boundary of
   /// cycle `now`; the committed state is observed from cycle `now + 1`.
   /// Returns true if any transfer happened during the elapsed cycle (used by
@@ -114,6 +136,18 @@ class FifoBase {
     ++head_;
     MarkDirty();
     if (obs_ != nullptr) obs_->OnPop(now);
+  }
+  void RecordPushBulk(std::size_t n, Cycle now) {
+    push_used_ = true;
+    tail_ += n;
+    MarkDirty();
+    if (obs_ != nullptr) obs_->OnPushBulk(now, n);
+  }
+  void RecordPopBulk(std::size_t n, Cycle now) {
+    pop_used_ = true;
+    head_ += n;
+    MarkDirty();
+    if (obs_ != nullptr) obs_->OnPopBulk(now, n);
   }
 
   std::uint64_t head_ = 0;          ///< next pop position (live)
@@ -176,6 +210,51 @@ class Fifo final : public FifoBase {
       throw ConfigError("front on empty/busy FIFO: " + name());
     }
     return ring_[static_cast<std::size_t>(head_) & mask_];
+  }
+
+  /// Modeled bulk push/pop (see FifoBase): port limits are bypassed, the
+  /// commit-semantics bounds (ModeledPushBudget / ModeledPopBudget) are not.
+  void PushModeled(const T& value, Cycle now) {
+    if (ModeledPushBudget() == 0) {
+      throw ConfigError("modeled push on full FIFO: " + name());
+    }
+    ring_[static_cast<std::size_t>(tail_) & mask_] = value;
+    RecordPush(now);
+  }
+  T PopModeled(Cycle now) {
+    if (ModeledPopBudget() == 0) {
+      throw ConfigError("modeled pop on empty FIFO: " + name());
+    }
+    T value = std::move(ring_[static_cast<std::size_t>(head_) & mask_]);
+    RecordPop(now);
+    return value;
+  }
+
+  /// Bulk modeled push/pop: move `n` elements in one call as (at most two)
+  /// contiguous span copies instead of `n` element operations — the
+  /// flow-level fast path's per-payload cost lives or dies here. Budgets are
+  /// enforced exactly like the single-element modeled operations.
+  void PushBulkModeled(T* data, std::size_t n, Cycle now) {
+    if (n == 0) return;
+    if (ModeledPushBudget() < n) {
+      throw ConfigError("modeled bulk push overflows FIFO: " + name());
+    }
+    const std::size_t pos = static_cast<std::size_t>(tail_) & mask_;
+    const std::size_t first = std::min(n, ring_.size() - pos);
+    std::move(data, data + first, ring_.begin() + pos);
+    std::move(data + first, data + n, ring_.begin());
+    RecordPushBulk(n, now);
+  }
+  void PopBulkModeled(T* out, std::size_t n, Cycle now) {
+    if (n == 0) return;
+    if (ModeledPopBudget() < n) {
+      throw ConfigError("modeled bulk pop underflows FIFO: " + name());
+    }
+    const std::size_t pos = static_cast<std::size_t>(head_) & mask_;
+    const std::size_t first = std::min(n, ring_.size() - pos);
+    std::move(ring_.begin() + pos, ring_.begin() + pos + first, out);
+    std::move(ring_.begin(), ring_.begin() + (n - first), out + first);
+    RecordPopBulk(n, now);
   }
 
   /// Maintenance drain used by link failover: removes every element —

@@ -1,0 +1,15 @@
+#include "sim/flow_link.h"
+
+#include "common/logging.h"
+
+namespace smi::sim::detail {
+
+void WarnFidelityThrash(const std::string& link, std::uint64_t transitions,
+                        Cycle window, Cycle now) {
+  SMI_LOG_WARN << "fidelity thrash on " << link << ": " << transitions
+               << " mode transitions within " << window
+               << " cycles (at cycle " << now
+               << "); consider a larger steady window or cycle mode";
+}
+
+}  // namespace smi::sim::detail

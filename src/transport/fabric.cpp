@@ -206,6 +206,26 @@ void Fabric::BuildLinks(
     }
     const std::size_t cable_index = cables_.size();
     cables_.push_back(Cable{a, b, 0, 0, true});
+    // Hybrid-fidelity selection (see sim/fidelity.h) is per *cable*: a cable
+    // with an active fault spec on either direction keeps the cycle-accurate
+    // reliable build for both (injected faults are always timed exactly, and
+    // failover recovers both directions through the reliable interface);
+    // under a fault plan a fully clean cable trades the reliability framing
+    // for the flow model — clean go-back-N runs at line rate with the same
+    // pipeline latency (plus one buffering cycle), so the substitution stays
+    // inside the flow model's error budget.
+    const sim::FidelityPolicy& fidelity = engine.config().fidelity;
+    bool cable_fault_pinned = false;
+    if (plan.enabled && fidelity.enabled()) {
+      for (const auto& [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
+        if (plan.SpecFor(
+                    fault::DirectedKey(from.rank, from.port, to.rank, to.port),
+                    fault::CableKey(a.rank, a.port, b.rank, b.port))
+                .Active()) {
+          cable_fault_pinned = true;
+        }
+      }
+    }
     // Two directed links per cable, each with its own interface FIFOs. The
     // TX FIFO is written by the sending rank's CKS, the RX FIFO read by the
     // receiving rank's CKR, so the only entity spanning ranks is the link
@@ -236,7 +256,7 @@ void Fabric::BuildLinks(
       rec.to = to;
       rec.cable = cable_index;
       rec.tx = &tx;
-      if (plan.enabled) {
+      if (plan.enabled && (!fidelity.enabled() || cable_fault_pinned)) {
         sim::ReliableLink<net::Packet>& link =
             engine.MakeComponent<sim::ReliableLink<net::Packet>>(
                 link_name, tx, rx, rcfg);
@@ -252,6 +272,13 @@ void Fabric::BuildLinks(
           link.set_death_sink(this, link_index);
         }
         rec.rlink = &link;
+        rec.fault_pinned = fidelity.enabled();
+      } else if (fidelity.enabled()) {
+        sim::FlowLink<net::Packet>& link =
+            engine.MakeComponent<sim::FlowLink<net::Packet>>(
+                engine, link_name, tx, rx, config_.link_latency, fidelity);
+        engine.MarkCutComponent(link, link, from.rank, to.rank);
+        rec.flow = &link;
       } else {
         sim::Link<net::Packet>& link =
             engine.MakeComponent<sim::Link<net::Packet>>(
@@ -329,8 +356,13 @@ void Fabric::UploadRoutes(const net::RoutingTable& routes) {
 std::uint64_t Fabric::TotalLinkPackets() const {
   std::uint64_t total = 0;
   for (const LinkRec& rec : link_recs_) {
-    total += rec.plain != nullptr ? rec.plain->delivered()
-                                  : rec.rlink->delivered();
+    if (rec.plain != nullptr) {
+      total += rec.plain->delivered();
+    } else if (rec.flow != nullptr) {
+      total += rec.flow->delivered();
+    } else {
+      total += rec.rlink->delivered();
+    }
   }
   return total;
 }
@@ -462,6 +494,23 @@ json::Value Fabric::FaultsJson() const {
   tot["recovered"] = totals.recovered;
   o["totals"] = std::move(tot);
   return o;
+}
+
+json::Value Fabric::FidelityJson() const {
+  const sim::FidelityPolicy& fidelity = engine_->config().fidelity;
+  if (!fidelity.enabled()) return json::Value();
+  std::vector<const sim::FlowLinkControl*> links;
+  json::Array pinned;
+  for (const LinkRec& rec : link_recs_) {
+    if (rec.flow != nullptr) links.push_back(rec.flow);
+    if (rec.fault_pinned) {
+      pinned.push_back(std::string(fault::DirectedKey(
+          rec.from.rank, rec.from.port, rec.to.rank, rec.to.port)));
+    }
+  }
+  json::Value report = sim::FidelityReportJson(fidelity.mode, links);
+  report.as_object()["fault_pinned_links"] = std::move(pinned);
+  return report;
 }
 
 const Cks& Fabric::cks(int rank, int port) const {

@@ -40,6 +40,7 @@
 #include "net/routing.h"
 #include "net/topology.h"
 #include "sim/engine.h"
+#include "sim/flow_link.h"
 #include "sim/link.h"
 #include "sim/link_fault.h"
 #include "sim/reliable_link.h"
@@ -117,6 +118,11 @@ class Fabric final : public sim::LinkDeathSink {
   /// Failovers executed so far (permanent link failures rerouted around).
   std::size_t failover_count() const { return failovers_.size(); }
 
+  /// Fidelity report: null when the engine's fidelity policy is kCycle, else
+  /// the canonical "fidelity" section (sim::FidelityReportJson) extended
+  /// with the fault-pinned directed links that stayed cycle-accurate.
+  json::Value FidelityJson() const;
+
   /// sim::LinkDeathSink — called by a reliable link (possibly from a worker
   /// thread) when its retry budget is exhausted. Schedules the failover as a
   /// deterministic engine global event; never mutates fabric state directly.
@@ -143,6 +149,11 @@ class Fabric final : public sim::LinkDeathSink {
     PacketFifo* tx = nullptr;  ///< CKS-side net FIFO feeding the link
     sim::Link<net::Packet>* plain = nullptr;        ///< lossless build
     sim::ReliableLink<net::Packet>* rlink = nullptr;  ///< fault-plan build
+    sim::FlowLink<net::Packet>* flow = nullptr;     ///< hybrid-fidelity build
+    /// Under a fault plan + non-cycle fidelity: true when this link kept the
+    /// cycle-accurate reliable build because its cable has an active fault
+    /// spec (injected faults are always timed exactly).
+    bool fault_pinned = false;
   };
   struct FailoverRecord {
     std::string cable;
