@@ -1,0 +1,326 @@
+/// \file bench_scaleout.cpp
+/// Scale-out sweep: bisection-exchange bandwidth on torus, fat-tree and
+/// dragonfly fabrics from 16 to 512 compute ranks.
+///
+/// Pattern: compute rank i < C/2 streams `--bytes` to rank i + C/2, all
+/// pairs concurrently, so every stream crosses the fabric bisection. A 2D
+/// torus has O(sqrt C) bisection cables, so its per-rank bandwidth
+/// collapses as C grows; a full-bisection fat-tree keeps one up-link per
+/// stream and its per-rank bandwidth stays flat. Dragonfly sits between
+/// (one global cable per group pair, Valiant-balanced).
+///
+/// Points at or below `--cycle-limit` compute ranks run cycle-accurate;
+/// larger fabrics use `--fidelity` (default auto: the hybrid flow model)
+/// so the 512-rank points finish in CI time. `--check-shape` asserts the
+/// torus-saturates / fat-tree-scales shape and exits nonzero otherwise.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/error.h"
+#include "common/perf_report.h"
+#include "net/packet.h"
+#include "net/routing.h"
+#include "sim/fidelity.h"
+
+namespace smi::bench {
+namespace {
+
+using core::Cluster;
+using core::Context;
+using core::DataType;
+using core::RecvChannel;
+using core::SendChannel;
+using sim::Kernel;
+
+Kernel PairSender(Context& ctx, int dst, int packets) {
+  SendChannel ch = ctx.OpenSendChannel(packets * 7, DataType::kInt, dst, 0,
+                                       ctx.world());
+  std::int32_t vals[7] = {0, 1, 2, 3, 4, 5, 6};
+  for (int p = 0; p < packets; ++p) {
+    co_await ch.PushPacket<std::int32_t>(vals, 7);
+  }
+}
+
+Kernel PairReceiver(Context& ctx, int src, int packets) {
+  RecvChannel ch = ctx.OpenRecvChannel(packets * 7, DataType::kInt, src, 0,
+                                       ctx.world());
+  for (int p = 0; p < packets; ++p) {
+    (void)co_await ch.PopPacket<std::int32_t>();
+  }
+}
+
+/// Near-square 2D torus with `c` ranks: rows is the largest divisor of `c`
+/// not exceeding sqrt(c).
+net::Topology MakeTorus(int c) {
+  int rows = 1;
+  for (int r = 2; r * r <= c; ++r) {
+    if (c % r == 0) rows = r;
+  }
+  if (rows < 2) throw ConfigError("torus sweep needs composite rank counts");
+  return net::Topology::Torus2D(rows, c / rows);
+}
+
+struct SweepPoint {
+  int compute_ranks = 0;
+  int total_ranks = 0;
+  bool fell_back = false;
+  double modeled_fraction = 0.0;
+  core::RunResult run;
+  double aggregate_bytes_per_cycle = 0.0;
+  core::RunTelemetry telemetry;
+};
+
+SweepPoint RunPoint(const net::Topology& topo, net::RoutingScheme scheme,
+                    std::uint64_t route_seed, std::uint64_t bytes_per_stream,
+                    core::ClusterConfig config) {
+  SweepPoint pt;
+  pt.total_ranks = topo.num_ranks();
+  pt.compute_ranks = topo.num_compute_ranks();
+
+  config.routing = scheme;
+  config.routing_seed = route_seed;
+  const int packets = static_cast<int>(
+      (bytes_per_stream + net::kPayloadBytes - 1) / net::kPayloadBytes);
+
+  Cluster cluster(topo, P2pSpec(), config);
+  pt.fell_back = cluster.routing_fell_back();
+  const std::vector<int> compute = topo.ComputeRankIds();
+  const int pairs = static_cast<int>(compute.size()) / 2;
+  for (int i = 0; i < pairs; ++i) {
+    const int src = compute[static_cast<std::size_t>(i)];
+    const int dst = compute[static_cast<std::size_t>(i + pairs)];
+    cluster.AddKernel(src, PairSender(cluster.context(src), dst, packets),
+                      "bisect-send");
+    cluster.AddKernel(dst, PairReceiver(cluster.context(dst), src, packets),
+                      "bisect-recv");
+  }
+  pt.run = cluster.Run();
+  pt.telemetry = cluster.CaptureTelemetry();
+  if (!pt.telemetry.fidelity.is_null()) {
+    pt.modeled_fraction =
+        pt.telemetry.fidelity.at("modeled_fraction").as_double();
+  }
+  const double total_bytes =
+      static_cast<double>(pairs) * static_cast<double>(packets) *
+      static_cast<double>(net::kPayloadBytes);
+  pt.aggregate_bytes_per_cycle =
+      pt.run.cycles > 0 ? total_bytes / static_cast<double>(pt.run.cycles)
+                        : 0.0;
+  return pt;
+}
+
+}  // namespace
+}  // namespace smi::bench
+
+int main(int argc, char** argv) {
+  using namespace smi;
+  using namespace smi::bench;
+
+  CliParser cli("bench_scaleout",
+                "bisection-exchange bandwidth sweep over scale-out "
+                "topologies (torus / fat-tree / dragonfly, 16-512 ranks)");
+  cli.AddInt("min-ranks", 16, "smallest compute rank count (power of two)");
+  cli.AddInt("max-ranks", 512, "largest compute rank count (power of two)");
+  cli.AddInt("bytes", 7168, "payload bytes per bisection stream");
+  cli.AddInt("cycle-limit", 64,
+             "largest compute rank count simulated cycle-accurately; larger "
+             "points use --fidelity");
+  cli.AddInt("route-seed", 1, "tie-break seed for the seeded routing schemes");
+  cli.AddFlag("check-shape",
+              "fail unless the torus per-rank bandwidth saturates while the "
+              "fat-tree per-rank bandwidth keeps scaling");
+  cli.AddDouble("saturation-factor", 0.35,
+                "shape check: torus per-rank bandwidth retention from min to "
+                "max ranks must fall below this");
+  cli.AddDouble("scaling-factor", 0.4,
+                "shape check: fat-tree per-rank bandwidth retention from min "
+                "to max ranks must stay at or above this");
+  AddJsonOption(cli);
+  AddObsOptions(cli);
+  AddFidelityOptions(cli);
+  if (!cli.Parse(argc, argv)) return 2;
+
+  try {
+    const int min_ranks = static_cast<int>(cli.GetInt("min-ranks"));
+    const int max_ranks = static_cast<int>(cli.GetInt("max-ranks"));
+    const int cycle_limit = static_cast<int>(cli.GetInt("cycle-limit"));
+    const std::uint64_t bytes = static_cast<std::uint64_t>(cli.GetInt("bytes"));
+    const std::uint64_t route_seed =
+        static_cast<std::uint64_t>(cli.GetInt("route-seed"));
+    if (min_ranks < 16 || max_ranks < min_ranks) {
+      std::fprintf(stderr, "error: need 16 <= --min-ranks <= --max-ranks\n");
+      return 2;
+    }
+
+    core::ClusterConfig base;
+    ConfigureObs(cli, base);
+    const bool fidelity_requested = ConfigureFidelity(cli, base);
+    // Unlike the other benches (default cycle), the scale-out sweep defaults
+    // its large points to the flow model. kAuto's steady window never opens
+    // under bisection congestion (every stream sees constant backpressure),
+    // so it would silently run everything cycle-accurate; kFlow promotes at
+    // the first opportunity and still demotes on disturbance.
+    const sim::FidelityMode big_mode =
+        fidelity_requested ? base.engine.fidelity.mode
+                           : sim::FidelityMode::kFlow;
+
+    PerfReport report("scaleout");
+    report.SetParameter("min_ranks", min_ranks);
+    report.SetParameter("max_ranks", max_ranks);
+    report.SetParameter("bytes", static_cast<std::int64_t>(bytes));
+    report.SetParameter("cycle_limit", cycle_limit);
+    report.SetParameter("route_seed", static_cast<std::int64_t>(route_seed));
+
+    PrintTitle("scale-out bisection exchange: aggregate bandwidth vs ranks");
+    std::printf("%-10s %-17s %7s %7s %10s %12s %10s %8s\n", "topology",
+                "scheme", "ranks", "total", "cycles", "agg B/cyc", "B/cyc/rk",
+                "modeled");
+
+    json::Array rows;
+    // per topology: compute-rank count -> bytes/cycle (per rank / aggregate)
+    std::map<std::string, std::map<int, double>> per_rank;
+    std::map<std::string, std::map<int, double>> aggregate;
+    SweepPoint last;
+
+    for (int c = min_ranks; c <= max_ranks; c *= 2) {
+      for (int which = 0; which < 3; ++which) {
+        std::string name;
+        net::RoutingScheme scheme = net::RoutingScheme::kAuto;
+        net::Topology topo(1, 1);
+        if (which == 0) {
+          name = "torus";
+          topo = MakeTorus(c);
+          scheme = net::RoutingScheme::kAuto;
+        } else if (which == 1) {
+          name = "fat-tree";
+          // 8 hosts per leaf, 8 spines: full bisection at every size.
+          topo = net::Topology::FatTree(8, c / 8, 8);
+          scheme = net::RoutingScheme::kMinimalAdaptive;
+        } else {
+          if (c < 32) continue;  // dragonfly needs >= 2 groups of 16 hosts
+          name = "dragonfly";
+          topo = net::Topology::Dragonfly(c / 16, 4, 4);
+          scheme = net::RoutingScheme::kValiant;
+        }
+
+        core::ClusterConfig config = base;
+        const sim::FidelityMode mode =
+            c <= cycle_limit ? sim::FidelityMode::kCycle : big_mode;
+        config.engine.fidelity.mode = mode;
+
+        WallTimer timer;
+        SweepPoint pt = RunPoint(topo, scheme, route_seed, bytes, config);
+        const double wall = timer.Seconds();
+
+        const double per_rank_bpc =
+            pt.aggregate_bytes_per_cycle / static_cast<double>(c);
+        per_rank[name][c] = per_rank_bpc;
+        aggregate[name][c] = pt.aggregate_bytes_per_cycle;
+
+        std::printf("%-10s %-17s %7d %7d %10llu %12.3f %10.4f %7.1f%%%s\n",
+                    name.c_str(), net::RoutingSchemeName(scheme),
+                    pt.compute_ranks, pt.total_ranks,
+                    static_cast<unsigned long long>(pt.run.cycles),
+                    pt.aggregate_bytes_per_cycle, per_rank_bpc,
+                    pt.modeled_fraction * 100.0,
+                    pt.fell_back ? "  [up*/down* escape]" : "");
+
+        report.AddResult(name + "/" + std::to_string(c) + "ranks",
+                         pt.run.cycles, pt.run.microseconds, wall);
+
+        json::Object row;
+        row["topology"] = name;
+        row["scheme"] = std::string(net::RoutingSchemeName(scheme));
+        row["ranks"] = pt.compute_ranks;
+        row["total_ranks"] = pt.total_ranks;
+        row["cycles"] = pt.run.cycles;
+        row["simulated_microseconds"] = pt.run.microseconds;
+        row["wall_seconds"] = wall;
+        row["aggregate_bytes_per_cycle"] = pt.aggregate_bytes_per_cycle;
+        row["per_rank_bytes_per_cycle"] = per_rank_bpc;
+        row["fidelity"] = std::string(sim::FidelityModeName(mode));
+        row["modeled_fraction"] = pt.modeled_fraction;
+        row["routing_fell_back"] = pt.fell_back;
+        rows.push_back(json::Value(std::move(row)));
+
+        last = std::move(pt);
+      }
+    }
+
+    // Shape summary: per-rank bandwidth retention from the smallest to the
+    // largest swept size. A saturating fabric's retention collapses (the
+    // fixed bisection is shared by ever more streams); a scaling fabric's
+    // stays flat.
+    json::Object retention;
+    PrintRule();
+    for (const auto& [name, series] : per_rank) {
+      if (series.size() < 2) continue;
+      const double first = series.begin()->second;
+      const double last_bpc = series.rbegin()->second;
+      const double r = first > 0.0 ? last_bpc / first : 0.0;
+      retention[name] = r;
+      std::printf("per-rank bandwidth retention %-10s %.3f\n", name.c_str(),
+                  r);
+    }
+
+    json::Object scaleout;
+    scaleout["pattern"] = std::string("bisection-exchange");
+    scaleout["points"] = json::Value(std::move(rows));
+    scaleout["per_rank_retention"] = json::Value(retention);
+    report.SetSection("scaleout", json::Value(std::move(scaleout)));
+
+    int exit_code = 0;
+    if (cli.GetFlag("check-shape")) {
+      const double sat = cli.GetDouble("saturation-factor");
+      const double scale = cli.GetDouble("scaling-factor");
+      const double torus_r =
+          retention.count("torus") != 0 ? retention["torus"].as_double() : 1.0;
+      const double ft_r = retention.count("fat-tree") != 0
+                              ? retention["fat-tree"].as_double()
+                              : 0.0;
+      if (torus_r >= sat) {
+        std::fprintf(stderr,
+                     "SHAPE FAIL: torus per-rank retention %.3f >= %.3f "
+                     "(bisection did not saturate)\n",
+                     torus_r, sat);
+        exit_code = 1;
+      }
+      if (ft_r < scale) {
+        std::fprintf(stderr,
+                     "SHAPE FAIL: fat-tree per-rank retention %.3f < %.3f "
+                     "(collectives stopped scaling)\n",
+                     ft_r, scale);
+        exit_code = 1;
+      }
+      if (aggregate.count("torus") != 0 && aggregate.count("fat-tree") != 0) {
+        const double torus_agg = aggregate["torus"].rbegin()->second;
+        const double ft_agg = aggregate["fat-tree"].rbegin()->second;
+        if (ft_agg <= torus_agg) {
+          std::fprintf(stderr,
+                       "SHAPE FAIL: fat-tree aggregate %.1f B/cyc <= torus "
+                       "%.1f B/cyc at max ranks\n",
+                       ft_agg, torus_agg);
+          exit_code = 1;
+        }
+      }
+      if (exit_code == 0) {
+        std::printf(
+            "shape OK: torus saturates (%.3f < %.3f), fat-tree scales "
+            "(%.3f >= %.3f)\n",
+            torus_r, sat, ft_r, scale);
+      }
+    }
+
+    MaybeWriteObs(cli, report, last.telemetry);
+    MaybeWriteFidelity(report, last.telemetry.fidelity);
+    MaybeWriteReport(cli, report);
+    return exit_code;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -75,6 +75,39 @@ void CheckFidelity(const Value& fid, const std::string& file) {
   }
 }
 
+/// Optional "scaleout" section (bench_scaleout): per-point rows plus the
+/// per-rank retention summary the CI shape assertion reads.
+void CheckScaleout(const Value& sc, const std::string& file) {
+  Require(sc.is_object(), file, "\"scaleout\" is not an object");
+  Require(sc.contains("points") && sc.at("points").is_array(), file,
+          "scaleout missing array \"points\"");
+  Require(!sc.at("points").as_array().empty(), file,
+          "scaleout \"points\" is empty");
+  for (const Value& row : sc.at("points").as_array()) {
+    Require(row.is_object() && row.contains("topology") &&
+                row.at("topology").is_string(),
+            file, "scaleout point missing string \"topology\"");
+    Require(row.contains("scheme") && row.at("scheme").is_string(), file,
+            "scaleout point missing string \"scheme\"");
+    RequireFiniteNumber(row, "ranks", file);
+    RequireFiniteNumber(row, "total_ranks", file);
+    RequireFiniteNumber(row, "cycles", file);
+    RequireFiniteNumber(row, "aggregate_bytes_per_cycle", file);
+    RequireFiniteNumber(row, "per_rank_bytes_per_cycle", file);
+    RequireFiniteNumber(row, "modeled_fraction", file);
+    Require(row.contains("routing_fell_back") &&
+                row.at("routing_fell_back").is_bool(),
+            file, "scaleout point missing bool \"routing_fell_back\"");
+  }
+  Require(sc.contains("per_rank_retention") &&
+              sc.at("per_rank_retention").is_object(),
+          file, "scaleout missing object \"per_rank_retention\"");
+  for (const auto& [topo, r] : sc.at("per_rank_retention").as_object()) {
+    Require(r.is_number(), file,
+            "scaleout retention \"" + topo + "\" is not a finite number");
+  }
+}
+
 void CheckReport(const std::string& file) {
   Value doc;
   try {
@@ -99,6 +132,7 @@ void CheckReport(const std::string& file) {
     RequireFiniteNumber(row, "wall_seconds", file);
   }
   if (doc.contains("fidelity")) CheckFidelity(doc.at("fidelity"), file);
+  if (doc.contains("scaleout")) CheckScaleout(doc.at("scaleout"), file);
   std::printf("%s: ok (%zu results)\n", file.c_str(), results.size());
 }
 

@@ -18,7 +18,11 @@ int main(int argc, char** argv) {
   cli.AddString("topology", "", "input topology JSON file");
   cli.AddString("output", "routes.json", "output routing table JSON file");
   cli.AddString("scheme", "auto",
-                "routing scheme: auto | shortest-path | up-down");
+                "routing scheme: auto | shortest-path | up-down | "
+                "minimal-adaptive | valiant");
+  cli.AddInt("seed", 0,
+             "tie-break seed for the seeded schemes (minimal-adaptive, "
+             "valiant)");
   cli.AddFlag("print", "also print the per-pair hop counts");
   if (!cli.Parse(argc, argv)) return 2;
 
@@ -34,16 +38,29 @@ int main(int argc, char** argv) {
       scheme = smi::net::RoutingScheme::kShortestPath;
     } else if (cli.GetString("scheme") == "up-down") {
       scheme = smi::net::RoutingScheme::kUpDown;
+    } else if (cli.GetString("scheme") == "minimal-adaptive") {
+      scheme = smi::net::RoutingScheme::kMinimalAdaptive;
+    } else if (cli.GetString("scheme") == "valiant") {
+      scheme = smi::net::RoutingScheme::kValiant;
     } else if (cli.GetString("scheme") != "auto") {
       std::fprintf(stderr, "error: unknown scheme '%s'\n",
                    cli.GetString("scheme").c_str());
       return 2;
     }
-    const smi::net::RoutingTable routes = ComputeRoutes(topo, scheme);
+    bool fell_back = false;
+    const smi::net::RoutingTable routes = ComputeRoutes(
+        topo, scheme, static_cast<std::uint64_t>(cli.GetInt("seed")),
+        &fell_back);
     smi::json::WriteFile(cli.GetString("output"), routes.ToJson());
     std::printf("wrote routing tables for %d ranks to %s (deadlock-free: %s)\n",
                 topo.num_ranks(), cli.GetString("output").c_str(),
                 IsDeadlockFree(topo, routes) ? "yes" : "NO");
+    if (fell_back) {
+      std::printf(
+          "note: %s had a cyclic channel dependency graph on this topology; "
+          "fell back to the up*/down* escape tables\n",
+          smi::net::RoutingSchemeName(scheme));
+    }
     if (cli.GetFlag("print")) {
       for (int s = 0; s < topo.num_ranks(); ++s) {
         for (int d = 0; d < topo.num_ranks(); ++d) {

@@ -238,8 +238,8 @@ bool SendChannel::TryPushPacket(sim::Cycle now, const T* values, int n) {
 inline net::Packet SendChannel::MakeDataPacket(
     std::uint8_t count_in_packet) const {
   net::Packet pkt;
-  pkt.hdr.src = static_cast<std::uint8_t>(src_global_);
-  pkt.hdr.dst = static_cast<std::uint8_t>(peer_global_);
+  pkt.hdr.src = static_cast<std::uint16_t>(src_global_);
+  pkt.hdr.dst = static_cast<std::uint16_t>(peer_global_);
   pkt.hdr.port = static_cast<std::uint8_t>(port_);
   pkt.hdr.op = net::OpType::kData;
   pkt.hdr.count = count_in_packet;

@@ -13,10 +13,13 @@ Cluster::Cluster(const net::Topology& topology, std::vector<ProgramSpec> specs,
 
 Cluster::Cluster(const net::Topology& topology, const ProgramSpec& spmd_spec,
                  ClusterConfig config) {
-  Build(topology,
-        std::vector<ProgramSpec>(
-            static_cast<std::size_t>(topology.num_ranks()), spmd_spec),
-        config);
+  // SPMD replicates the program over the COMPUTE ranks only: switch ranks
+  // are forwarding-only and get an empty spec (no endpoints, no kernels).
+  std::vector<ProgramSpec> specs(static_cast<std::size_t>(topology.num_ranks()));
+  for (int r = 0; r < topology.num_ranks(); ++r) {
+    if (!topology.is_switch(r)) specs[static_cast<std::size_t>(r)] = spmd_spec;
+  }
+  Build(topology, std::move(specs), config);
 }
 
 void Cluster::Build(const net::Topology& topology,
@@ -25,6 +28,14 @@ void Cluster::Build(const net::Topology& topology,
   num_ranks_ = topology.num_ranks();
   if (specs.size() != static_cast<std::size_t>(num_ranks_)) {
     throw ConfigError("need one ProgramSpec per rank");
+  }
+  for (int r = 0; r < num_ranks_; ++r) {
+    is_switch_.push_back(topology.is_switch(r));
+    if (topology.is_switch(r) && !specs[static_cast<std::size_t>(r)].empty()) {
+      throw ConfigError("rank " + std::to_string(r) +
+                        " is a forwarding-only switch and cannot host a "
+                        "program");
+    }
   }
   engine_ = std::make_unique<sim::Engine>(config.engine);
 
@@ -36,11 +47,18 @@ void Cluster::Build(const net::Topology& topology,
     endpoints[static_cast<std::size_t>(r)].send_ports = spec.SendPorts();
     endpoints[static_cast<std::size_t>(r)].recv_ports = spec.RecvPorts();
   }
+  // Switch-rank topologies wire only a fraction of their declared ports per
+  // rank; building them densely would add dead CK pairs and crossbars (and
+  // switch P^2 cost). Sparse wiring changes arbiter input counts and hence
+  // cycle timing, so it is enabled only where no dense baseline exists.
+  transport::FabricConfig fabric_config = config.fabric;
+  if (topology.has_switches()) fabric_config.sparse_wiring = true;
   fabric_ = std::make_unique<transport::Fabric>(*engine_, topology,
                                                 std::move(endpoints),
-                                                config.fabric);
+                                                fabric_config);
 
-  routes_ = net::ComputeRoutes(topology, config.routing);
+  routes_ = net::ComputeRoutes(topology, config.routing, config.routing_seed,
+                               &routing_fell_back_);
   fabric_->UploadRoutes(routes_);
 
   // Contexts + collective support kernels. Tagging with the rank keeps the
@@ -111,6 +129,11 @@ void Cluster::AddMemoryBanks(int rank, int count, double words_per_cycle) {
 
 void Cluster::AddKernel(int rank, sim::Kernel kernel, const std::string& name) {
   (void)context(rank);  // range check
+  if (is_switch_[static_cast<std::size_t>(rank)]) {
+    throw ConfigError("rank " + std::to_string(rank) +
+                      " is a forwarding-only switch and cannot host kernel " +
+                      name);
+  }
   sim::PartitionTagScope tag(*engine_, rank);
   engine_->AddKernel(std::move(kernel),
                      "r" + std::to_string(rank) + "." + name,

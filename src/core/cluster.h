@@ -33,6 +33,9 @@ struct ClusterConfig {
   transport::FabricConfig fabric;
   sim::EngineConfig engine;
   net::RoutingScheme routing = net::RoutingScheme::kAuto;
+  /// Tie-break seed for the seeded routing schemes (minimal-adaptive,
+  /// Valiant); ignored by the others. See net::ComputeRoutes.
+  std::uint64_t routing_seed = 0;
   /// Depth of the FIFOs between applications and collective support kernels.
   std::size_t coll_fifo_depth = 16;
 };
@@ -115,6 +118,9 @@ class Cluster {
   sim::Engine& engine() { return *engine_; }
   transport::Fabric& fabric() { return *fabric_; }
   const net::RoutingTable& routes() const { return routes_; }
+  /// True when a seeded scheme's table failed the CDG acyclicity check and
+  /// the up*/down* escape table was uploaded instead.
+  bool routing_fell_back() const { return routing_fell_back_; }
 
  private:
   void Build(const net::Topology& topology, std::vector<ProgramSpec> specs,
@@ -125,6 +131,8 @@ class Cluster {
   std::unique_ptr<transport::Fabric> fabric_;
   net::RoutingTable routes_{1};
   std::vector<Context> contexts_;
+  std::vector<bool> is_switch_;
+  bool routing_fell_back_ = false;
 };
 
 }  // namespace smi::core

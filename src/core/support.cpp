@@ -47,8 +47,8 @@ int MyCommRank(const CollConfig& cfg, int my_global, const char* kernel) {
 
 Packet MakeSync(const SupportCtx& ctx, int dst_global, OpType op) {
   Packet p;
-  p.hdr.src = static_cast<std::uint8_t>(ctx.my_global);
-  p.hdr.dst = static_cast<std::uint8_t>(dst_global);
+  p.hdr.src = static_cast<std::uint16_t>(ctx.my_global);
+  p.hdr.dst = static_cast<std::uint16_t>(dst_global);
   p.hdr.port = static_cast<std::uint8_t>(ctx.port);
   p.hdr.op = op;
   p.hdr.count = 0;
@@ -146,7 +146,7 @@ Kernel BcastSupportKernel(SupportCtx ctx) {
         data.hdr.count = static_cast<std::uint8_t>(chunk);
         for (int r = 0; r < n; ++r) {
           if (r == cfg.root_comm) continue;
-          data.hdr.dst = static_cast<std::uint8_t>(
+          data.hdr.dst = static_cast<std::uint16_t>(
               cfg.comm_global[static_cast<std::size_t>(r)]);
           co_await fifo_push(*ctx.net_out, data);
         }

@@ -72,8 +72,8 @@ int MyCommRank(const CollConfig& cfg, int my_global, const char* kernel) {
 
 Packet MakeSync(const SupportCtx& ctx, int dst_global, OpType op) {
   Packet p;
-  p.hdr.src = static_cast<std::uint8_t>(ctx.my_global);
-  p.hdr.dst = static_cast<std::uint8_t>(dst_global);
+  p.hdr.src = static_cast<std::uint16_t>(ctx.my_global);
+  p.hdr.dst = static_cast<std::uint16_t>(dst_global);
   p.hdr.port = static_cast<std::uint8_t>(ctx.port);
   p.hdr.op = op;
   return p;
@@ -267,8 +267,8 @@ Kernel AllreduceSupportKernel(SupportCtx ctx, CollAlgo algo) {
       // (5) Forward the staged/current down packet to one child per cycle.
       if (!fwd_pending.empty() && ctx.net_out->CanPush(now)) {
         Packet p = is_root ? down_pkt : cur_down;
-        p.hdr.src = static_cast<std::uint8_t>(ctx.my_global);
-        p.hdr.dst = static_cast<std::uint8_t>(fwd_pending.back());
+        p.hdr.src = static_cast<std::uint16_t>(ctx.my_global);
+        p.hdr.dst = static_cast<std::uint16_t>(fwd_pending.back());
         ctx.net_out->Push(p, now);
         fwd_pending.pop_back();
       }

@@ -50,8 +50,8 @@ int MyCommRank(const CollConfig& cfg, int my_global, const char* kernel) {
 
 Packet MakeSync(const SupportCtx& ctx, int dst_global, OpType op) {
   Packet p;
-  p.hdr.src = static_cast<std::uint8_t>(ctx.my_global);
-  p.hdr.dst = static_cast<std::uint8_t>(dst_global);
+  p.hdr.src = static_cast<std::uint16_t>(ctx.my_global);
+  p.hdr.dst = static_cast<std::uint16_t>(dst_global);
   p.hdr.port = static_cast<std::uint8_t>(ctx.port);
   p.hdr.op = op;
   return p;
@@ -142,8 +142,8 @@ Kernel TreeBcastSupportKernel(SupportCtx ctx) {
       }
       // Forward to every child.
       for (const int child : children) {
-        data.hdr.dst = static_cast<std::uint8_t>(RelToGlobal(cfg, child));
-        data.hdr.src = static_cast<std::uint8_t>(ctx.my_global);
+        data.hdr.dst = static_cast<std::uint16_t>(RelToGlobal(cfg, child));
+        data.hdr.src = static_cast<std::uint16_t>(ctx.my_global);
         co_await fifo_push(*ctx.net_out, data);
       }
       done += data.hdr.count;

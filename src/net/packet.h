@@ -19,6 +19,17 @@
 /// ... to mitigate the penalty of packet switching"); the API-level types
 /// are wider, and the transport refuses to build fabrics that exceed the
 /// wire limits.
+///
+/// ## Scale-out wide header
+///
+/// The compact 4-byte header caps a fabric at 256 ranks. Scale-out
+/// topologies (fat-tree/dragonfly with forwarding-only switch ranks; see
+/// net/topology.h) need more: fabrics larger than 256 ranks use the *wide*
+/// header — 12-bit source/destination ranks, the same 8-bit port and 3/5-bit
+/// op/count fields — packed into 40 bits. `Header` carries 16-bit rank
+/// fields so both encodings are lossless within their limits; the transport
+/// picks the format from the fabric's rank count and keeps the compact
+/// paper layout (and its exact wire image) whenever the fabric fits in it.
 
 #include <array>
 #include <cstdint>
@@ -31,11 +42,18 @@ inline constexpr std::size_t kPacketBytes = 32;
 inline constexpr std::size_t kHeaderBytes = 4;
 inline constexpr std::size_t kPayloadBytes = kPacketBytes - kHeaderBytes;
 
-/// Maximum rank/port representable in the 8-bit wire header fields.
+/// Maximum rank/port representable in the 8-bit compact wire header fields.
 inline constexpr int kMaxWireRank = 255;
 inline constexpr int kMaxWirePort = 255;
+/// Maximum rank representable in the 12-bit wide (scale-out) header field.
+inline constexpr int kMaxWideWireRank = 4095;
 /// Maximum payload item count representable in the 5-bit field.
 inline constexpr unsigned kMaxWireCount = 31;
+
+/// Wire header layout. kCompact is the paper's 4-byte header (8-bit ranks);
+/// kWide is the 40-bit scale-out layout (12-bit ranks) used by fabrics with
+/// more than 256 ranks.
+enum class WireFormat : std::uint8_t { kCompact, kWide };
 
 /// Operation type (3-bit field).
 enum class OpType : std::uint8_t {
@@ -46,20 +64,25 @@ enum class OpType : std::uint8_t {
 
 const char* OpTypeName(OpType op);
 
-/// Decoded packet header. `Encode`/`Decode` implement the exact wire layout.
+/// Decoded packet header. `Encode`/`Decode` implement the exact compact
+/// wire layout; `EncodeWide`/`DecodeWide` the 40-bit scale-out layout. The
+/// rank fields are 16-bit at the API level so a single struct serves both
+/// formats losslessly within their respective limits.
 struct Header {
-  std::uint8_t src = 0;
-  std::uint8_t dst = 0;
+  std::uint16_t src = 0;
+  std::uint16_t dst = 0;
   std::uint8_t port = 0;
   OpType op = OpType::kData;
   std::uint8_t count = 0;  ///< valid data items in the payload (<= 31)
 
-  /// Pack into the 32-bit wire representation. `op` is masked to its 3-bit
-  /// field: an out-of-range value must not bleed into the adjacent `count`
-  /// bits (Decode(Encode(h)) == h for all field extremes).
+  /// Pack into the 32-bit compact wire representation. `op` is masked to
+  /// its 3-bit field: an out-of-range value must not bleed into the
+  /// adjacent `count` bits (Decode(Encode(h)) == h for all field extremes).
+  /// Ranks beyond 255 truncate, exactly the reference implementation's
+  /// wire behaviour; fabrics that need more use the wide format.
   std::uint32_t Encode() const {
-    return static_cast<std::uint32_t>(src) |
-           (static_cast<std::uint32_t>(dst) << 8) |
+    return (static_cast<std::uint32_t>(src) & 0xffu) |
+           ((static_cast<std::uint32_t>(dst) & 0xffu) << 8) |
            (static_cast<std::uint32_t>(port) << 16) |
            ((static_cast<std::uint32_t>(op) & 0x7u) << 24) |
            (static_cast<std::uint32_t>(count & kMaxWireCount) << 27);
@@ -67,16 +90,36 @@ struct Header {
 
   static Header Decode(std::uint32_t wire) {
     Header h;
-    h.src = static_cast<std::uint8_t>(wire & 0xff);
-    h.dst = static_cast<std::uint8_t>((wire >> 8) & 0xff);
+    h.src = static_cast<std::uint16_t>(wire & 0xff);
+    h.dst = static_cast<std::uint16_t>((wire >> 8) & 0xff);
     h.port = static_cast<std::uint8_t>((wire >> 16) & 0xff);
     h.op = static_cast<OpType>((wire >> 24) & 0x7);
     h.count = static_cast<std::uint8_t>((wire >> 27) & kMaxWireCount);
     return h;
   }
 
+  /// Pack into the 40-bit wide wire representation:
+  /// src 12 | dst 12 | port 8 | op 3 | count 5.
+  std::uint64_t EncodeWide() const {
+    return (static_cast<std::uint64_t>(src) & 0xfffu) |
+           ((static_cast<std::uint64_t>(dst) & 0xfffu) << 12) |
+           (static_cast<std::uint64_t>(port) << 24) |
+           ((static_cast<std::uint64_t>(op) & 0x7u) << 32) |
+           (static_cast<std::uint64_t>(count & kMaxWireCount) << 35);
+  }
+
+  static Header DecodeWide(std::uint64_t wire) {
+    Header h;
+    h.src = static_cast<std::uint16_t>(wire & 0xfff);
+    h.dst = static_cast<std::uint16_t>((wire >> 12) & 0xfff);
+    h.port = static_cast<std::uint8_t>((wire >> 24) & 0xff);
+    h.op = static_cast<OpType>((wire >> 32) & 0x7);
+    h.count = static_cast<std::uint8_t>((wire >> 35) & kMaxWireCount);
+    return h;
+  }
+
   friend bool operator==(const Header& a, const Header& b) {
-    return a.Encode() == b.Encode();
+    return a.EncodeWide() == b.EncodeWide();
   }
 };
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <array>
+#include <numeric>
 #include <queue>
+#include <unordered_set>
 
 #include "common/error.h"
 
@@ -231,66 +233,243 @@ bool IsUpEdge(const std::vector<int>& level, int u, int v) {
   return lv < lu || (lv == lu && v < u);
 }
 
+/// Destination-based up*/down* routing, one backward pass per destination
+/// over (rank, phase) states — O(n * E) total, replacing the original
+/// per-(src,dst) forward BFS whose O(n^2 * E) cost was prohibitive at 512
+/// ranks.
+///
+/// Because the routing table is memoryless (one port per (rank, dst)), the
+/// per-rank choices must COMPOSE into legal up*-then-down* trajectories; a
+/// rank cannot know whether the packet already descended. The rule that
+/// guarantees this: a rank forwards along an all-down path whenever one
+/// exists (phase-1 state reachable backward from dst), and climbs otherwise.
+/// A down-hop lands on a rank that again has an all-down path (one hop
+/// shorter), so no realized trajectory ever turns back up after descending,
+/// and every channel dependency is up->up, up->down or down->down — the
+/// Dally & Seitz acyclicity argument for up*/down* applies verbatim.
+///
+/// Termination: up-hops strictly descend the (level, id) potential and
+/// down-hops strictly shrink the all-down distance; climb ranks have no
+/// all-down path while descent ranks do, so the two segments cannot share a
+/// rank and every route is simple (at most n-1 hops).
 RoutingTable UpDownRoutes(const Topology& topo) {
   const int n = topo.num_ranks();
   const std::vector<int> level = BfsLevels(topo);
+  // Ranks sorted by the up*/down* potential (level, id) ascending: every up
+  // edge points to a rank strictly earlier in this order, so a single
+  // in-order sweep resolves the climb lengths.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&level](int a, int b) {
+    const int la = level[static_cast<std::size_t>(a)];
+    const int lb = level[static_cast<std::size_t>(b)];
+    return la != lb ? la < lb : a < b;
+  });
+
   RoutingTable table(n);
-  // For each destination, BFS backwards over legal up*/down* transitions.
-  // State: (rank, phase) with phase 0 = still allowed to go up, 1 = already
-  // went down. We search forward from every source instead: BFS over states
-  // from (src, up) until dst is reached, remembering the first hop.
-  for (int src = 0; src < n; ++src) {
-    for (int dst = 0; dst < n; ++dst) {
-      if (src == dst) continue;
-      struct State {
-        int rank;
-        int phase;  // 0 = up phase, 1 = down phase
-      };
-      std::vector<std::array<int, 2>> first_port(
-          static_cast<std::size_t>(n), std::array<int, 2>{-1, -1});
-      std::vector<std::array<bool, 2>> seen(static_cast<std::size_t>(n),
-                                            std::array<bool, 2>{false, false});
-      std::queue<State> queue;
-      queue.push(State{src, 0});
-      seen[static_cast<std::size_t>(src)][0] = true;
-      int found_port = -1;
-      while (!queue.empty() && found_port == -1) {
-        const State s = queue.front();
-        queue.pop();
-        for (const auto& [nbr, port] : topo.Neighbors(s.rank)) {
-          const bool up = IsUpEdge(level, s.rank, nbr);
-          int next_phase;
-          if (up) {
-            if (s.phase == 1) continue;  // down->up is illegal
-            next_phase = 0;
-          } else {
-            next_phase = 1;
-          }
-          if (seen[static_cast<std::size_t>(nbr)]
-                  [static_cast<std::size_t>(next_phase)]) {
-            continue;
-          }
-          seen[static_cast<std::size_t>(nbr)]
-              [static_cast<std::size_t>(next_phase)] = true;
-          const int fp = (s.rank == src)
-                             ? port
-                             : first_port[static_cast<std::size_t>(s.rank)]
-                                         [static_cast<std::size_t>(s.phase)];
-          first_port[static_cast<std::size_t>(nbr)]
-                    [static_cast<std::size_t>(next_phase)] = fp;
-          if (nbr == dst) {
-            found_port = fp;
-            break;
-          }
-          queue.push(State{nbr, next_phase});
+  std::vector<int> down_dist(static_cast<std::size_t>(n));
+  std::vector<int> route_len(static_cast<std::size_t>(n));
+  for (int dst = 0; dst < n; ++dst) {
+    // Backward BFS from dst over down edges (u -> v is down iff v -> u is
+    // up): down_dist[r] = length of the shortest all-down path r -> dst,
+    // -1 when none exists. This is the phase-1 half of the (rank, phase)
+    // state space; the phase-0 (climb) half is resolved in the sweep below.
+    std::fill(down_dist.begin(), down_dist.end(), -1);
+    down_dist[static_cast<std::size_t>(dst)] = 0;
+    std::queue<int> queue;
+    queue.push(dst);
+    while (!queue.empty()) {
+      const int v = queue.front();
+      queue.pop();
+      for (const auto& [u, port_on_v] : topo.Neighbors(v)) {
+        (void)port_on_v;
+        if (IsUpEdge(level, v, u) &&
+            down_dist[static_cast<std::size_t>(u)] == -1) {
+          down_dist[static_cast<std::size_t>(u)] =
+              down_dist[static_cast<std::size_t>(v)] + 1;
+          queue.push(u);
         }
       }
-      if (found_port == -1) {
-        throw RoutingError("no up*/down* route from rank " +
-                           std::to_string(src) + " to rank " +
-                           std::to_string(dst));
+    }
+    // Rank 0 always has an all-down path (the BFS tree itself descends), so
+    // climbs terminate; every other rank has an up edge (its tree parent).
+    std::fill(route_len.begin(), route_len.end(), -1);
+    for (const int r : order) {
+      if (r == dst) {
+        route_len[static_cast<std::size_t>(r)] = 0;
+        continue;
       }
-      table.set_next_port(src, dst, found_port);
+      if (down_dist[static_cast<std::size_t>(r)] >= 0) {
+        // Descend: lowest port whose down peer is one hop closer to dst.
+        route_len[static_cast<std::size_t>(r)] =
+            down_dist[static_cast<std::size_t>(r)];
+        for (const auto& [nbr, port] : topo.Neighbors(r)) {
+          if (IsUpEdge(level, nbr, r) &&
+              down_dist[static_cast<std::size_t>(nbr)] ==
+                  down_dist[static_cast<std::size_t>(r)] - 1) {
+            table.set_next_port(r, dst, port);
+            break;
+          }
+        }
+      } else {
+        // Climb: lowest port among up neighbours with the shortest route.
+        int best_len = -1;
+        int best_port = -1;
+        for (const auto& [nbr, port] : topo.Neighbors(r)) {
+          if (!IsUpEdge(level, r, nbr)) continue;
+          const int len = route_len[static_cast<std::size_t>(nbr)];
+          if (len >= 0 && (best_len == -1 || len + 1 < best_len)) {
+            best_len = len + 1;
+            best_port = port;
+          }
+        }
+        if (best_port == -1) {
+          throw RoutingError("no up*/down* route from rank " +
+                             std::to_string(r) + " to rank " +
+                             std::to_string(dst));
+        }
+        route_len[static_cast<std::size_t>(r)] = best_len;
+        table.set_next_port(r, dst, best_port);
+      }
+    }
+  }
+  return table;
+}
+
+/// SplitMix64 finalizer: the stateless counter-mode hash used for all
+/// seeded routing tie-breaks, so tables depend only on (seed, rank, dst)
+/// and stay bit-identical across schedulers and platforms.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Seeded per-rank rotation for the minimal-port choice. The pick is
+/// (rotation(seed, rank) + key) mod count: consecutive destinations
+/// round-robin over the minimal ports (the classic D-mod-k fat-tree
+/// spreading) instead of hashing each (rank, dst) independently. A pure
+/// hash is balls-into-bins — with 8 flows over 8 spine links some link
+/// draws 3 and the whole exchange runs at a third of the fabric rate —
+/// while the rotation keeps any window of consecutive destinations spread
+/// evenly; the seed still de-correlates the rotations across ranks.
+std::uint64_t PortRotation(std::uint64_t seed, int rank) {
+  return Mix(Mix(seed) ^
+             (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank))
+              << 32));
+}
+
+/// BFS distances of every rank to `dst` (hop counts over the undirected
+/// connection graph). Throws if some rank cannot reach dst.
+std::vector<int> DistancesTo(const Topology& topo, int dst) {
+  const int n = topo.num_ranks();
+  std::vector<int> dist(static_cast<std::size_t>(n), -1);
+  std::queue<int> queue;
+  dist[static_cast<std::size_t>(dst)] = 0;
+  queue.push(dst);
+  while (!queue.empty()) {
+    const int at = queue.front();
+    queue.pop();
+    for (const auto& [nbr, port] : topo.Neighbors(at)) {
+      (void)port;
+      if (dist[static_cast<std::size_t>(nbr)] == -1) {
+        dist[static_cast<std::size_t>(nbr)] =
+            dist[static_cast<std::size_t>(at)] + 1;
+        queue.push(nbr);
+      }
+    }
+  }
+  for (int r = 0; r < n; ++r) {
+    if (dist[static_cast<std::size_t>(r)] == -1) {
+      throw RoutingError("rank " + std::to_string(r) + " cannot reach rank " +
+                         std::to_string(dst));
+    }
+  }
+  return dist;
+}
+
+/// The seeded-minimal port of `r` under the distance field `dist`: among
+/// all ports leading one hop closer, pick index (rotation(seed, r) + key)
+/// mod count (see PortRotation). `key` identifies the routing decision
+/// (the table destination), which may differ from the BFS target (Valiant
+/// keys on the final destination while steering toward the intermediate).
+int SeededMinimalPort(const Topology& topo, const std::vector<int>& dist,
+                      int r, int key, std::uint64_t seed) {
+  int count = 0;
+  for (const auto& [nbr, port] : topo.Neighbors(r)) {
+    (void)port;
+    if (dist[static_cast<std::size_t>(nbr)] ==
+        dist[static_cast<std::size_t>(r)] - 1) {
+      ++count;
+    }
+  }
+  if (count == 0) {
+    throw RoutingError("internal: no minimal port at rank " +
+                       std::to_string(r));
+  }
+  const int pick = static_cast<int>(
+      (PortRotation(seed, r) + static_cast<std::uint32_t>(key)) %
+      static_cast<unsigned>(count));
+  int i = 0;
+  for (const auto& [nbr, port] : topo.Neighbors(r)) {
+    if (dist[static_cast<std::size_t>(nbr)] ==
+        dist[static_cast<std::size_t>(r)] - 1) {
+      if (i == pick) return port;
+      ++i;
+    }
+  }
+  throw RoutingError("internal: no minimal port at rank " + std::to_string(r));
+}
+
+/// Minimal-adaptive: every (rank, dst) entry picks uniformly (seeded)
+/// among ALL ports on shortest paths, instead of always the lowest one.
+/// On multipath topologies (fat-tree spines, dragonfly gateways) this
+/// spreads flows across equal-cost channels; plain BFS would funnel every
+/// route through the lowest-numbered switch.
+RoutingTable MinimalAdaptiveRoutes(const Topology& topo, std::uint64_t seed) {
+  const int n = topo.num_ranks();
+  RoutingTable table(n);
+  for (int dst = 0; dst < n; ++dst) {
+    const std::vector<int> dist = DistancesTo(topo, dst);
+    for (int r = 0; r < n; ++r) {
+      if (r == dst) continue;
+      table.set_next_port(r, dst, SeededMinimalPort(topo, dist, r, dst, seed));
+    }
+  }
+  return table;
+}
+
+/// Valiant routing: per destination, a seeded random intermediate rank w.
+/// Ranks on the canonical (seeded-minimal) w -> dst path forward along it;
+/// every other rank steers seeded-minimal toward w. Trajectories are
+/// loop-free because the distance to w strictly shrinks until the packet
+/// joins the canonical path (at w or earlier), after which the distance to
+/// dst strictly shrinks along it.
+RoutingTable ValiantRoutes(const Topology& topo, std::uint64_t seed) {
+  const int n = topo.num_ranks();
+  RoutingTable table(n);
+  for (int dst = 0; dst < n; ++dst) {
+    const std::vector<int> dist_dst = DistancesTo(topo, dst);
+    const int w = static_cast<int>(Mix(Mix(seed ^ 0x76616c69616e74ull) ^
+                                       static_cast<std::uint32_t>(dst)) %
+                                   static_cast<unsigned>(n));
+    // Canonical w -> dst path under the same seeded-minimal choices.
+    std::vector<bool> on_path(static_cast<std::size_t>(n), false);
+    on_path[static_cast<std::size_t>(dst)] = true;
+    int at = w;
+    while (at != dst) {
+      const int port = SeededMinimalPort(topo, dist_dst, at, dst, seed);
+      on_path[static_cast<std::size_t>(at)] = true;
+      table.set_next_port(at, dst, port);
+      at = topo.Peer(PortId{at, port})->rank;
+    }
+    // Off-path ranks steer toward w (pure seeded-minimal toward dst when
+    // the intermediate degenerates to dst itself).
+    const std::vector<int> dist_w = w == dst ? dist_dst : DistancesTo(topo, w);
+    for (int r = 0; r < n; ++r) {
+      if (r == dst || on_path[static_cast<std::size_t>(r)]) continue;
+      table.set_next_port(r, dst, SeededMinimalPort(topo, dist_w, r, dst, seed));
     }
   }
   return table;
@@ -307,13 +486,32 @@ bool IsDeadlockFree(const Topology& topo, const RoutingTable& routes) {
   const int channels = n * p;
   std::vector<std::vector<int>> deps(static_cast<std::size_t>(channels));
   const auto chan_id = [p](int rank, int port) { return rank * p + port; };
+  // Dedup dependency edges: many (src, dst) pairs traverse the same channel
+  // pair, and without dedup the CDG grows O(n^2 * path) instead of
+  // O(channels * degree) — prohibitive at 512 ranks.
+  std::unordered_set<std::uint64_t> seen_edges;
 
   for (int src = 0; src < n; ++src) {
+    // Traffic originates and terminates only at compute ranks: switch ranks
+    // are forwarding-only (no endpoints), so routes addressed to or from
+    // them carry no packets and must not contribute dependency edges. (On a
+    // fat-tree, the spine-to-spine route dips down through a leaf and climbs
+    // back up — a down->up edge that would close a cycle with the ordinary
+    // up-then-down traffic even though no such packet can ever exist.)
+    if (topo.is_switch(src)) continue;
     for (int dst = 0; dst < n; ++dst) {
-      if (src == dst) continue;
+      if (src == dst || topo.is_switch(dst)) continue;
       int at = src;
       int prev_chan = -1;
+      int hops = 0;
       while (at != dst) {
+        // Same guard as Path(): a structurally valid table can still walk a
+        // packet in a circle; without the bound this loop never exits.
+        if (++hops > n) {
+          throw RoutingError("routing loop detected from rank " +
+                             std::to_string(src) + " to rank " +
+                             std::to_string(dst));
+        }
         const int port = routes.next_port(at, dst);
         if (port < 0) {
           throw RoutingError("incomplete routing table at rank " +
@@ -321,7 +519,13 @@ bool IsDeadlockFree(const Topology& topo, const RoutingTable& routes) {
         }
         const int cur_chan = chan_id(at, port);
         if (prev_chan != -1) {
-          deps[static_cast<std::size_t>(prev_chan)].push_back(cur_chan);
+          const std::uint64_t key =
+              (static_cast<std::uint64_t>(static_cast<std::uint32_t>(prev_chan))
+               << 32) |
+              static_cast<std::uint32_t>(cur_chan);
+          if (seen_edges.insert(key).second) {
+            deps[static_cast<std::size_t>(prev_chan)].push_back(cur_chan);
+          }
         }
         prev_chan = cur_chan;
         at = topo.Peer(PortId{at, port})->rank;
@@ -357,7 +561,25 @@ bool IsDeadlockFree(const Topology& topo, const RoutingTable& routes) {
   return true;
 }
 
-RoutingTable ComputeRoutes(const Topology& topo, RoutingScheme scheme) {
+const char* RoutingSchemeName(RoutingScheme scheme) {
+  switch (scheme) {
+    case RoutingScheme::kShortestPath:
+      return "shortest-path";
+    case RoutingScheme::kUpDown:
+      return "up-down";
+    case RoutingScheme::kAuto:
+      return "auto";
+    case RoutingScheme::kMinimalAdaptive:
+      return "minimal-adaptive";
+    case RoutingScheme::kValiant:
+      return "valiant";
+  }
+  return "unknown";
+}
+
+RoutingTable ComputeRoutes(const Topology& topo, RoutingScheme scheme,
+                           std::uint64_t seed, bool* fell_back) {
+  if (fell_back) *fell_back = false;
   if (!topo.IsConnected()) {
     throw RoutingError("topology is not connected");
   }
@@ -376,6 +598,18 @@ RoutingTable ComputeRoutes(const Topology& topo, RoutingScheme scheme) {
     case RoutingScheme::kAuto: {
       RoutingTable table = ShortestPathRoutes(topo);
       if (IsDeadlockFree(topo, table)) return table;
+      return UpDownRoutes(topo);
+    }
+    case RoutingScheme::kMinimalAdaptive: {
+      RoutingTable table = MinimalAdaptiveRoutes(topo, seed);
+      if (IsDeadlockFree(topo, table)) return table;
+      if (fell_back) *fell_back = true;
+      return UpDownRoutes(topo);
+    }
+    case RoutingScheme::kValiant: {
+      RoutingTable table = ValiantRoutes(topo, seed);
+      if (IsDeadlockFree(topo, table)) return table;
+      if (fell_back) *fell_back = true;
       return UpDownRoutes(topo);
     }
   }

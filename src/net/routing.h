@@ -10,12 +10,26 @@
 /// communication kernels at runtime; changing the topology or rank count
 /// never requires rebuilding the fabric.
 ///
-/// Two schemes are provided:
+/// Four schemes are provided:
 ///  * shortest-path (BFS with deterministic tie-breaking), verified
 ///    deadlock-free via a channel-dependency-graph acyclicity check;
 ///  * up*/down* routing over a BFS spanning tree, which is deadlock-free by
 ///    construction on any connected topology and is used as the fallback
-///    when shortest-path routing has a cyclic channel dependency graph.
+///    when another scheme has a cyclic channel dependency graph;
+///  * minimal-adaptive: per-hop choice among ALL minimal next-ports with a
+///    deterministic seeded tie-break, spreading traffic across equal-cost
+///    paths (e.g. fat-tree spines) instead of always picking the lowest
+///    port. "Adaptive" in the offline, seeded sense: the choice varies per
+///    (rank, destination, seed) but is fixed before upload so all three
+///    simulator schedulers stay bit-identical;
+///  * Valiant: route via a seeded random intermediate rank per destination
+///    (minimal to the intermediate, then minimal onward), trading path
+///    length for load balance on adversarial patterns.
+///
+/// Minimal-adaptive and Valiant tables are passed through the CDG
+/// acyclicity check; when cyclic (e.g. torus rings, dragonfly global
+/// loops), ComputeRoutes falls back to up*/down* as the escape path, like
+/// kAuto does for shortest-path.
 
 #include <cstdint>
 #include <string>
@@ -66,20 +80,38 @@ class RoutingTable {
 };
 
 enum class RoutingScheme {
-  kShortestPath,  ///< BFS shortest path, deterministic tie-break
-  kUpDown,        ///< up*/down* over a BFS spanning tree
-  kAuto,          ///< shortest path if its CDG is acyclic, else up*/down*
+  kShortestPath,     ///< BFS shortest path, deterministic tie-break
+  kUpDown,           ///< up*/down* over a BFS spanning tree
+  kAuto,             ///< shortest path if its CDG is acyclic, else up*/down*
+  kMinimalAdaptive,  ///< seeded choice among minimal ports, up*/down* escape
+  kValiant,          ///< seeded random intermediate rank, up*/down* escape
 };
+
+const char* RoutingSchemeName(RoutingScheme scheme);
 
 /// Compute a routing table for `topo` with the given scheme. Throws
 /// RoutingError if the topology is disconnected, or if kShortestPath is
 /// requested explicitly and its channel dependency graph has a cycle.
-RoutingTable ComputeRoutes(const Topology& topo, RoutingScheme scheme);
+///
+/// `seed` feeds the deterministic tie-breaks of kMinimalAdaptive and
+/// kValiant (ignored by the other schemes). If `fell_back` is non-null it
+/// is set to true when a kMinimalAdaptive/kValiant table failed the CDG
+/// acyclicity check and the up*/down* escape table was returned instead
+/// (and to false otherwise, including for kAuto's own fallback).
+RoutingTable ComputeRoutes(const Topology& topo, RoutingScheme scheme,
+                           std::uint64_t seed = 0,
+                           bool* fell_back = nullptr);
 
 /// Build the channel dependency graph of `routes` over `topo` and check it
 /// for cycles. Channels are directed cable traversals; an edge connects two
-/// channels used consecutively by some route. Acyclicity implies freedom
-/// from routing-induced deadlock (Dally & Seitz).
+/// channels used consecutively by some route (deduplicated, so the CDG
+/// stays O(channels * degree) regardless of how many rank pairs share a
+/// channel pair). Acyclicity implies freedom from routing-induced deadlock
+/// (Dally & Seitz). Only compute-to-compute routes contribute edges:
+/// switch ranks are forwarding-only, so no packet is ever injected at or
+/// addressed to one, and their table entries are dead. Throws RoutingError
+/// if a live route, while structurally valid, walks a packet in a cycle
+/// (same guard as RoutingTable::Path).
 bool IsDeadlockFree(const Topology& topo, const RoutingTable& routes);
 
 }  // namespace smi::net

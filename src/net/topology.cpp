@@ -1,5 +1,6 @@
 #include "net/topology.h"
 
+#include <algorithm>
 #include <queue>
 
 #include "common/error.h"
@@ -14,6 +15,36 @@ Topology::Topology(int num_ranks, int ports_per_rank)
   }
   peer_.resize(static_cast<std::size_t>(num_ranks) *
                static_cast<std::size_t>(ports_per_rank));
+  switch_.assign(static_cast<std::size_t>(num_ranks), false);
+}
+
+void Topology::MarkSwitch(int rank) {
+  if (rank < 0 || rank >= num_ranks_) {
+    throw ConfigError("switch rank out of range: " + std::to_string(rank));
+  }
+  if (!switch_[static_cast<std::size_t>(rank)]) {
+    switch_[static_cast<std::size_t>(rank)] = true;
+    ++num_switch_ranks_;
+    if (num_switch_ranks_ == num_ranks_) {
+      throw ConfigError("topology cannot be all switch ranks");
+    }
+  }
+}
+
+bool Topology::is_switch(int rank) const {
+  if (rank < 0 || rank >= num_ranks_) {
+    throw ConfigError("rank out of range: " + std::to_string(rank));
+  }
+  return switch_[static_cast<std::size_t>(rank)];
+}
+
+std::vector<int> Topology::ComputeRankIds() const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(num_compute_ranks()));
+  for (int r = 0; r < num_ranks_; ++r) {
+    if (!switch_[static_cast<std::size_t>(r)]) out.push_back(r);
+  }
+  return out;
 }
 
 int Topology::Index(PortId p) const {
@@ -135,6 +166,80 @@ Topology Topology::Clique(int n) {
   return t;
 }
 
+Topology Topology::FatTree(int hosts_per_leaf, int leaves, int spines) {
+  if (hosts_per_leaf < 1 || leaves < 1 || spines < 1) {
+    throw ConfigError("fat-tree needs hosts_per_leaf, leaves, spines >= 1");
+  }
+  const int hosts = hosts_per_leaf * leaves;
+  const int num_ranks = hosts + leaves + spines;
+  // Hosts need 1 port; leaves need hosts_per_leaf (down) + spines (up);
+  // spines need one port per leaf. Port counts are uniform per rank, so use
+  // the max; unused ports stay unwired.
+  const int ports = std::max(hosts_per_leaf + spines, std::max(leaves, 1));
+  Topology t(num_ranks, ports);
+  // Host h -> its leaf: host port 0, leaf port (h mod hosts_per_leaf).
+  for (int h = 0; h < hosts; ++h) {
+    const int leaf = hosts + h / hosts_per_leaf;
+    t.Connect(PortId{h, 0}, PortId{leaf, h % hosts_per_leaf});
+  }
+  // Leaf l -> spine s: leaf port hosts_per_leaf + s, spine port l.
+  for (int l = 0; l < leaves; ++l) {
+    for (int s = 0; s < spines; ++s) {
+      t.Connect(PortId{hosts + l, hosts_per_leaf + s},
+                PortId{hosts + leaves + s, l});
+    }
+  }
+  for (int r = hosts; r < num_ranks; ++r) t.MarkSwitch(r);
+  return t;
+}
+
+Topology Topology::Dragonfly(int groups, int routers_per_group,
+                             int hosts_per_router) {
+  if (groups < 2) throw ConfigError("dragonfly needs at least 2 groups");
+  if (routers_per_group < 1 || hosts_per_router < 1) {
+    throw ConfigError("dragonfly needs routers_per_group, hosts_per_router >= 1");
+  }
+  const int a = routers_per_group;
+  const int p = hosts_per_router;
+  const int hosts = groups * a * p;
+  const int num_ranks = hosts + groups * a;
+  // Global channels are spread round-robin over a group's routers: channel
+  // k of a group lands on router k % a, global-port slot k / a.
+  const int h_global = (groups - 1 + a - 1) / a;
+  const int ports = std::max(p + (a - 1) + h_global, 1);
+  Topology t(num_ranks, ports);
+  const auto router_rank = [&](int g, int i) { return hosts + g * a + i; };
+  for (int g = 0; g < groups; ++g) {
+    // Hosts hang off their router on ports [0, p).
+    for (int i = 0; i < a; ++i) {
+      for (int x = 0; x < p; ++x) {
+        const int host = (g * a + i) * p + x;
+        t.Connect(PortId{host, 0}, PortId{router_rank(g, i), x});
+      }
+    }
+    // Local clique over the group's routers on ports [p, p + a - 1).
+    for (int i = 0; i < a; ++i) {
+      for (int j = i + 1; j < a; ++j) {
+        t.Connect(PortId{router_rank(g, i), p + (j - 1)},
+                  PortId{router_rank(g, j), p + i});
+      }
+    }
+  }
+  // One global cable per group pair. Group g's channel index for peer group
+  // g2 is g2's position in g's ascending peer list.
+  const auto channel = [&](int g, int peer) { return peer < g ? peer : peer - 1; };
+  for (int g1 = 0; g1 < groups; ++g1) {
+    for (int g2 = g1 + 1; g2 < groups; ++g2) {
+      const int k1 = channel(g1, g2);
+      const int k2 = channel(g2, g1);
+      t.Connect(PortId{router_rank(g1, k1 % a), p + (a - 1) + k1 / a},
+                PortId{router_rank(g2, k2 % a), p + (a - 1) + k2 / a});
+    }
+  }
+  for (int r = hosts; r < num_ranks; ++r) t.MarkSwitch(r);
+  return t;
+}
+
 Topology Topology::FromJson(const json::Value& v) {
   const int ranks = static_cast<int>(v.at("ranks").as_int());
   const int ports = static_cast<int>(v.at("ports_per_rank").as_int());
@@ -149,6 +254,12 @@ Topology Topology::FromJson(const json::Value& v) {
                      static_cast<int>(a[1].as_int())},
               PortId{static_cast<int>(b[0].as_int()),
                      static_cast<int>(b[1].as_int())});
+  }
+  // "switches" is optional for compatibility with pre-scale-out files.
+  if (v.contains("switches")) {
+    for (const json::Value& r : v.at("switches").as_array()) {
+      t.MarkSwitch(static_cast<int>(r.as_int()));
+    }
   }
   return t;
 }
@@ -169,6 +280,13 @@ json::Value Topology::ToJson() const {
     conns.push_back(json::Value(std::move(c)));
   }
   root["connections"] = json::Value(std::move(conns));
+  if (num_switch_ranks_ > 0) {
+    json::Array switches;
+    for (int r = 0; r < num_ranks_; ++r) {
+      if (switch_[static_cast<std::size_t>(r)]) switches.push_back(json::Value(r));
+    }
+    root["switches"] = json::Value(std::move(switches));
+  }
   return json::Value(std::move(root));
 }
 

@@ -34,8 +34,16 @@ Fabric::Fabric(
   if (ports_per_rank_ < 1) {
     throw ConfigError("fabric needs at least one port per rank");
   }
-  if (num_ranks_ > net::kMaxWireRank + 1) {
-    throw ConfigError("fabric exceeds the 8-bit wire rank field");
+  if (num_ranks_ > net::kMaxWideWireRank + 1) {
+    throw ConfigError("fabric exceeds the 12-bit wide wire rank field");
+  }
+  // Fault plans corrupt/checksum the serialized 32-byte COMPACT wire image
+  // (ToWire truncates ranks to 8 bits), so reliable-link fabrics must fit
+  // the compact header; the wide format only carries lossless in-sim links.
+  if (config_.fault.enabled && num_ranks_ > net::kMaxWireRank + 1) {
+    throw ConfigError(
+        "fault plans operate on the compact 8-bit wire header; fabrics over " +
+        std::to_string(net::kMaxWireRank + 1) + " ranks cannot enable them");
   }
   if (endpoints.size() != static_cast<std::size_t>(num_ranks_)) {
     throw ConfigError("endpoint specs must cover every rank");
@@ -53,15 +61,47 @@ Fabric::Fabric(
     }
   }
 
+  // Active ports per rank: everything for a dense build; cabled ports plus
+  // the CKs endpoints map onto (p mod P) for a sparse one. Cabled ports are
+  // active on both ends, so BuildLinks below never touches a null CK.
+  const std::size_t P = static_cast<std::size_t>(ports_per_rank_);
+  std::vector<std::vector<bool>> active(
+      static_cast<std::size_t>(num_ranks_),
+      std::vector<bool>(P, !config_.sparse_wiring));
+  if (config_.sparse_wiring) {
+    for (const auto& [a, b] : connections) {
+      for (const net::PortId pid : {a, b}) {
+        if (pid.rank >= 0 && pid.rank < num_ranks_ && pid.port >= 0 &&
+            pid.port < ports_per_rank_) {  // full checks re-run in BuildLinks
+          active[static_cast<std::size_t>(pid.rank)]
+                [static_cast<std::size_t>(pid.port)] = true;
+        }
+      }
+    }
+    for (int r = 0; r < num_ranks_; ++r) {
+      const RankEndpoints& eps = endpoints[static_cast<std::size_t>(r)];
+      for (const std::vector<int>& ports : {eps.send_ports, eps.recv_ports}) {
+        for (const int p : ports) {
+          if (p >= 0) {
+            active[static_cast<std::size_t>(r)][static_cast<std::size_t>(
+                p % ports_per_rank_)] = true;
+          }
+        }
+      }
+    }
+  }
+
   ranks_.resize(static_cast<std::size_t>(num_ranks_));
   for (int r = 0; r < num_ranks_; ++r) {
-    BuildRank(engine, r, endpoints[static_cast<std::size_t>(r)]);
+    BuildRank(engine, r, endpoints[static_cast<std::size_t>(r)],
+              active[static_cast<std::size_t>(r)]);
   }
   BuildLinks(engine, connections);
   engine.SetPartitionTag(sim::Engine::kUntaggedPartition);
 }
 
-void Fabric::BuildRank(sim::Engine& engine, int r, const RankEndpoints& eps) {
+void Fabric::BuildRank(sim::Engine& engine, int r, const RankEndpoints& eps,
+                       const std::vector<bool>& active) {
   // Everything built here is rank-local, which is exactly the partition
   // boundary the parallel scheduler needs: tag it all with the rank id.
   engine.SetPartitionTag(r);
@@ -69,8 +109,17 @@ void Fabric::BuildRank(sim::Engine& engine, int r, const RankEndpoints& eps) {
   const int P = ports_per_rank_;
   const std::string prefix = "r" + std::to_string(r) + ".";
 
-  // Create the CK modules.
+  // Create the CK modules (only for active ports on a sparse build; the
+  // vectors keep nullptr holes so port indexing stays direct).
+  const auto is_active = [&active](int q) {
+    return active[static_cast<std::size_t>(q)];
+  };
   for (int q = 0; q < P; ++q) {
+    if (!is_active(q)) {
+      rank.cks.push_back(nullptr);
+      rank.ckr.push_back(nullptr);
+      continue;
+    }
     rank.cks.push_back(&engine.MakeComponent<Cks>(
         prefix + "cks" + std::to_string(q), r, q, config_.poll_r));
     rank.ckr.push_back(&engine.MakeComponent<Ckr>(
@@ -110,6 +159,7 @@ void Fabric::BuildRank(sim::Engine& engine, int r, const RankEndpoints& eps) {
     // Every CKR must know the owner so mis-delivered local packets can be
     // forwarded across the CKR crossbar.
     for (int other = 0; other < P; ++other) {
+      if (!is_active(other)) continue;
       rank.ckr[static_cast<std::size_t>(other)]->SetPortOwner(p, q);
     }
   }
@@ -117,6 +167,7 @@ void Fabric::BuildRank(sim::Engine& engine, int r, const RankEndpoints& eps) {
   // Paired CKR -> CKS (transit packets) and CKS -> paired CKR (local
   // deliveries).
   for (int q = 0; q < P; ++q) {
+    if (!is_active(q)) continue;
     PacketFifo& ckr_to_cks = engine.MakeFifo<net::Packet>(
         FifoName("ckr->cks", r, q), config_.crossbar_fifo_depth);
     rank.ckr[static_cast<std::size_t>(q)]->SetPairedCksOutput(ckr_to_cks);
@@ -131,8 +182,9 @@ void Fabric::BuildRank(sim::Engine& engine, int r, const RankEndpoints& eps) {
   // CKS crossbar (packets needing a different network port) and CKR
   // crossbar (local packets whose destination port lives on another CKR).
   for (int q = 0; q < P; ++q) {
+    if (!is_active(q)) continue;
     for (int o = 0; o < P; ++o) {
-      if (q == o) continue;
+      if (q == o || !is_active(o)) continue;
       PacketFifo& cks_x = engine.MakeFifo<net::Packet>(
           FifoName("cks->cks", r, q, o), config_.crossbar_fifo_depth);
       rank.cks[static_cast<std::size_t>(q)]->SetCksOutput(o, cks_x);
@@ -332,9 +384,9 @@ void Fabric::UploadRoutes(const net::RoutingTable& routes) {
                           std::to_string(d) + ") uses out-of-range port " +
                           std::to_string(q));
       }
-      if (!ranks_[static_cast<std::size_t>(r)]
-               .cks[static_cast<std::size_t>(q)]
-               ->has_network_output()) {
+      const Cks* cks =
+          ranks_[static_cast<std::size_t>(r)].cks[static_cast<std::size_t>(q)];
+      if (cks == nullptr || !cks->has_network_output()) {
         throw ConfigError("routing table entry (" + std::to_string(r) + ", " +
                           std::to_string(d) + ") uses unwired network port " +
                           std::to_string(q) + " of rank " + std::to_string(r));
@@ -347,7 +399,7 @@ void Fabric::UploadRoutes(const net::RoutingTable& routes) {
       next_port[static_cast<std::size_t>(d)] = routes.next_port(r, d);
     }
     for (Cks* cks : ranks_[static_cast<std::size_t>(r)].cks) {
-      cks->UploadRoutes(next_port);
+      if (cks != nullptr) cks->UploadRoutes(next_port);
     }
   }
   routes_uploaded_ = true;
@@ -514,13 +566,23 @@ json::Value Fabric::FidelityJson() const {
 }
 
 const Cks& Fabric::cks(int rank, int port) const {
-  return *ranks_[static_cast<std::size_t>(rank)]
-              .cks[static_cast<std::size_t>(port)];
+  const Cks* c = ranks_[static_cast<std::size_t>(rank)]
+                     .cks[static_cast<std::size_t>(port)];
+  if (c == nullptr) {
+    throw ConfigError("rank " + std::to_string(rank) +
+                      " has no CKS on inactive port " + std::to_string(port));
+  }
+  return *c;
 }
 
 const Ckr& Fabric::ckr(int rank, int port) const {
-  return *ranks_[static_cast<std::size_t>(rank)]
-              .ckr[static_cast<std::size_t>(port)];
+  const Ckr* c = ranks_[static_cast<std::size_t>(rank)]
+                     .ckr[static_cast<std::size_t>(port)];
+  if (c == nullptr) {
+    throw ConfigError("rank " + std::to_string(rank) +
+                      " has no CKR on inactive port " + std::to_string(port));
+  }
+  return *c;
 }
 
 }  // namespace smi::transport

@@ -65,6 +65,17 @@ struct FabricConfig {
   /// Fault plan. When `fault.enabled`, links are built as reliable links and
   /// the plan's per-link specs drive the injected faults (see file comment).
   fault::FaultPlan fault;
+  /// Sparse wiring: build CKS/CKR pairs and crossbar FIFOs only for *active*
+  /// ports — ports that are cabled, or that serve an application endpoint
+  /// (port p maps to CK p mod P). Scale-out topologies declare many ports
+  /// per rank (a fat-tree leaf wires hosts+spines ports, a dragonfly router
+  /// hosts+local+global) but each individual rank wires only a few, and
+  /// hosts wire exactly one; dense building would create P^2 crossbar FIFOs
+  /// per rank and — because a polling arbiter examines one input per cycle —
+  /// change cycle timing. Sparse wiring is therefore opt-in (the Cluster
+  /// enables it automatically for switch-rank topologies) and existing
+  /// dense fabrics keep their exact cycle behaviour.
+  bool sparse_wiring = false;
 };
 
 /// Which application endpoints exist on a rank. In the paper this is the
@@ -105,6 +116,14 @@ class Fabric final : public sim::LinkDeathSink {
   int ports_per_rank() const { return ports_per_rank_; }
   const FabricConfig& config() const { return config_; }
 
+  /// The wire header format this fabric's rank count requires: compact
+  /// (the paper's 4-byte header, up to 256 ranks) or wide (40-bit header,
+  /// up to 4096 ranks). See net/packet.h.
+  net::WireFormat wire_format() const {
+    return num_ranks_ > net::kMaxWireRank + 1 ? net::WireFormat::kWide
+                                              : net::WireFormat::kCompact;
+  }
+
   /// Total packets delivered over all serial links (traffic statistic).
   std::uint64_t TotalLinkPackets() const;
   /// Packets forwarded by a specific CKS, e.g. to measure injection rates.
@@ -130,6 +149,7 @@ class Fabric final : public sim::LinkDeathSink {
 
  private:
   struct Rank {
+    /// Indexed by port; nullptr holes on inactive ports of a sparse build.
     std::vector<Cks*> cks;
     std::vector<Ckr*> ckr;
     std::map<int, PacketFifo*> send_endpoints;  // app port -> FIFO
@@ -162,7 +182,10 @@ class Fabric final : public sim::LinkDeathSink {
     std::uint64_t recovered = 0;  ///< payloads re-queued into the CKSes
   };
 
-  void BuildRank(sim::Engine& engine, int r, const RankEndpoints& eps);
+  /// `active[q]` selects which ports get CK pairs; all-true for dense
+  /// builds, cabled-or-endpoint ports for sparse ones.
+  void BuildRank(sim::Engine& engine, int r, const RankEndpoints& eps,
+                 const std::vector<bool>& active);
   void BuildLinks(
       sim::Engine& engine,
       const std::vector<std::pair<net::PortId, net::PortId>>& connections);

@@ -126,5 +126,89 @@ TEST(Cluster, SameRankCommunicationNeedsNoLinks) {
   for (int i = 0; i < 20; ++i) EXPECT_EQ(sink[static_cast<std::size_t>(i)], i);
 }
 
+Kernel StreamTo(Context& ctx, int dst, int n) {
+  SendChannel ch = ctx.OpenSendChannel(n, DataType::kInt, dst, 0, ctx.world());
+  for (int i = 0; i < n; ++i) co_await ch.Push<std::int32_t>(i * 5);
+}
+
+Kernel SinkFrom(Context& ctx, int src, int n,
+                std::vector<std::int32_t>& sink) {
+  RecvChannel ch = ctx.OpenRecvChannel(n, DataType::kInt, src, 0, ctx.world());
+  for (int i = 0; i < n; ++i) sink.push_back(co_await ch.Pop<std::int32_t>());
+}
+
+TEST(Cluster, SwitchRanksRejectProgramsAndKernels) {
+  const Topology topo = Topology::FatTree(2, 2, 2);  // hosts [0,4)
+  // The SPMD constructor replicates the spec onto compute ranks only, so
+  // switch ranks host no endpoints and no kernels.
+  Cluster cluster(topo, P2pSpec());
+  EXPECT_THROW(
+      cluster.AddKernel(4, StreamTo(cluster.context(4), 0, 1), "bad"),
+      ConfigError);
+  // MPMD with a non-empty spec on a switch rank is rejected outright.
+  std::vector<ProgramSpec> specs(8);
+  specs[5] = P2pSpec();
+  EXPECT_THROW(Cluster(topo, specs), ConfigError);
+}
+
+TEST(Cluster, StreamsCrossFatTreeSwitches) {
+  // Cross-leaf stream: host 0 (leaf 4) -> host 3 (leaf 5) via a spine. The
+  // payload transits two forwarding-only switch ranks each way.
+  Cluster cluster(Topology::FatTree(2, 2, 2), P2pSpec());
+  std::vector<std::int32_t> sink;
+  cluster.AddKernel(0, StreamTo(cluster.context(0), 3, 50), "s");
+  cluster.AddKernel(3, SinkFrom(cluster.context(3), 0, 50, sink), "r");
+  const RunResult result = cluster.Run();
+  ASSERT_EQ(sink.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(sink[static_cast<std::size_t>(i)], i * 5);
+  }
+  EXPECT_GT(result.link_packets, 0u);
+}
+
+TEST(Cluster, StreamsCrossDragonflyGroups) {
+  // Host 0 (group 0) -> host 11 (group 2): local router, global cable,
+  // remote router.
+  Cluster cluster(net::Topology::Dragonfly(3, 2, 2), P2pSpec());
+  std::vector<std::int32_t> sink;
+  cluster.AddKernel(0, StreamTo(cluster.context(0), 11, 50), "s");
+  cluster.AddKernel(11, SinkFrom(cluster.context(11), 0, 50, sink), "r");
+  cluster.Run();
+  ASSERT_EQ(sink.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(sink[static_cast<std::size_t>(i)], i * 5);
+  }
+}
+
+TEST(Cluster, SeededRoutingIsDeterministicAndReportsFallback) {
+  const Topology topo = net::Topology::Dragonfly(3, 2, 2);
+  ClusterConfig config;
+  config.routing = net::RoutingScheme::kValiant;
+  config.routing_seed = 11;
+  Cluster a(topo, P2pSpec(), config);
+  Cluster b(topo, P2pSpec(), config);
+  EXPECT_EQ(a.routing_fell_back(), b.routing_fell_back());
+  for (int s = 0; s < topo.num_ranks(); ++s) {
+    for (int d = 0; d < topo.num_ranks(); ++d) {
+      EXPECT_EQ(a.routes().next_port(s, d), b.routes().next_port(s, d));
+    }
+  }
+  EXPECT_TRUE(net::IsDeadlockFree(topo, a.routes()));
+}
+
+TEST(Cluster, WideHeaderRanksBeyondCompactLimit) {
+  // 300 ranks exceeds the compact 8-bit wire header (256); the fabric must
+  // switch to the wide format and still deliver across the high ranks.
+  Cluster cluster(Topology::Ring(300), P2pSpec());
+  std::vector<std::int32_t> sink;
+  cluster.AddKernel(0, StreamTo(cluster.context(0), 299, 30), "s");
+  cluster.AddKernel(299, SinkFrom(cluster.context(299), 0, 30, sink), "r");
+  cluster.Run();
+  ASSERT_EQ(sink.size(), 30u);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(sink[static_cast<std::size_t>(i)], i * 5);
+  }
+}
+
 }  // namespace
 }  // namespace smi::core

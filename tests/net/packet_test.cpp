@@ -115,5 +115,25 @@ TEST(Packet, DebugStringNamesFields) {
   EXPECT_NE(s.find("dst=2"), std::string::npos);
 }
 
+TEST(Packet, WideEncodeDecodeRoundTripBeyondCompactRanks) {
+  // The wide layout carries 12-bit ranks; values above the compact 8-bit
+  // limit must survive, and the compact layout must stay byte-identical
+  // for ranks that fit it (the paper's header).
+  for (const std::uint16_t rank : {std::uint16_t{0}, std::uint16_t{255},
+                                   std::uint16_t{256}, std::uint16_t{300},
+                                   std::uint16_t{kMaxWideWireRank}}) {
+    const Header h{rank, rank, 17, OpType::kData, 7};
+    const Header d = Header::DecodeWide(h.EncodeWide());
+    EXPECT_EQ(d.src, rank);
+    EXPECT_EQ(d.dst, rank);
+    EXPECT_EQ(d.port, 17);
+    EXPECT_EQ(d.count, 7);
+  }
+  // Compact encode masks to 8 bits: rank 300 aliases to 300 - 256.
+  const Header wide{300, 300, 1, OpType::kData, 1};
+  const Header compact = Header::Decode(wide.Encode());
+  EXPECT_EQ(compact.src, 300 % 256);
+}
+
 }  // namespace
 }  // namespace smi::net

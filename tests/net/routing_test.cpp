@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <random>
+#include <set>
+#include <vector>
 
 #include "common/error.h"
 
@@ -92,18 +95,24 @@ TEST_P(RandomTopologyRouting, AutoRoutesAreCompleteAndDeadlockFree) {
   const int n = 4 + static_cast<int>(rng() % 9);  // 4..12 ranks
   const int p = 3 + static_cast<int>(rng() % 2);  // 3..4 ports
   Topology topo(n, p);
-  // Random spanning tree first (guarantees connectivity)...
+  // Random spanning tree first (guarantees connectivity): each new rank
+  // attaches to a parent drawn among the earlier ranks that still have a
+  // free port. At least one always exists (attaching consumes one port on
+  // each side, so r earlier ranks have at least r*(p-2)+1 free ports for
+  // p >= 3), so the tree never fails to connect.
   std::vector<int> next_free(static_cast<std::size_t>(n), 0);
   for (int r = 1; r < n; ++r) {
-    const int parent = static_cast<int>(rng() % static_cast<unsigned>(r));
-    if (next_free[static_cast<std::size_t>(parent)] >= p ||
-        next_free[static_cast<std::size_t>(r)] >= p) {
-      continue;  // parent out of ports; skip (still connected via others?)
+    std::vector<int> candidates;
+    for (int c = 0; c < r; ++c) {
+      if (next_free[static_cast<std::size_t>(c)] < p) candidates.push_back(c);
     }
+    ASSERT_FALSE(candidates.empty());
+    const int parent = candidates[static_cast<std::size_t>(
+        rng() % static_cast<unsigned>(candidates.size()))];
     topo.Connect(PortId{parent, next_free[static_cast<std::size_t>(parent)]++},
                  PortId{r, next_free[static_cast<std::size_t>(r)]++});
   }
-  if (!topo.IsConnected()) GTEST_SKIP() << "random tree ran out of ports";
+  ASSERT_TRUE(topo.IsConnected());
   // ...then a few random extra cables.
   for (int extra = 0; extra < n; ++extra) {
     const int a = static_cast<int>(rng() % static_cast<unsigned>(n));
@@ -212,6 +221,114 @@ TEST(Routing, BrokenTableIsDiagnosed) {
   EXPECT_THROW(routes.Path(topo, 0, 3), RoutingError);
   RoutingTable incomplete(4);
   EXPECT_THROW(incomplete.Path(topo, 0, 3), RoutingError);
+}
+
+TEST(Routing, IsDeadlockFreeThrowsOnCyclicWalk) {
+  // Regression: a structurally valid table that walks a packet in a circle
+  // used to spin IsDeadlockFree forever (`while (at != dst)` with no hop
+  // bound). It must now diagnose the loop like RoutingTable::Path does.
+  const Topology topo = Topology::Ring(4);
+  RoutingTable bad = ComputeRoutes(topo, RoutingScheme::kAuto);
+  const auto port_toward = [&](int from, int to) {
+    for (const auto& [nbr, port] : topo.Neighbors(from)) {
+      if (nbr == to) return port;
+    }
+    throw RoutingError("not adjacent");
+  };
+  // En route to rank 2, ranks 0 and 1 bounce the packet between each other.
+  bad.set_next_port(0, 2, port_toward(0, 1));
+  bad.set_next_port(1, 2, port_toward(1, 0));
+  EXPECT_NO_THROW(bad.Validate(topo));  // structurally fine: wired ports
+  EXPECT_THROW(IsDeadlockFree(topo, bad), RoutingError);
+}
+
+TEST(Routing, MinimalAdaptiveOnFatTreeIsMinimalAndNeverFallsBack) {
+  const Topology topo = Topology::FatTree(2, 2, 2);  // 4 hosts, 2+2 switches
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    bool fell_back = true;
+    const RoutingTable routes = ComputeRoutes(
+        topo, RoutingScheme::kMinimalAdaptive, seed, &fell_back);
+    // The fat-tree CDG under minimal routing is acyclic (strict up-then-
+    // down), so the escape table must never be needed.
+    EXPECT_FALSE(fell_back);
+    EXPECT_TRUE(IsDeadlockFree(topo, routes));
+    // Host pairs on the same leaf: 2 hops via the leaf; across leaves: 4
+    // hops via a spine. Hosts are ranks [0, 4).
+    EXPECT_EQ(routes.HopCount(topo, 0, 1), 2);
+    EXPECT_EQ(routes.HopCount(topo, 2, 3), 2);
+    EXPECT_EQ(routes.HopCount(topo, 0, 2), 4);
+    EXPECT_EQ(routes.HopCount(topo, 1, 3), 4);
+  }
+}
+
+TEST(Routing, MinimalAdaptiveSpreadsAcrossSpines) {
+  // With 4 spines, routes from one leaf must not all funnel through the
+  // lowest-numbered spine (the plain-BFS failure mode the seeded choice
+  // exists to avoid).
+  const Topology topo = Topology::FatTree(4, 4, 4);  // 16 hosts
+  const RoutingTable routes =
+      ComputeRoutes(topo, RoutingScheme::kMinimalAdaptive, /*seed=*/1);
+  std::set<int> first_ports;
+  for (int dst = 4; dst < 16; ++dst) {  // cross-leaf destinations of host 0
+    const std::vector<int> path = routes.Path(topo, 0, dst);
+    ASSERT_EQ(path.size(), 5u);  // host-leaf-spine-leaf-host
+    first_ports.insert(path[2]);  // the spine used
+  }
+  EXPECT_GT(first_ports.size(), 1u);
+}
+
+TEST(Routing, ValiantOnDragonflyIsDeadlockFreeAcrossSeeds) {
+  const Topology topo = Topology::Dragonfly(3, 2, 2);  // 12 hosts, 6 routers
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    bool fell_back = false;
+    const RoutingTable routes =
+        ComputeRoutes(topo, RoutingScheme::kValiant, seed, &fell_back);
+    // Whether or not this seed's table needed the up*/down* escape, the
+    // uploaded result must be deadlock-free and complete.
+    EXPECT_TRUE(IsDeadlockFree(topo, routes));
+    for (int s = 0; s < 12; ++s) {
+      for (int d = 0; d < 12; ++d) {
+        if (s == d) continue;
+        const std::vector<int> path = routes.Path(topo, s, d);
+        EXPECT_EQ(path.front(), s);
+        EXPECT_EQ(path.back(), d);
+      }
+    }
+  }
+}
+
+TEST(Routing, SeededTablesAreDeterministic) {
+  const Topology topo = Topology::FatTree(4, 4, 4);
+  const RoutingTable a =
+      ComputeRoutes(topo, RoutingScheme::kMinimalAdaptive, 7);
+  const RoutingTable b =
+      ComputeRoutes(topo, RoutingScheme::kMinimalAdaptive, 7);
+  for (int s = 0; s < topo.num_ranks(); ++s) {
+    for (int d = 0; d < topo.num_ranks(); ++d) {
+      EXPECT_EQ(a.next_port(s, d), b.next_port(s, d));
+    }
+  }
+}
+
+/// All schemes produce valid, deadlock-free tables on the scale-out
+/// builders at 16, 64 and 256 hosts.
+TEST(Routing, AllSchemesValidOnScaleOutBuilders) {
+  const std::vector<Topology> topos = {
+      Topology::FatTree(4, 4, 4),    Topology::FatTree(8, 8, 8),
+      Topology::FatTree(8, 32, 8),   Topology::Dragonfly(4, 2, 2),
+      Topology::Dragonfly(4, 4, 4),  Topology::Dragonfly(16, 4, 4),
+  };
+  for (const Topology& topo : topos) {
+    for (const RoutingScheme scheme :
+         {RoutingScheme::kUpDown, RoutingScheme::kMinimalAdaptive,
+          RoutingScheme::kValiant}) {
+      const RoutingTable routes = ComputeRoutes(topo, scheme, /*seed=*/3);
+      EXPECT_NO_THROW(routes.Validate(topo));
+      EXPECT_TRUE(IsDeadlockFree(topo, routes))
+          << RoutingSchemeName(scheme) << " on " << topo.num_ranks()
+          << " ranks";
+    }
+  }
 }
 
 }  // namespace

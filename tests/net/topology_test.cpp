@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "common/error.h"
 
@@ -104,6 +108,85 @@ TEST(Topology, JsonRejectsMalformedConnections) {
       Topology::FromJson(json::Parse(
           R"({"ranks":2,"ports_per_rank":1,"connections":[{"a":[0],"b":[1,0]}]})")),
       ParseError);
+}
+
+TEST(Topology, SwitchRankMarking) {
+  Topology t(4, 2);
+  EXPECT_FALSE(t.has_switches());
+  EXPECT_EQ(t.num_compute_ranks(), 4);
+  t.MarkSwitch(2);
+  EXPECT_TRUE(t.has_switches());
+  EXPECT_TRUE(t.is_switch(2));
+  EXPECT_FALSE(t.is_switch(0));
+  EXPECT_EQ(t.num_compute_ranks(), 3);
+  EXPECT_EQ(t.ComputeRankIds(), (std::vector<int>{0, 1, 3}));
+  t.MarkSwitch(2);  // idempotent
+  EXPECT_EQ(t.num_compute_ranks(), 3);
+  EXPECT_THROW(t.MarkSwitch(4), ConfigError);
+  // A fabric with no compute ranks at all is rejected.
+  t.MarkSwitch(0);
+  t.MarkSwitch(1);
+  EXPECT_THROW(t.MarkSwitch(3), ConfigError);
+}
+
+TEST(Topology, FatTreeShape) {
+  // 2 hosts per leaf, 2 leaves, 2 spines: hosts [0,4), leaves 4-5,
+  // spines 6-7.
+  const Topology t = Topology::FatTree(2, 2, 2);
+  EXPECT_EQ(t.num_ranks(), 8);
+  EXPECT_EQ(t.num_compute_ranks(), 4);
+  for (int h = 0; h < 4; ++h) {
+    EXPECT_FALSE(t.is_switch(h));
+    const auto peer = t.Peer(PortId{h, 0});
+    ASSERT_TRUE(peer.has_value());
+    EXPECT_EQ(peer->rank, 4 + h / 2);  // host's leaf
+  }
+  for (int sw = 4; sw < 8; ++sw) EXPECT_TRUE(t.is_switch(sw));
+  // Every leaf reaches every spine exactly once.
+  for (int leaf = 4; leaf < 6; ++leaf) {
+    std::set<int> spines;
+    for (const auto& [nbr, port] : t.Neighbors(leaf)) {
+      if (nbr >= 6) spines.insert(nbr);
+    }
+    EXPECT_EQ(spines, (std::set<int>{6, 7}));
+  }
+  EXPECT_TRUE(t.IsConnected());
+  EXPECT_THROW(Topology::FatTree(0, 2, 2), ConfigError);
+  EXPECT_THROW(Topology::FatTree(2, 2, 0), ConfigError);
+}
+
+TEST(Topology, DragonflyShape) {
+  // 3 groups, 2 routers each, 2 hosts per router: hosts [0,12), routers
+  // 12-17 group-major.
+  const Topology t = Topology::Dragonfly(3, 2, 2);
+  EXPECT_EQ(t.num_ranks(), 18);
+  EXPECT_EQ(t.num_compute_ranks(), 12);
+  for (int r = 12; r < 18; ++r) EXPECT_TRUE(t.is_switch(r));
+  EXPECT_TRUE(t.IsConnected());
+  // Every group pair is joined by exactly one global cable: collect
+  // router-router edges whose endpoints sit in different groups.
+  std::map<std::pair<int, int>, int> group_links;
+  for (const auto& conn : t.Connections()) {
+    const int ra = conn.first.rank, rb = conn.second.rank;
+    if (ra < 12 || rb < 12) continue;  // host cable
+    const int ga = (ra - 12) / 2, gb = (rb - 12) / 2;
+    if (ga == gb) continue;  // local clique cable
+    group_links[{std::min(ga, gb), std::max(ga, gb)}]++;
+  }
+  EXPECT_EQ(group_links.size(), 3u);  // 3 choose 2
+  for (const auto& [pair, count] : group_links) EXPECT_EQ(count, 1);
+  EXPECT_THROW(Topology::Dragonfly(1, 2, 2), ConfigError);
+  EXPECT_THROW(Topology::Dragonfly(3, 0, 2), ConfigError);
+}
+
+TEST(Topology, SwitchesSurviveJsonRoundTrip) {
+  const Topology t = Topology::FatTree(2, 2, 2);
+  const Topology u = Topology::FromJson(t.ToJson());
+  EXPECT_EQ(u.Connections(), t.Connections());
+  EXPECT_EQ(u.num_compute_ranks(), t.num_compute_ranks());
+  for (int r = 0; r < t.num_ranks(); ++r) {
+    EXPECT_EQ(u.is_switch(r), t.is_switch(r));
+  }
 }
 
 }  // namespace

@@ -382,5 +382,64 @@ TEST(Fabric, HigherRImprovesInjectionRate) {
   EXPECT_GE(r8, r16 - 0.01);
 }
 
+TEST(Fabric, WireFormatFollowsRankCount) {
+  Engine engine;
+  Fabric small = MakeSimpleFabric(engine, Topology::Bus(2), 0);
+  EXPECT_EQ(small.wire_format(), net::WireFormat::kCompact);
+  Engine engine2;
+  Fabric big = MakeSimpleFabric(engine2, Topology::Ring(300), 0);
+  EXPECT_EQ(big.wire_format(), net::WireFormat::kWide);
+}
+
+TEST(Fabric, RejectsRanksBeyondWideLimitAndFaultyWideFabrics) {
+  RankEndpoints eps;
+  eps.send_ports.push_back(0);
+  {
+    Engine engine;
+    std::vector<RankEndpoints> all(4100, eps);
+    EXPECT_THROW(Fabric(engine, Topology::Ring(4100), std::move(all)),
+                 ConfigError);
+  }
+  {
+    // Fault plans rewrite the compact 8-bit wire header; a wide fabric with
+    // a plan enabled must be rejected rather than corrupting ranks > 255.
+    Engine engine;
+    std::vector<RankEndpoints> all(300, eps);
+    FabricConfig config;
+    config.fault.enabled = true;
+    EXPECT_THROW(
+        Fabric(engine, Topology::Ring(300), std::move(all), config),
+        ConfigError);
+  }
+}
+
+TEST(Fabric, SparseWiringSkipsUncabledPorts) {
+  // A fat-tree wires only a fraction of each rank's uniform port count;
+  // under sparse wiring the unwired ports carry no CKS/CKR and their
+  // accessors say so, while cabled traffic still flows end to end.
+  Engine engine;
+  const Topology topo = Topology::FatTree(2, 2, 2);
+  FabricConfig config;
+  config.sparse_wiring = true;
+  RankEndpoints eps;
+  eps.send_ports.push_back(0);
+  eps.recv_ports.push_back(0);
+  std::vector<RankEndpoints> all(static_cast<std::size_t>(topo.num_ranks()),
+                                 eps);
+  Fabric fabric(engine, topo, std::move(all), config);
+  fabric.UploadRoutes(net::ComputeRoutes(topo, RoutingScheme::kUpDown));
+  // Host 0 wires only port 0 of 4; ports 1..3 are holes.
+  EXPECT_NO_THROW(fabric.cks(0, 0));
+  EXPECT_THROW(fabric.cks(0, 3), ConfigError);
+  EXPECT_THROW(fabric.ckr(0, 3), ConfigError);
+
+  std::vector<std::uint32_t> sink;
+  engine.AddKernel(SendPackets(fabric.SendEndpoint(0, 0), 0, 3, 0, 20), "s");
+  engine.AddKernel(RecvPackets(fabric.RecvEndpoint(3, 0), 20, sink), "r");
+  engine.Run();
+  ASSERT_EQ(sink.size(), 20u);
+  for (std::uint32_t i = 0; i < 20; ++i) EXPECT_EQ(sink[i], i);
+}
+
 }  // namespace
 }  // namespace smi::transport
