@@ -1,0 +1,218 @@
+/// \file bench_innet.cpp
+/// Headline for the in-network compute PR: tree-Reduce (all combining at
+/// endpoint support kernels along the binomial tree) versus reduce-in-transit
+/// (CollAlgo::kInnet — contributions stream flat toward the root and the CKS
+/// combine stages merge packets hop by hop; transport/handler.h). Sweeps
+/// 8-64 ranks on 2D tori and reports latency plus *forwarded link bytes*,
+/// the metric in-transit combining exists to shrink: every merge at an
+/// intermediate hop removes one packet from every remaining link on the
+/// path to the root.
+///
+/// The machine-readable report carries an "innet" section (validated by
+/// report_check): per-point rows plus innet/tree ratio maps keyed by rank
+/// count. `--check-ratio` makes the bench itself fail when combining does
+/// not beat the endpoint reduce on link bytes at >= 32 ranks — the CI smoke
+/// assertion.
+
+#include <cinttypes>
+#include <map>
+
+#include "bench_common.h"
+#include "net/packet.h"
+
+namespace {
+
+using namespace smi;
+using namespace smi::bench;
+using core::Cluster;
+
+sim::Kernel ReduceApp(core::Context& ctx, int count, int root, int credits,
+                      std::vector<int>& results) {
+  core::ReduceChannel chan =
+      ctx.OpenReduceChannel(count, core::DataType::kInt, core::ReduceOp::kAdd,
+                            0, root, ctx.world(), credits);
+  for (int i = 0; i < count; ++i) {
+    int rcv = -1;
+    co_await chan.Reduce(i + ctx.rank() * 1000, rcv);
+    if (ctx.rank() == root) results.push_back(rcv);
+  }
+}
+
+struct Point {
+  core::RunResult run;
+  std::uint64_t link_bytes = 0;
+  std::uint64_t combined = 0;
+  std::uint64_t splits = 0;
+  double wall_seconds = 0.0;
+  core::RunTelemetry telemetry;
+};
+
+Point RunPoint(const net::Topology& topo, core::CollAlgo algo, int count,
+               int credits, core::ClusterConfig config) {
+  // Handler activity is read from the telemetry summary, so this bench
+  // always collects counters (cost is per-event, negligible at these sizes).
+  config.engine.collect_counters = true;
+
+  core::ProgramSpec spec;
+  spec.Add(core::OpSpec::Reduce(0, core::DataType::kInt, algo,
+                                core::ReduceOp::kAdd));
+  Cluster cluster(topo, spec, config);
+  const int n = topo.num_compute_ranks();
+  std::vector<int> results;
+  for (int r = 0; r < n; ++r) {
+    cluster.AddKernel(r, ReduceApp(cluster.context(r), count, 0, credits,
+                                   results),
+                      "reduce");
+  }
+  const WallTimer timer;
+  Point pt;
+  pt.run = cluster.Run();
+  pt.wall_seconds = timer.Seconds();
+  pt.telemetry = cluster.CaptureTelemetry();
+  pt.link_bytes = pt.run.link_packets * net::kPacketBytes;
+  pt.combined = static_cast<std::uint64_t>(
+      pt.telemetry.summary.at("ck_handler_combined").as_int());
+  pt.splits = static_cast<std::uint64_t>(
+      pt.telemetry.summary.at("ck_handler_splits").as_int());
+
+  // Host-reference check: element i reduces to n*i + 1000 * (0+1+...+n-1).
+  if (results.size() != static_cast<std::size_t>(count)) {
+    throw Error("innet bench: root saw " + std::to_string(results.size()) +
+                " results, expected " + std::to_string(count));
+  }
+  const int base = 1000 * (n * (n - 1) / 2);
+  for (int i = 0; i < count; ++i) {
+    const int want = n * i + base;
+    if (results[static_cast<std::size_t>(i)] != want) {
+      throw Error("innet bench: wrong reduction at element " +
+                  std::to_string(i) + ": got " +
+                  std::to_string(results[static_cast<std::size_t>(i)]) +
+                  ", want " + std::to_string(want));
+    }
+  }
+  return pt;
+}
+
+net::Topology MakeTorus(int ranks) {
+  switch (ranks) {
+    case 8: return net::Topology::Torus2D(2, 4);
+    case 16: return net::Topology::Torus2D(4, 4);
+    case 32: return net::Topology::Torus2D(4, 8);
+    case 64: return net::Topology::Torus2D(8, 8);
+    default:
+      throw ConfigError("innet sweep supports 8/16/32/64 ranks, got " +
+                        std::to_string(ranks));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_innet",
+                "tree-Reduce vs reduce-in-transit combining, 8-64 ranks");
+  cli.AddInt("max-ranks", 64, "largest rank count (8/16/32/64)");
+  cli.AddInt("count", 4096, "elements reduced per rank");
+  cli.AddInt("credits", 64, "flow-control tile size C");
+  cli.AddInt("hold", 16,
+             "combine-buffer hold window in cycles (ClusterConfig::"
+             "innet_hold_cycles); the default absorbs the residual jitter "
+             "of the paced streams (see innet.h)");
+  cli.AddFlag("check-ratio",
+              "fail unless in-transit combining beats the tree reduce on "
+              "forwarded link bytes at every swept size >= 32 ranks");
+  AddJsonOption(cli);
+  AddObsOptions(cli);
+  if (!cli.Parse(argc, argv)) return 2;
+
+  try {
+    const int max_ranks = static_cast<int>(cli.GetInt("max-ranks"));
+    const int count = static_cast<int>(cli.GetInt("count"));
+    const int credits = static_cast<int>(cli.GetInt("credits"));
+
+    core::ClusterConfig config;
+    ConfigureObs(cli, config);
+    config.innet_hold_cycles = static_cast<int>(cli.GetInt("hold"));
+
+    PerfReport report("innet");
+    report.SetParameter("max-ranks", max_ranks);
+    report.SetParameter("count", count);
+    report.SetParameter("credits", credits);
+    report.SetParameter("hold", config.innet_hold_cycles);
+
+    PrintTitle("Reduce: binomial tree vs in-transit combining (" +
+               std::to_string(count) + " ints, 2D torus)");
+    std::printf("%6s %12s %12s %8s %14s %14s %8s %10s\n", "ranks",
+                "tree[cyc]", "innet[cyc]", "speedup", "tree[linkB]",
+                "innet[linkB]", "byteR", "combined");
+
+    json::Array rows;
+    json::Object byte_ratio;
+    json::Object latency_ratio;
+    bool ratio_ok = true;
+    core::RunTelemetry last;
+    for (int ranks = 8; ranks <= max_ranks; ranks *= 2) {
+      const net::Topology topo = MakeTorus(ranks);
+      const Point tree =
+          RunPoint(topo, core::CollAlgo::kTree, count, credits, config);
+      const Point innet =
+          RunPoint(topo, core::CollAlgo::kInnet, count, credits, config);
+
+      const double br = tree.link_bytes > 0
+                            ? static_cast<double>(innet.link_bytes) /
+                                  static_cast<double>(tree.link_bytes)
+                            : 0.0;
+      const double lr = tree.run.cycles > 0
+                            ? static_cast<double>(innet.run.cycles) /
+                                  static_cast<double>(tree.run.cycles)
+                            : 0.0;
+      const std::string key = std::to_string(ranks);
+      byte_ratio[key] = br;
+      latency_ratio[key] = lr;
+      if (ranks >= 32 && br >= 1.0) ratio_ok = false;
+
+      std::printf(
+          "%6d %12" PRIu64 " %12" PRIu64 " %7.2fx %14" PRIu64 " %14" PRIu64
+          " %8.3f %10" PRIu64 "\n",
+          ranks, tree.run.cycles, innet.run.cycles, lr > 0.0 ? 1.0 / lr : 0.0,
+          tree.link_bytes, innet.link_bytes, br, innet.combined);
+
+      for (const auto* pt : {&tree, &innet}) {
+        const bool is_innet = pt == &innet;
+        const std::string algo = is_innet ? "innet" : "tree";
+        report.AddResult(algo + "/" + key + "ranks", pt->run.cycles,
+                         pt->run.microseconds, pt->wall_seconds);
+        json::Object row;
+        row["algo"] = algo;
+        row["ranks"] = ranks;
+        row["count"] = count;
+        row["cycles"] = pt->run.cycles;
+        row["simulated_microseconds"] = pt->run.microseconds;
+        row["link_bytes"] = pt->link_bytes;
+        row["handler_combined"] = pt->combined;
+        row["handler_splits"] = pt->splits;
+        rows.push_back(json::Value(std::move(row)));
+      }
+      last = innet.telemetry;
+    }
+
+    json::Object innet_doc;
+    innet_doc["points"] = json::Value(std::move(rows));
+    innet_doc["link_bytes_ratio"] = json::Value(std::move(byte_ratio));
+    innet_doc["latency_ratio"] = json::Value(std::move(latency_ratio));
+    report.SetSection("innet", json::Value(std::move(innet_doc)));
+
+    MaybeWriteObs(cli, report, last);
+    MaybeWriteReport(cli, report);
+
+    if (cli.GetFlag("check-ratio") && !ratio_ok) {
+      std::fprintf(stderr,
+                   "RATIO FAIL: in-transit combining did not reduce "
+                   "forwarded link bytes at >= 32 ranks\n");
+      return 1;
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -108,6 +108,49 @@ void CheckScaleout(const Value& sc, const std::string& file) {
   }
 }
 
+/// Optional "innet" section (bench_innet): per-point tree-vs-in-network
+/// Reduce rows plus the per-rank-count link-byte ratios the CI assertion
+/// reads (in-transit combining must beat the endpoint reduce on forwarded
+/// link bytes at scale).
+void CheckInnet(const Value& in, const std::string& file) {
+  Require(in.is_object(), file, "\"innet\" is not an object");
+  Require(in.contains("points") && in.at("points").is_array(), file,
+          "innet missing array \"points\"");
+  Require(!in.at("points").as_array().empty(), file,
+          "innet \"points\" is empty");
+  for (const Value& row : in.at("points").as_array()) {
+    Require(row.is_object() && row.contains("algo") &&
+                row.at("algo").is_string(),
+            file, "innet point missing string \"algo\"");
+    const std::string& algo = row.at("algo").as_string();
+    Require(algo == "tree" || algo == "innet", file,
+            "innet point \"algo\" must be tree or innet, got \"" + algo +
+                "\"");
+    RequireFiniteNumber(row, "ranks", file);
+    RequireFiniteNumber(row, "count", file);
+    RequireFiniteNumber(row, "cycles", file);
+    RequireFiniteNumber(row, "link_bytes", file);
+    RequireFiniteNumber(row, "handler_combined", file);
+    RequireFiniteNumber(row, "handler_splits", file);
+  }
+  Require(in.contains("link_bytes_ratio") &&
+              in.at("link_bytes_ratio").is_object(),
+          file, "innet missing object \"link_bytes_ratio\"");
+  for (const auto& [ranks, r] : in.at("link_bytes_ratio").as_object()) {
+    Require(r.is_number(), file,
+            "innet link-byte ratio \"" + ranks + "\" is not a finite number");
+    Require(r.as_double() > 0.0, file,
+            "innet link-byte ratio \"" + ranks + "\" is not positive");
+  }
+  Require(in.contains("latency_ratio") &&
+              in.at("latency_ratio").is_object(),
+          file, "innet missing object \"latency_ratio\"");
+  for (const auto& [ranks, r] : in.at("latency_ratio").as_object()) {
+    Require(r.is_number(), file,
+            "innet latency ratio \"" + ranks + "\" is not a finite number");
+  }
+}
+
 void CheckReport(const std::string& file) {
   Value doc;
   try {
@@ -133,6 +176,7 @@ void CheckReport(const std::string& file) {
   }
   if (doc.contains("fidelity")) CheckFidelity(doc.at("fidelity"), file);
   if (doc.contains("scaleout")) CheckScaleout(doc.at("scaleout"), file);
+  if (doc.contains("innet")) CheckInnet(doc.at("innet"), file);
   std::printf("%s: ok (%zu results)\n", file.c_str(), results.size());
 }
 

@@ -9,6 +9,9 @@ resources::Resources FabricPlan::EstimateResources() const {
   for (const SupportKernelPlan& sk : support_kernels) {
     total += resources::CollectiveKernel(sk.kind, sk.algo);
   }
+  for (const HandlerPlan& h : handlers) {
+    total += resources::Handler(h.kind, h.type);
+  }
   return total;
 }
 
@@ -33,11 +36,23 @@ json::Value FabricPlan::ToJson() const {
     o["port"] = json::Value(sk.app_port);
     o["kind"] = json::Value(core::CollKindName(sk.kind));
     o["type"] = json::Value(core::DataTypeName(sk.type));
-    o["algo"] =
-        json::Value(sk.algo == core::CollAlgo::kTree ? "tree" : "linear");
+    o["algo"] = json::Value(sk.algo == core::CollAlgo::kTree    ? "tree"
+                            : sk.algo == core::CollAlgo::kInnet ? "innet"
+                                                                : "linear");
     sks.push_back(json::Value(std::move(o)));
   }
   root["support_kernels"] = json::Value(std::move(sks));
+  if (!handlers.empty()) {
+    json::Array hs;
+    for (const HandlerPlan& h : handlers) {
+      json::Object o;
+      o["port"] = json::Value(h.app_port);
+      o["class"] = json::Value(resources::HandlerKindName(h.kind));
+      o["type"] = json::Value(core::DataTypeName(h.type));
+      hs.push_back(json::Value(std::move(o)));
+    }
+    root["handlers"] = json::Value(std::move(hs));
+  }
   const resources::Resources res = EstimateResources();
   json::Object r;
   r["luts"] = json::Value(res.luts);
@@ -69,6 +84,15 @@ core::CollKind KindFromName(const std::string& name) {
   throw ParseError("unknown collective kind in plan: " + name);
 }
 
+resources::HandlerKind HandlerKindFromName(const std::string& name) {
+  for (const resources::HandlerKind k :
+       {resources::HandlerKind::kReduceCombine, resources::HandlerKind::kFanOut,
+        resources::HandlerKind::kFilter}) {
+    if (name == resources::HandlerKindName(k)) return k;
+  }
+  throw ParseError("unknown handler class in plan: " + name);
+}
+
 }  // namespace
 
 FabricPlan FabricPlan::FromJson(const json::Value& v) {
@@ -92,10 +116,21 @@ FabricPlan FabricPlan::FromJson(const json::Value& v) {
     const std::string algo = o.get_string("algo", "linear");
     if (algo == "tree") {
       sk.algo = core::CollAlgo::kTree;
+    } else if (algo == "innet") {
+      sk.algo = core::CollAlgo::kInnet;
     } else if (algo != "linear") {
       throw ParseError("unknown collective algo in plan: " + algo);
     }
     plan.support_kernels.push_back(sk);
+  }
+  if (v.contains("handlers")) {
+    for (const json::Value& o : v.at("handlers").as_array()) {
+      HandlerPlan h;
+      h.app_port = static_cast<int>(o.at("port").as_int());
+      h.kind = HandlerKindFromName(o.at("class").as_string());
+      h.type = TypeFromName(o.at("type").as_string());
+      plan.handlers.push_back(h);
+    }
   }
   return plan;
 }
@@ -121,6 +156,14 @@ FabricPlan Plan(const core::ProgramSpec& spec, int ports_per_rank,
     if (op.is_collective()) {
       plan.support_kernels.push_back(
           SupportKernelPlan{op.port, *op.coll_kind(), op.type, op.algo});
+      if (op.algo == core::CollAlgo::kInnet) {
+        // In-network Reduce generates a combine stage in the CKS forwarding
+        // path and a credit fan-out stage in the CKR path on this port.
+        plan.handlers.push_back(
+            {op.port, resources::HandlerKind::kReduceCombine, op.type});
+        plan.handlers.push_back(
+            {op.port, resources::HandlerKind::kFanOut, op.type});
+      }
     }
   }
   return plan;

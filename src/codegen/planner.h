@@ -37,13 +37,24 @@ struct SupportKernelPlan {
   core::CollAlgo algo = core::CollAlgo::kLinear;
 };
 
+/// One in-network handler stage generated into the CK forwarding path
+/// (transport/handler.h). An in-network Reduce op plans a reduce-combine
+/// stage (CKS side) and a credit fan-out stage (CKR side) on its port.
+struct HandlerPlan {
+  int app_port = 0;
+  resources::HandlerKind kind = resources::HandlerKind::kReduceCombine;
+  core::DataType type = core::DataType::kInt;
+};
+
 struct FabricPlan {
   int ports_per_rank = 4;      ///< CK pairs (network interfaces)
   std::size_t endpoint_fifo_depth = 16;
   std::vector<EndpointPlan> endpoints;
   std::vector<SupportKernelPlan> support_kernels;
+  std::vector<HandlerPlan> handlers;
 
-  /// Resource estimate: transport plus generated support kernels.
+  /// Resource estimate: transport plus generated support kernels and
+  /// in-network handler stages.
   resources::Resources EstimateResources() const;
 
   json::Value ToJson() const;

@@ -1,10 +1,23 @@
 #include "core/cluster.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 #include "common/logging.h"
+#include "core/innet.h"
 #include "obs/recorder.h"
 
 namespace smi::core {
+namespace {
+
+/// CK forwarding overhead per hop on top of the serial link latency (CKR
+/// step, crossbar FIFO, CKS step), added to FabricConfig::link_latency for
+/// the innet pacing computation. Calibrated against the measured merge rate
+/// of bench_innet; an error of e cycles misaligns streams by at most
+/// 2 * max_dist * e, which the combine hold window absorbs.
+constexpr sim::Cycle kInnetHopOverhead = 13;
+
+}  // namespace
 
 Cluster::Cluster(const net::Topology& topology, std::vector<ProgramSpec> specs,
                  ClusterConfig config) {
@@ -57,6 +70,7 @@ void Cluster::Build(const net::Topology& topology,
                                                 std::move(endpoints),
                                                 fabric_config);
 
+  topology_ = topology;  // kept for innet funnel analysis (see below)
   routes_ = net::ComputeRoutes(topology, config.routing, config.routing_seed,
                                &routing_fell_back_);
   fabric_->UploadRoutes(routes_);
@@ -101,12 +115,155 @@ void Cluster::Build(const net::Topology& topology,
       Context::CollPort cp;
       cp.kind = kind;
       cp.type = op.type;
+      cp.algo = op.algo;
+      cp.innet_op = op.reduce_op;
       cp.app_in = &app_in;
       cp.app_out = &app_out;
       ctx.coll_ports_.emplace(op.port, cp);
+
+      // Collect in-network Reduce ports: the participating ranks become the
+      // port's communicator, its first participant the default root.
+      if (op.algo == CollAlgo::kInnet) {
+        const auto it = innet_ports_.find(op.port);
+        if (it == innet_ports_.end()) {
+          InnetPort p;
+          p.op = op.reduce_op;
+          p.type = op.type;
+          p.root_global = r;
+          p.comm_global = {r};
+          innet_ports_.emplace(op.port, std::move(p));
+        } else {
+          if (it->second.op != op.reduce_op || it->second.type != op.type) {
+            throw ConfigError(
+                "in-network reduce port " + std::to_string(op.port) +
+                " declared with mismatched reduce op or datatype across "
+                "ranks");
+          }
+          it->second.comm_global.push_back(r);
+        }
+      }
     }
   }
   engine_->SetPartitionTag(sim::Engine::kUntaggedPartition);
+  innet_hold_cycles_ = config.innet_hold_cycles;
+  innet_hop_latency_ = fabric_config.link_latency + kInnetHopOverhead;
+  if (!innet_ports_.empty()) UploadInnetHandlers();
+}
+
+Cluster::InnetRoutePlan Cluster::PlanInnetRoutes(const InnetPort& p) const {
+  // Walk each contributor's route to the root and derive, per rank:
+  //  * the funnel in-degree — how many contribution streams cross its
+  //    network egress (the contributor counts at its own rank; the root's
+  //    local delivery never reaches an egress). Caps the combine handlers'
+  //    max_contribs so merged packets depart the moment every stream
+  //    converging at a hop has been folded in.
+  //  * the grant fan tree — each non-root's fan parent is the next
+  //    communicator member on its routed path toward the root, so a grant
+  //    descends exactly the data path in reverse and reaches rank r after
+  //    dist(r, root) hops.
+  //  * the pacing delay — (D - dist(r)) * 2 * L_hop cycles, which lines all
+  //    contribution streams up at every funnel (innet.h "stream pacing").
+  // If the routing tables are later replaced, all three may go stale, which
+  // only costs merges and hold-window latency, never correctness (the root
+  // counts contributions per element).
+  InnetRoutePlan plan;
+  plan.funnel.assign(static_cast<std::size_t>(num_ranks_), 0);
+  plan.fan_children.assign(static_cast<std::size_t>(num_ranks_), {});
+  plan.pace_wait.assign(static_cast<std::size_t>(num_ranks_), 0);
+  std::vector<char> in_comm(static_cast<std::size_t>(num_ranks_), 0);
+  for (const int r : p.comm_global) in_comm[static_cast<std::size_t>(r)] = 1;
+  std::vector<int> dist(static_cast<std::size_t>(num_ranks_), 0);
+  int max_dist = 0;
+  for (const int r : p.comm_global) {
+    if (r == p.root_global) continue;
+    const std::vector<int> path = routes_.Path(topology_, r, p.root_global);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      ++plan.funnel[static_cast<std::size_t>(path[i])];
+    }
+    dist[static_cast<std::size_t>(r)] = static_cast<int>(path.size()) - 1;
+    max_dist = std::max(max_dist, dist[static_cast<std::size_t>(r)]);
+    int parent = p.root_global;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      if (in_comm[static_cast<std::size_t>(path[i])] != 0) {
+        parent = path[i];
+        break;
+      }
+    }
+    plan.fan_children[static_cast<std::size_t>(parent)].push_back(r);
+  }
+  for (const int r : p.comm_global) {
+    if (r == p.root_global) continue;
+    plan.pace_wait[static_cast<std::size_t>(r)] = static_cast<int>(
+        static_cast<sim::Cycle>(max_dist - dist[static_cast<std::size_t>(r)]) *
+        2 * innet_hop_latency_);
+  }
+  plan.rtt = static_cast<int>(static_cast<sim::Cycle>(max_dist) * 2 *
+                              innet_hop_latency_);
+  return plan;
+}
+
+void Cluster::UploadInnetHandlers() {
+  std::vector<transport::HandlerTable> tables(
+      static_cast<std::size_t>(num_ranks_));
+  std::map<int, InnetRoutePlan> plans;
+  for (const auto& [port, p] : innet_ports_) {
+    InnetRoutePlan plan = PlanInnetRoutes(p);
+    AppendInnetHandlers(tables, port, p.op, p.type, p.root_global,
+                        p.comm_global, innet_hold_cycles_, plan.funnel,
+                        plan.fan_children);
+    plans.emplace(port, std::move(plan));
+  }
+  fabric_->UploadHandlers(tables);
+  // Refresh the open-time validation data and pacing of the participating
+  // contexts.
+  for (const auto& [port, p] : innet_ports_) {
+    const InnetRoutePlan& plan = plans.at(port);
+    for (const int g : p.comm_global) {
+      Context::CollPort& cp =
+          contexts_[static_cast<std::size_t>(g)].coll_ports_.at(port);
+      cp.innet_root_global = p.root_global;
+      cp.innet_comm = p.comm_global;
+      cp.innet_pace_wait = plan.pace_wait[static_cast<std::size_t>(g)];
+      cp.innet_rtt = plan.rtt;
+    }
+  }
+}
+
+void Cluster::ConfigureInnetHandlers(int port, int root_global,
+                                     std::vector<int> comm_global) {
+  const auto it = innet_ports_.find(port);
+  if (it == innet_ports_.end()) {
+    throw ConfigError("port " + std::to_string(port) +
+                      " hosts no in-network reduce (CollAlgo::kInnet)");
+  }
+  InnetPort& p = it->second;
+  if (!comm_global.empty()) {
+    for (const int g : comm_global) {
+      if (g < 0 || g >= num_ranks_ ||
+          is_switch_[static_cast<std::size_t>(g)]) {
+        throw ConfigError("in-network reduce communicator member " +
+                          std::to_string(g) + " is not a compute rank");
+      }
+      // Every member needs the port's support kernel and endpoints.
+      if (std::find(p.comm_global.begin(), p.comm_global.end(), g) ==
+              p.comm_global.end() &&
+          contexts_[static_cast<std::size_t>(g)].coll_ports_.count(port) ==
+              0) {
+        throw ConfigError("rank " + std::to_string(g) +
+                          " declares no collective on port " +
+                          std::to_string(port));
+      }
+    }
+    p.comm_global = std::move(comm_global);
+  }
+  if (std::find(p.comm_global.begin(), p.comm_global.end(), root_global) ==
+      p.comm_global.end()) {
+    throw ConfigError("in-network reduce root " +
+                      std::to_string(root_global) +
+                      " is not in the port's communicator");
+  }
+  p.root_global = root_global;
+  UploadInnetHandlers();
 }
 
 Context& Cluster::context(int rank) {

@@ -14,6 +14,7 @@
 ///     cluster.AddKernel(r, MyKernel(cluster.context(r), args...), "app");
 ///   const RunResult result = cluster.Run();
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -38,6 +39,13 @@ struct ClusterConfig {
   std::uint64_t routing_seed = 0;
   /// Depth of the FIFOs between applications and collective support kernels.
   std::size_t coll_fifo_depth = 16;
+  /// Hold window of the reduce-in-transit combine buffers (cycles a lone
+  /// packet waits for a merge partner before forwarding unmodified); used
+  /// for the handler tables of in-network Reduce ports (CollAlgo::kInnet).
+  /// The default absorbs the residual jitter of the paced contribution
+  /// streams (see innet.h "stream pacing"); thanks to the funnel in-degree
+  /// caps only tail/misaligned packets ever wait it out.
+  int innet_hold_cycles = 16;
 };
 
 /// Telemetry documents pulled from a cluster after Run() (see
@@ -92,6 +100,16 @@ class Cluster {
   /// rank subset) without rebuilding the fabric.
   void UploadRoutes(const net::RoutingTable& routes);
 
+  /// Re-target an in-network Reduce port (CollAlgo::kInnet): rebuild and
+  /// re-upload the handler tables for `root_global` (and, when non-empty,
+  /// a new communicator membership). Build() installs every innet port with
+  /// root = its first participating rank and the participants as the
+  /// communicator; call this before Run() to reduce toward a different
+  /// root. Channel opens on the port are validated against this
+  /// configuration.
+  void ConfigureInnetHandlers(int port, int root_global,
+                              std::vector<int> comm_global = {});
+
   /// Run the simulation to completion.
   RunResult Run();
 
@@ -123,16 +141,51 @@ class Cluster {
   bool routing_fell_back() const { return routing_fell_back_; }
 
  private:
+  /// One in-network Reduce port: the build-time (op, type) pair baked into
+  /// its combine handlers and the current root/communicator of its fan tree.
+  struct InnetPort {
+    ReduceOp op = ReduceOp::kAdd;
+    DataType type = DataType::kInt;
+    int root_global = 0;
+    std::vector<int> comm_global;
+  };
+
   void Build(const net::Topology& topology, std::vector<ProgramSpec> specs,
              const ClusterConfig& config);
+  /// Rebuild the per-rank handler tables from `innet_ports_`, upload them,
+  /// and refresh the contexts' open-time validation data.
+  void UploadInnetHandlers();
+
+  /// Everything an innet port's handler tables and pacing need from the
+  /// routing tables (all vectors indexed by global rank; see innet.h).
+  struct InnetRoutePlan {
+    /// Funnel in-degree: contributions routing through the rank's network
+    /// egress toward the root (caps the combine handlers' max_contribs).
+    std::vector<int> funnel;
+    /// Grant fan tree children: the rank's fan-out targets, derived as the
+    /// reverse of the data routing tree so fan distance == data distance.
+    std::vector<std::vector<int>> fan_children;
+    /// Per-rank stream-pacing delay in cycles (innet.h "stream pacing").
+    std::vector<int> pace_wait;
+    /// Grant round-trip of the communicator: 2 * max distance * hop
+    /// latency; the root's bandwidth-delay-product window covers it.
+    int rtt = 0;
+  };
+  InnetRoutePlan PlanInnetRoutes(const InnetPort& p) const;
 
   int num_ranks_ = 0;
   std::unique_ptr<sim::Engine> engine_;
   std::unique_ptr<transport::Fabric> fabric_;
+  net::Topology topology_{1, 1};  ///< replaced in Build
   net::RoutingTable routes_{1};
   std::vector<Context> contexts_;
   std::vector<bool> is_switch_;
   bool routing_fell_back_ = false;
+  std::map<int, InnetPort> innet_ports_;  // port -> configuration
+  int innet_hold_cycles_ = 16;
+  /// Per-hop latency used for the pacing computation: the fabric's serial
+  /// link latency plus the CK forwarding overhead (see PlanInnetRoutes).
+  sim::Cycle innet_hop_latency_ = 0;
 };
 
 }  // namespace smi::core

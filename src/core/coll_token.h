@@ -33,10 +33,13 @@ enum class CollKind : std::uint8_t {
 const char* CollKindName(CollKind k);
 
 /// Which implementation a collective's support kernel uses: the simple
-/// linear scheme of the reference implementation, or the binomial-tree
-/// variant (the §4.4 extension; Bcast and Reduce only). Baked into the
-/// fabric like everything else about the support kernels.
-enum class CollAlgo : std::uint8_t { kLinear, kTree };
+/// linear scheme of the reference implementation, the binomial-tree
+/// variant (the §4.4 extension; Bcast and Reduce only), or the in-network
+/// variant (Reduce only): contributions stream flat to the root and are
+/// folded *inside the network* by the reduce-in-transit handlers of
+/// transport/handler.h, with credit grants multicast down a fan-out tree.
+/// Baked into the fabric like everything else about the support kernels.
+enum class CollAlgo : std::uint8_t { kLinear, kTree, kInnet };
 
 struct CollConfig {
   CollKind kind = CollKind::kBcast;
@@ -45,6 +48,18 @@ struct CollConfig {
   int root_comm = 0;             ///< root as a communicator rank
   ReduceOp op = ReduceOp::kAdd;  ///< reduce only
   int credits = 64;              ///< reduce flow-control tile size C (§4.4)
+  /// In-network Reduce only: cycles this (non-root) rank waits after each
+  /// tile grant before streaming the tile, chosen by the Cluster so every
+  /// contributor's packet for a given base reaches each funnel rank at the
+  /// same time and the reduce-in-transit combiners actually merge them (see
+  /// innet.h, "stream pacing").
+  int pace_wait = 0;
+  /// In-network Reduce only: the communicator's grant round-trip time in
+  /// cycles (grant fan-out descent plus contribution travel back). The root
+  /// sizes its accumulation window to cover it — the classic
+  /// bandwidth-delay product — so tile grants stay ahead of the farthest
+  /// rank and the round-trip hides behind the streaming.
+  int window_cycles = 0;
   std::vector<int> comm_global;  ///< communicator members (global ranks)
 };
 

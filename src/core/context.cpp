@@ -69,9 +69,37 @@ ReduceChannel Context::OpenReduceChannel(int count, DataType type, ReduceOp op,
                                          const Communicator& comm,
                                          int credits) {
   const CollPort& cp = FindCollPort(port, CollKind::kReduce, type);
+  // An in-network reduce bakes its fold function and credit fan tree into
+  // the fabric's handler tables; the open must match them.
+  if (cp.algo == CollAlgo::kInnet) {
+    if (op != cp.innet_op) {
+      throw ConfigError(std::string("in-network reduce on port ") +
+                        std::to_string(port) + " was built for " +
+                        ReduceOpName(cp.innet_op) + ", opened with " +
+                        ReduceOpName(op));
+    }
+    if (comm.GlobalRank(root) != cp.innet_root_global) {
+      throw ConfigError(
+          "in-network reduce on port " + std::to_string(port) +
+          " has its fan tree rooted at global rank " +
+          std::to_string(cp.innet_root_global) +
+          "; re-target with Cluster::ConfigureInnetHandlers before opening "
+          "toward global rank " + std::to_string(comm.GlobalRank(root)));
+    }
+    if (comm.global_ranks() != cp.innet_comm) {
+      throw ConfigError(
+          "in-network reduce on port " + std::to_string(port) +
+          " opened with a communicator that does not match its configured "
+          "handler tables (Cluster::ConfigureInnetHandlers)");
+    }
+  }
   CollConfig cfg =
       MakeCollConfig(CollKind::kReduce, count, type, port, root, comm, credits);
   cfg.op = op;
+  if (cp.algo == CollAlgo::kInnet) {
+    cfg.pace_wait = cp.innet_pace_wait;
+    cfg.window_cycles = cp.innet_rtt;
+  }
   return ReduceChannel(std::move(cfg), rank_, *cp.app_in, *cp.app_out);
 }
 

@@ -82,8 +82,21 @@ class Context {
   struct CollPort {
     CollKind kind;
     DataType type;
+    CollAlgo algo = CollAlgo::kLinear;
     TokenFifo* app_in = nullptr;
     TokenFifo* app_out = nullptr;
+    /// In-network Reduce ports only: the (op, root, communicator) the
+    /// installed handler tables were built for. The fold function and fan
+    /// tree are baked into the fabric, so a channel open must match them
+    /// (see Cluster::ConfigureInnetHandlers to re-target).
+    ReduceOp innet_op = ReduceOp::kAdd;
+    int innet_root_global = -1;
+    std::vector<int> innet_comm;
+    /// Per-rank stream-pacing delay and communicator grant round-trip
+    /// (cycles) the Cluster derived from the routing tables; copied into
+    /// CollConfig::{pace_wait, window_cycles} at open time.
+    int innet_pace_wait = 0;
+    int innet_rtt = 0;
   };
 
   const CollPort& FindCollPort(int port, CollKind kind, DataType type) const;

@@ -41,6 +41,22 @@ DataType TypeFromName(const std::string& name) {
   throw ParseError("unknown datatype: " + name);
 }
 
+ReduceOp ReduceOpFromName(const std::string& name) {
+  if (name == "SMI_ADD") return ReduceOp::kAdd;
+  if (name == "SMI_MAX") return ReduceOp::kMax;
+  if (name == "SMI_MIN") return ReduceOp::kMin;
+  throw ParseError("unknown reduce op: " + name);
+}
+
+const char* AlgoName(CollAlgo algo) {
+  switch (algo) {
+    case CollAlgo::kLinear: return "linear";
+    case CollAlgo::kTree: return "tree";
+    case CollAlgo::kInnet: return "innet";
+  }
+  return "?";
+}
+
 }  // namespace
 
 ProgramSpec::ProgramSpec(std::vector<OpSpec> ops) {
@@ -49,6 +65,10 @@ ProgramSpec::ProgramSpec(std::vector<OpSpec> ops) {
 
 void ProgramSpec::Validate(const OpSpec& op) const {
   if (op.port < 0) throw ConfigError("negative SMI port");
+  if (op.algo == CollAlgo::kInnet && op.kind != OpSpec::Kind::kReduce) {
+    throw ConfigError(std::string("the in-network algo exists only for "
+                                  "reduce, not ") + OpKindName(op.kind));
+  }
   for (const OpSpec& existing : ops_) {
     if (existing.port != op.port) continue;
     const bool clash =
@@ -102,7 +122,11 @@ json::Value ProgramSpec::ToJson() const {
     o["port"] = json::Value(op.port);
     o["type"] = json::Value(DataTypeName(op.type));
     if (op.is_collective()) {
-      o["algo"] = json::Value(op.algo == CollAlgo::kTree ? "tree" : "linear");
+      o["algo"] = json::Value(AlgoName(op.algo));
+      if (op.kind == OpSpec::Kind::kReduce ||
+          op.kind == OpSpec::Kind::kAllreduce) {
+        o["reduce_op"] = json::Value(ReduceOpName(op.reduce_op));
+      }
     }
     ops.push_back(json::Value(std::move(o)));
   }
@@ -121,9 +145,12 @@ ProgramSpec ProgramSpec::FromJson(const json::Value& v) {
     const std::string algo = o.get_string("algo", "linear");
     if (algo == "tree") {
       op.algo = CollAlgo::kTree;
+    } else if (algo == "innet") {
+      op.algo = CollAlgo::kInnet;
     } else if (algo != "linear") {
       throw ParseError("unknown collective algo: " + algo);
     }
+    op.reduce_op = ReduceOpFromName(o.get_string("reduce_op", "SMI_ADD"));
     spec.Add(op);
   }
   return spec;

@@ -36,6 +36,12 @@ struct OpSpec {
   int port = 0;
   DataType type = DataType::kInt;
   CollAlgo algo = CollAlgo::kLinear;
+  /// Reduce/Allreduce only. For the in-network algo this is *build-time*
+  /// information: the reduce-in-transit handlers bake the fold function per
+  /// (op, type) into the fabric, and opening the channel with a different op
+  /// is rejected (for linear/tree it remains a runtime parameter and this
+  /// field is just the default).
+  ReduceOp reduce_op = ReduceOp::kAdd;
 
   static OpSpec Send(int port, DataType type) {
     return OpSpec{Kind::kSend, port, type, CollAlgo::kLinear};
@@ -48,8 +54,9 @@ struct OpSpec {
     return OpSpec{Kind::kBcast, port, type, algo};
   }
   static OpSpec Reduce(int port, DataType type,
-                       CollAlgo algo = CollAlgo::kLinear) {
-    return OpSpec{Kind::kReduce, port, type, algo};
+                       CollAlgo algo = CollAlgo::kLinear,
+                       ReduceOp reduce_op = ReduceOp::kAdd) {
+    return OpSpec{Kind::kReduce, port, type, algo, reduce_op};
   }
   static OpSpec Scatter(int port, DataType type) {
     return OpSpec{Kind::kScatter, port, type, CollAlgo::kLinear};

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "core/coll_tree.h"
+#include "core/innet.h"
 #include "core/support.h"
 
 /// \file support_tree.cpp
@@ -289,6 +290,13 @@ Kernel TreeReduceSupportKernel(SupportCtx ctx) {
 }
 
 Kernel MakeSupportKernel(CollKind kind, CollAlgo algo, SupportCtx ctx) {
+  if (algo == CollAlgo::kInnet) {
+    if (kind != CollKind::kReduce) {
+      throw ConfigError(
+          "the in-network support kernel exists only for Reduce");
+    }
+    return InnetReduceSupportKernel(ctx);
+  }
   // Allreduce embeds both phases in one kernel and exists in both shapes.
   if (kind == CollKind::kAllreduce) return AllreduceSupportKernel(ctx, algo);
   if (algo == CollAlgo::kTree) {

@@ -179,12 +179,30 @@ struct CkCounters {
   std::uint64_t hits = 0;    ///< polls that found a poppable packet
   std::uint64_t bursts = 0;  ///< burst starts (first serviced packet of a burst)
   std::uint64_t stalls = 0;  ///< cycles holding a packet with a full output
+  // In-network handler activity (transport/handler.h): packets merged away
+  // by reduce-in-transit (CKS), fan-out copies injected (CKR), and packets
+  // dropped by the count/filter handler (CKS). Zero on handler-free fabrics.
+  std::uint64_t handler_combined = 0;
+  std::uint64_t handler_splits = 0;
+  std::uint64_t handler_filtered = 0;
   Journal journal;
 
   void OnForward(int op, Cycle now) {
     if (op < 0 || op > 2) return;  // unknown wire op: not counted
     ++forwarded_by_op[op];
     journal.Add(&forwarded_by_op[op], now, 1);
+  }
+  void OnHandlerCombine(Cycle now) {
+    ++handler_combined;
+    journal.Add(&handler_combined, now, 1);
+  }
+  void OnHandlerSplit(Cycle now) {
+    ++handler_splits;
+    journal.Add(&handler_splits, now, 1);
+  }
+  void OnHandlerFiltered(Cycle now) {
+    ++handler_filtered;
+    journal.Add(&handler_filtered, now, 1);
   }
   void CountPollsTo(Cycle to) {
     polled_ = true;

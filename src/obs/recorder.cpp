@@ -105,6 +105,14 @@ json::Value Recorder::CountersJson() const {
     row["hits"] = json::Value(c.hits);
     row["bursts"] = json::Value(c.bursts);
     row["stalls"] = json::Value(c.stalls);
+    if (c.handler_combined != 0 || c.handler_splits != 0 ||
+        c.handler_filtered != 0) {
+      json::Object h;
+      h["combined"] = json::Value(c.handler_combined);
+      h["splits"] = json::Value(c.handler_splits);
+      h["filtered"] = json::Value(c.handler_filtered);
+      row["handler"] = json::Value(std::move(h));
+    }
     cks.push_back(json::Value(std::move(row)));
   }
 
@@ -174,11 +182,15 @@ json::Value Recorder::SummaryJson() const {
   }
   std::uint64_t fwd[3] = {0, 0, 0};
   std::uint64_t polls = 0, hits = 0, ck_stalls = 0;
+  std::uint64_t combined = 0, splits = 0, filtered = 0;
   for (const auto& c : cks_) {
     for (int op = 0; op < 3; ++op) fwd[op] += c.forwarded_by_op[op];
     polls += c.polls;
     hits += c.hits;
     ck_stalls += c.stalls;
+    combined += c.handler_combined;
+    splits += c.handler_splits;
+    filtered += c.handler_filtered;
   }
   std::uint64_t busy = 0, credit_stalls = 0;
   std::uint64_t retransmits = 0, checksum_failures = 0;
@@ -205,6 +217,9 @@ json::Value Recorder::SummaryJson() const {
   doc["ck_polls"] = json::Value(polls);
   doc["ck_hits"] = json::Value(hits);
   doc["ck_stalls"] = json::Value(ck_stalls);
+  doc["ck_handler_combined"] = json::Value(combined);
+  doc["ck_handler_splits"] = json::Value(splits);
+  doc["ck_handler_filtered"] = json::Value(filtered);
   doc["link_busy_cycles"] = json::Value(busy);
   doc["link_credit_stall_cycles"] = json::Value(credit_stalls);
   doc["link_retransmits"] = json::Value(retransmits);

@@ -81,6 +81,48 @@ Resources CollectiveKernel(core::CollKind kind, core::CollAlgo algo) {
     // per-child sequencing/credit state on top of the linear datapath.
     r.luts *= 1.15;
     r.ffs *= 1.15;
+  } else if (algo == core::CollAlgo::kInnet) {
+    // The endpoint kernel sheds the per-child fan-in/fan-out machinery
+    // (contributions arrive pre-merged, credits leave as one multicast);
+    // the fold pipeline it keeps is the root-side one only. The in-transit
+    // combine stages are costed separately (Handler()).
+    r.luts *= 0.85;
+    r.ffs *= 0.85;
+    r.dsps *= 0.5;
+  }
+  return r;
+}
+
+const char* HandlerKindName(HandlerKind kind) {
+  switch (kind) {
+    case HandlerKind::kReduceCombine: return "reduce_combine";
+    case HandlerKind::kFanOut: return "fan_out";
+    case HandlerKind::kFilter: return "filter";
+  }
+  return "?";
+}
+
+Resources Handler(HandlerKind kind, core::DataType type) {
+  Resources r;
+  switch (kind) {
+    case HandlerKind::kReduceCombine:
+      // Match/hold slots are packet-wide registers plus an M20K-backed
+      // buffer; the fold pipeline needs DSPs only for the FP types.
+      r.luts = 1800;
+      r.ffs = 2400;
+      r.m20ks = 2;
+      if (type == core::DataType::kFloat || type == core::DataType::kDouble) {
+        r.dsps = 2;
+      }
+      break;
+    case HandlerKind::kFanOut:
+      r.luts = 400;
+      r.ffs = 520;
+      break;
+    case HandlerKind::kFilter:
+      r.luts = 150;
+      r.ffs = 180;
+      break;
   }
   return r;
 }

@@ -76,8 +76,23 @@ Resources CollectiveKernel(core::CollKind kind);
 
 /// Algorithm-aware variant: the binomial-tree kernels carry extra
 /// parent/children bookkeeping (tree walk, per-child sequence state) over
-/// the linear ones, modeled as a structural 15% LUT/FF overhead.
+/// the linear ones, modeled as a structural 15% LUT/FF overhead. The
+/// in-network kernel itself is *cheaper* than the linear Reduce (the fold
+/// logic moves into the CK handlers, costed separately via Handler()),
+/// modeled as 85% of the linear LUT/FF cost with half the DSPs.
 Resources CollectiveKernel(core::CollKind kind, core::CollAlgo algo);
+
+/// In-network handler stages attached to the CK forwarding path
+/// (transport/handler.h). Not in the paper; structural estimates:
+///  * reduce-combine — a packet-wide match/hold buffer (M20Ks) plus an
+///    elementwise fold pipeline (DSPs for the floating-point types);
+///  * fan-out — a replication queue and per-child re-addressing;
+///  * filter — a match counter and a drop gate.
+enum class HandlerKind : std::uint8_t { kReduceCombine, kFanOut, kFilter };
+
+const char* HandlerKindName(HandlerKind kind);
+
+Resources Handler(HandlerKind kind, core::DataType type);
 
 /// Percentages of `device` consumed by `r`.
 struct Utilization {

@@ -33,6 +33,30 @@ PacketFifo* Ckr::Route(const net::Packet& pkt) const {
 }
 
 void Ckr::Step(sim::Cycle now) {
+  // Fan-out copies drain first, one per cycle: they re-enter the fabric
+  // through the paired CKS ahead of new arbitered traffic so a multicast
+  // wavefront keeps log-depth latency. When the CKS-bound FIFO is full the
+  // drain must NOT block the arbiter below: the CKS may itself be
+  // head-of-line blocked on this CKR's input FIFO (e.g. a burst of
+  // self-addressed credit grants looping CKS -> CKR -> fan -> CKS), and
+  // only continued arbitration breaks that cycle.
+  if (!fan_queue_.empty()) {
+    if (to_cks_ == nullptr) {
+      throw ConfigError(name() + ": fan-out copy without paired CKS");
+    }
+    if (to_cks_->CanPush(now)) {
+      to_cks_->Push(fan_queue_.front(), now);
+      const net::Packet& pkt = fan_queue_.front();
+      ++forwarded_;
+      ++handler_splits_;
+      if (obs_ != nullptr) {
+        obs_->OnForward(static_cast<int>(pkt.hdr.op), now);
+        obs_->OnHandlerSplit(now);
+      }
+      fan_queue_.pop_front();
+      return;
+    }
+  }
   PacketFifo* in = arbiter_.Select(now);
   if (in == nullptr) return;
   PacketFifo* out = Route(in->Front(now));
@@ -45,6 +69,26 @@ void Ckr::Step(sim::Cycle now) {
   ++forwarded_;
   if (obs_ != nullptr) obs_->OnForward(static_cast<int>(pkt.hdr.op), now);
   arbiter_.Serviced(now);
+  // Scatter fan-out: a locally delivered packet matching a fan entry is
+  // also replicated toward the entry's children, re-addressed per child.
+  // The source rank is preserved so receivers see the multicast origin.
+  // Replication keys on the actual endpoint delivery — a locally addressed
+  // packet merely forwarded across the CKR crossbar toward the CKR owning
+  // its port must not fan out here too, or every crossbar hop would
+  // duplicate the multicast.
+  if (!handlers_.empty() && pkt.hdr.dst == local_rank_ &&
+      endpoints_.find(pkt.hdr.port) != endpoints_.end()) {
+    const HandlerEntry* fan =
+        handlers_.Find(HandlerClass::kFanOut, pkt.hdr.port, pkt.hdr.op);
+    if (fan != nullptr) {
+      for (const int child : fan->fan_dsts) {
+        if (child == local_rank_) continue;
+        net::Packet copy = pkt;
+        copy.hdr.dst = static_cast<std::uint16_t>(child);
+        fan_queue_.push_back(copy);
+      }
+    }
+  }
 }
 
 void Ckr::AttachObservability(obs::Recorder& recorder) {

@@ -12,8 +12,20 @@
 ///   * destination == local rank -> by the packet's port: either to the
 ///     application endpoint connected to this CKR, or to the CKR that owns
 ///     the destination port.
+///
+/// ## In-network fan-out
+///
+/// When the rank's handler table (transport/handler.h) holds a fan-out entry
+/// matching a locally delivered packet's (port, op), the CKR also replicates
+/// the packet toward the entry's children: one copy per cycle, re-addressed
+/// per child and re-injected through the paired CKS for routing. A tree of
+/// fan entries multicasts one source packet with log-depth latency instead
+/// of the source serializing per destination. Note: CKR has no failover
+/// re-queue — recovered packets are re-injected on the CKS side only
+/// (`Cks::InjectRecovered`), so there is no copy-push pattern to fix here.
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
 #include <vector>
@@ -21,6 +33,7 @@
 #include "net/packet.h"
 #include "sim/component.h"
 #include "transport/arbiter.h"
+#include "transport/handler.h"
 
 namespace smi::transport {
 
@@ -50,21 +63,30 @@ class Ckr final : public sim::Component {
     port_owner_[app_port] = owner_ckr;
   }
 
+  /// Install the rank's in-network handler table (validated by the fabric).
+  void UploadHandlers(HandlerTable table) { handlers_ = std::move(table); }
+
   void Step(sim::Cycle now) override;
 
   /// Registers a CkCounters block (forwarded-by-op, polls/hits/bursts/
-  /// stalls) and shares it with the arbiter.
+  /// stalls, handler activity) and shares it with the arbiter.
   void AttachObservability(obs::Recorder& recorder) override;
 
-  /// Event-driven wake contract: identical to Cks — see cks.h.
+  /// Event-driven wake contract: identical to Cks, plus a self-wake while
+  /// fan-out copies wait to be injected.
   void DeclareWakeFifos(std::vector<const sim::FifoBase*>& out) const override {
     arbiter_.AppendInputs(out);
   }
   sim::Cycle NextSelfWake(sim::Cycle now) const override {
-    return arbiter_.AnyInputHasData() ? now + 1 : sim::kNeverCycle;
+    return (!fan_queue_.empty() || arbiter_.AnyInputHasData())
+               ? now + 1
+               : sim::kNeverCycle;
   }
 
   std::uint64_t forwarded() const { return forwarded_; }
+  /// Fan-out copies injected so far (handler side channel).
+  std::uint64_t handler_splits() const { return handler_splits_; }
+  std::size_t fan_pending() const { return fan_queue_.size(); }
 
  private:
   PacketFifo* Route(const net::Packet& pkt) const;
@@ -76,7 +98,10 @@ class Ckr final : public sim::Component {
   std::vector<PacketFifo*> to_ckr_;
   std::map<int, PacketFifo*> endpoints_;
   std::map<int, int> port_owner_;
+  HandlerTable handlers_;
+  std::deque<net::Packet> fan_queue_;  ///< replicated copies awaiting injection
   std::uint64_t forwarded_ = 0;
+  std::uint64_t handler_splits_ = 0;
   obs::CkCounters* obs_ = nullptr;
 };
 

@@ -188,7 +188,8 @@ void Fabric::BuildRank(sim::Engine& engine, int r, const RankEndpoints& eps,
       PacketFifo& cks_x = engine.MakeFifo<net::Packet>(
           FifoName("cks->cks", r, q, o), config_.crossbar_fifo_depth);
       rank.cks[static_cast<std::size_t>(q)]->SetCksOutput(o, cks_x);
-      rank.cks[static_cast<std::size_t>(o)]->AddInput(cks_x);
+      rank.cks[static_cast<std::size_t>(o)]->AddInput(cks_x,
+                                                      /*from_crossbar=*/true);
 
       PacketFifo& ckr_x = engine.MakeFifo<net::Packet>(
           FifoName("ckr->ckr", r, q, o), config_.crossbar_fifo_depth);
@@ -403,6 +404,23 @@ void Fabric::UploadRoutes(const net::RoutingTable& routes) {
     }
   }
   routes_uploaded_ = true;
+}
+
+void Fabric::UploadHandlers(const std::vector<HandlerTable>& tables) {
+  if (tables.size() != static_cast<std::size_t>(num_ranks_)) {
+    throw ConfigError("need one handler table per rank");
+  }
+  // Validate every table before touching any CK, like UploadRoutes.
+  for (const HandlerTable& table : tables) table.Validate(num_ranks_);
+  for (int r = 0; r < num_ranks_; ++r) {
+    const HandlerTable& table = tables[static_cast<std::size_t>(r)];
+    for (Cks* cks : ranks_[static_cast<std::size_t>(r)].cks) {
+      if (cks != nullptr) cks->UploadHandlers(table);
+    }
+    for (Ckr* ckr : ranks_[static_cast<std::size_t>(r)].ckr) {
+      if (ckr != nullptr) ckr->UploadHandlers(table);
+    }
+  }
 }
 
 std::uint64_t Fabric::TotalLinkPackets() const {

@@ -112,6 +112,12 @@ class Fabric final : public sim::LinkDeathSink {
   /// Upload next-hop routing tables to every CKS (runtime-configurable).
   void UploadRoutes(const net::RoutingTable& routes);
 
+  /// Upload one in-network handler table per rank to every CKS and CKR of
+  /// that rank (see transport/handler.h); validated whole before any upload,
+  /// like the routing tables. Upload before traffic flows — the combine
+  /// buffers must be empty when the table changes.
+  void UploadHandlers(const std::vector<HandlerTable>& tables);
+
   int num_ranks() const { return num_ranks_; }
   int ports_per_rank() const { return ports_per_rank_; }
   const FabricConfig& config() const { return config_; }

@@ -70,5 +70,59 @@ TEST(Planner, RejectsInvalidPortCount) {
   EXPECT_THROW(Plan(ExampleSpec(), 0), smi::ConfigError);
 }
 
+TEST(Planner, InnetReducePlansHandlerStages) {
+  ProgramSpec spec;
+  spec.Add(OpSpec::Reduce(3, DataType::kFloat, core::CollAlgo::kInnet));
+  const FabricPlan plan = Plan(spec, 4);
+  ASSERT_EQ(plan.handlers.size(), 2u);
+  EXPECT_EQ(plan.handlers[0].app_port, 3);
+  EXPECT_EQ(plan.handlers[0].kind, resources::HandlerKind::kReduceCombine);
+  EXPECT_EQ(plan.handlers[0].type, DataType::kFloat);
+  EXPECT_EQ(plan.handlers[1].kind, resources::HandlerKind::kFanOut);
+  // A tree reduce on the same port plans no handlers.
+  ProgramSpec tree;
+  tree.Add(OpSpec::Reduce(3, DataType::kFloat, core::CollAlgo::kTree));
+  EXPECT_TRUE(Plan(tree, 4).handlers.empty());
+}
+
+TEST(Planner, HandlerResourcesAreCounted) {
+  ProgramSpec innet;
+  innet.Add(OpSpec::Reduce(0, DataType::kFloat, core::CollAlgo::kInnet));
+  const FabricPlan plan = Plan(innet, 4);
+  resources::Resources expected =
+      resources::Transport(4) +
+      resources::CollectiveKernel(core::CollKind::kReduce,
+                                  core::CollAlgo::kInnet);
+  for (const HandlerPlan& h : plan.handlers) {
+    expected += resources::Handler(h.kind, h.type);
+  }
+  EXPECT_DOUBLE_EQ(plan.EstimateResources().luts, expected.luts);
+  EXPECT_DOUBLE_EQ(plan.EstimateResources().dsps, expected.dsps);
+  // The combine stage carries the FP fold pipeline: DSPs over the fan-out.
+  EXPECT_GT(resources::Handler(resources::HandlerKind::kReduceCombine,
+                               DataType::kFloat)
+                .dsps,
+            resources::Handler(resources::HandlerKind::kFanOut,
+                               DataType::kFloat)
+                .dsps);
+}
+
+TEST(Planner, InnetJsonRoundTrip) {
+  ProgramSpec spec;
+  spec.Add(OpSpec::Reduce(1, DataType::kInt, core::CollAlgo::kInnet));
+  const FabricPlan plan = Plan(spec, 4);
+  const FabricPlan again = FabricPlan::FromJson(plan.ToJson());
+  ASSERT_EQ(again.support_kernels.size(), 1u);
+  EXPECT_EQ(again.support_kernels[0].algo, core::CollAlgo::kInnet);
+  ASSERT_EQ(again.handlers.size(), plan.handlers.size());
+  for (std::size_t i = 0; i < plan.handlers.size(); ++i) {
+    EXPECT_EQ(again.handlers[i].app_port, plan.handlers[i].app_port);
+    EXPECT_EQ(again.handlers[i].kind, plan.handlers[i].kind);
+    EXPECT_EQ(again.handlers[i].type, plan.handlers[i].type);
+  }
+  EXPECT_DOUBLE_EQ(again.EstimateResources().luts,
+                   plan.EstimateResources().luts);
+}
+
 }  // namespace
 }  // namespace smi::codegen

@@ -1,0 +1,332 @@
+/// \file innet_test.cpp
+/// Correctness tests for the in-network Reduce (CollAlgo::kInnet,
+/// core/innet.h): contributions stream flat toward the root and the CKS
+/// combine handlers fold them in transit. Covers the datatype/op sweep,
+/// root placement (default and re-targeted via ConfigureInnetHandlers),
+/// counts straddling every chunking edge (partial last packet, partial last
+/// tile, single tile), back-to-back channel opens (epoch advance), the
+/// build-time validation of mismatched opens, and bit-identity across the
+/// three schedulers.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/smi.h"
+
+namespace smi::core {
+namespace {
+
+using net::Topology;
+using sim::Kernel;
+using sim::SchedulerKind;
+
+/// Deterministic per-(rank, element) contribution that exercises sign and
+/// magnitude without overflowing the narrow types.
+int ContribValue(int rank, int i) { return ((i * 7 + rank * 13) % 50) - 20; }
+
+template <typename T>
+T HostReduce(ReduceOp op, int ranks, int i) {
+  T acc = static_cast<T>(ContribValue(0, i));
+  for (int r = 1; r < ranks; ++r) {
+    const T v = static_cast<T>(ContribValue(r, i));
+    switch (op) {
+      case ReduceOp::kAdd: acc = static_cast<T>(acc + v); break;
+      case ReduceOp::kMax: acc = acc > v ? acc : v; break;
+      case ReduceOp::kMin: acc = acc < v ? acc : v; break;
+    }
+  }
+  return acc;
+}
+
+template <typename T>
+Kernel ReduceApp(Context& ctx, int count, DataType type, ReduceOp op,
+                 int root, int credits, std::vector<T>& results) {
+  ReduceChannel chan =
+      ctx.OpenReduceChannel(count, type, op, 0, root, ctx.world(), credits);
+  for (int i = 0; i < count; ++i) {
+    T rcv{};
+    co_await chan.Reduce(static_cast<T>(ContribValue(ctx.rank(), i)), rcv);
+    if (ctx.rank() == ctx.world().GlobalRank(root)) results.push_back(rcv);
+  }
+}
+
+template <typename T>
+void ExpectInnetReduceMatchesHost(const Topology& topo, int count,
+                                  DataType type, ReduceOp op, int credits,
+                                  ClusterConfig config = {}) {
+  ProgramSpec spec;
+  spec.Add(OpSpec::Reduce(0, type, CollAlgo::kInnet, op));
+  Cluster cluster(topo, spec, config);
+  const int ranks = topo.num_compute_ranks();
+  std::vector<T> results;
+  for (int r = 0; r < ranks; ++r) {
+    cluster.AddKernel(r,
+                      ReduceApp<T>(cluster.context(r), count, type, op, 0,
+                                   credits, results),
+                      "innet-reduce");
+  }
+  cluster.Run();
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)],
+              HostReduce<T>(op, ranks, i))
+        << "elem " << i << " op " << ReduceOpName(op);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Datatype / op sweep at 8 ranks.
+
+TEST(InnetReduce, IntAdd) {
+  ExpectInnetReduceMatchesHost<std::int32_t>(Topology::Torus2D(2, 4), 100,
+                                             DataType::kInt, ReduceOp::kAdd,
+                                             16);
+}
+
+TEST(InnetReduce, IntMax) {
+  ExpectInnetReduceMatchesHost<std::int32_t>(Topology::Torus2D(2, 4), 100,
+                                             DataType::kInt, ReduceOp::kMax,
+                                             16);
+}
+
+TEST(InnetReduce, FloatAdd) {
+  ExpectInnetReduceMatchesHost<float>(Topology::Torus2D(2, 4), 100,
+                                      DataType::kFloat, ReduceOp::kAdd, 16);
+}
+
+TEST(InnetReduce, DoubleMin) {
+  ExpectInnetReduceMatchesHost<double>(Topology::Torus2D(2, 4), 100,
+                                       DataType::kDouble, ReduceOp::kMin, 16);
+}
+
+TEST(InnetReduce, ShortAdd) {
+  ExpectInnetReduceMatchesHost<std::int16_t>(Topology::Torus2D(2, 4), 100,
+                                             DataType::kShort, ReduceOp::kAdd,
+                                             16);
+}
+
+TEST(InnetReduce, CharMax) {
+  ExpectInnetReduceMatchesHost<std::int8_t>(Topology::Torus2D(2, 4), 100,
+                                            DataType::kChar, ReduceOp::kMax,
+                                            16);
+}
+
+// ---------------------------------------------------------------------------
+// Shape sweep: rank counts, counts at every chunking edge, small credits.
+// int packs 5 elements per packet (envelope takes 8 of the 28 payload
+// bytes), so counts probe partial-last-packet and tile boundaries.
+
+class InnetShapeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(InnetShapeSweep, SumMatchesReference) {
+  const auto [ranks, count, credits] = GetParam();
+  const Topology topo =
+      ranks == 8 ? Topology::Torus2D(2, 4) : Topology::Bus(ranks);
+  ExpectInnetReduceMatchesHost<std::int32_t>(topo, count, DataType::kInt,
+                                             ReduceOp::kAdd, credits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, InnetShapeSweep,
+    ::testing::Values(std::tuple{2, 1, 4},     // single element, single tile
+                      std::tuple{2, 40, 16},   // count % C == 8
+                      std::tuple{3, 33, 8},    // odd rank count
+                      std::tuple{4, 4, 4},     // count < elements-per-packet
+                      std::tuple{4, 5, 4},     // exactly one full packet
+                      std::tuple{4, 16, 4},    // count % C == 0
+                      std::tuple{4, 17, 4},    // partial last tile
+                      std::tuple{4, 100, 1},   // C=1: one grant per tile
+                      std::tuple{8, 120, 32},  // full torus
+                      std::tuple{8, 77, 4}));  // torus, ragged everything
+
+// ---------------------------------------------------------------------------
+// Epoch advance: back-to-back opens on the same port must not cross-combine
+// (the close barrier plus the envelope epoch guard both protect this).
+
+TEST(InnetReduce, SuccessiveOpensDoNotCrossCombine) {
+  ProgramSpec spec;
+  spec.Add(OpSpec::Reduce(0, DataType::kInt, CollAlgo::kInnet,
+                          ReduceOp::kAdd));
+  Cluster cluster(Topology::Torus2D(2, 4), spec);
+  std::vector<std::int32_t> results;
+  auto app = [](Context& ctx, std::vector<std::int32_t>& out) -> Kernel {
+    for (int round = 0; round < 4; ++round) {
+      ReduceChannel chan = ctx.OpenReduceChannel(
+          30, DataType::kInt, ReduceOp::kAdd, 0, 0, ctx.world(), 8);
+      for (int i = 0; i < 30; ++i) {
+        std::int32_t rcv = 0;
+        co_await chan.Reduce(ContribValue(ctx.rank(), i) + round, rcv);
+        if (ctx.rank() == 0) out.push_back(rcv);
+      }
+    }
+  };
+  for (int r = 0; r < 8; ++r) {
+    cluster.AddKernel(r, app(cluster.context(r), results), "app");
+  }
+  cluster.Run();
+  ASSERT_EQ(results.size(), 120u);
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 30; ++i) {
+      EXPECT_EQ(results[static_cast<std::size_t>(round * 30 + i)],
+                HostReduce<std::int32_t>(ReduceOp::kAdd, 8, i) + 8 * round)
+          << "round " << round << " elem " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// In-transit combining actually happens (the handlers fire, and the fabric
+// forwards fewer packets than the same reduction without them).
+
+TEST(InnetReduce, CombineHandlersFireAtScale) {
+  ProgramSpec spec;
+  spec.Add(OpSpec::Reduce(0, DataType::kInt, CollAlgo::kInnet,
+                          ReduceOp::kAdd));
+  ClusterConfig config;
+  config.engine.collect_counters = true;
+  Cluster cluster(Topology::Torus2D(2, 4), spec, config);
+  std::vector<std::int32_t> results;
+  for (int r = 0; r < 8; ++r) {
+    cluster.AddKernel(r,
+                      ReduceApp<std::int32_t>(cluster.context(r), 200,
+                                              DataType::kInt, ReduceOp::kAdd,
+                                              0, 16, results),
+                      "app");
+  }
+  cluster.Run();
+  ASSERT_EQ(results.size(), 200u);
+  const json::Value summary = cluster.CaptureTelemetry().summary;
+  EXPECT_GT(summary.at("ck_handler_combined").as_int(), 0);
+  EXPECT_GT(summary.at("ck_handler_splits").as_int(), 0);  // credit fan tree
+}
+
+// ---------------------------------------------------------------------------
+// Open-time validation against the uploaded handler configuration.
+
+TEST(InnetReduce, OpMismatchAtOpenThrows) {
+  ProgramSpec spec;
+  spec.Add(OpSpec::Reduce(0, DataType::kInt, CollAlgo::kInnet,
+                          ReduceOp::kAdd));
+  Cluster cluster(Topology::Bus(2), spec);
+  auto app = [](Context& ctx) -> Kernel {
+    ReduceChannel chan = ctx.OpenReduceChannel(
+        10, DataType::kInt, ReduceOp::kMax, 0, 0, ctx.world(), 8);
+    std::int32_t rcv = 0;
+    co_await chan.Reduce(1, rcv);
+  };
+  for (int r = 0; r < 2; ++r) {
+    cluster.AddKernel(r, app(cluster.context(r)), "app");
+  }
+  EXPECT_THROW(cluster.Run(), ConfigError);
+}
+
+TEST(InnetReduce, RootMismatchAtOpenThrows) {
+  ProgramSpec spec;
+  spec.Add(OpSpec::Reduce(0, DataType::kInt, CollAlgo::kInnet,
+                          ReduceOp::kAdd));
+  Cluster cluster(Topology::Bus(4), spec);
+  auto app = [](Context& ctx) -> Kernel {
+    // The handler tables were built for root 0 (the first participant).
+    ReduceChannel chan = ctx.OpenReduceChannel(
+        10, DataType::kInt, ReduceOp::kAdd, 0, 2, ctx.world(), 8);
+    std::int32_t rcv = 0;
+    co_await chan.Reduce(1, rcv);
+  };
+  for (int r = 0; r < 4; ++r) {
+    cluster.AddKernel(r, app(cluster.context(r)), "app");
+  }
+  EXPECT_THROW(cluster.Run(), ConfigError);
+}
+
+TEST(InnetReduce, ConfigureInnetHandlersRetargetsRoot) {
+  ProgramSpec spec;
+  spec.Add(OpSpec::Reduce(0, DataType::kInt, CollAlgo::kInnet,
+                          ReduceOp::kAdd));
+  Cluster cluster(Topology::Torus2D(2, 4), spec);
+  cluster.ConfigureInnetHandlers(0, /*root_global=*/3);
+  std::vector<std::int32_t> results;
+  for (int r = 0; r < 8; ++r) {
+    cluster.AddKernel(r,
+                      ReduceApp<std::int32_t>(cluster.context(r), 60,
+                                              DataType::kInt, ReduceOp::kAdd,
+                                              3, 8, results),
+                      "app");
+  }
+  cluster.Run();
+  ASSERT_EQ(results.size(), 60u);
+  for (int i = 0; i < 60; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)],
+              HostReduce<std::int32_t>(ReduceOp::kAdd, 8, i));
+  }
+  EXPECT_THROW(cluster.ConfigureInnetHandlers(1, 0), ConfigError);  // no port
+  EXPECT_THROW(cluster.ConfigureInnetHandlers(0, 99), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler bit-identity (lossless; the faulty variant lives in
+// innet_differential_test.cpp).
+
+struct Observation {
+  sim::Cycle cycles = 0;
+  std::uint64_t link_packets = 0;
+  std::uint64_t kernel_resumes = 0;
+  std::string counters;
+};
+
+Observation RunOnce(SchedulerKind kind, unsigned threads,
+                    std::vector<std::int32_t>& results) {
+  ProgramSpec spec;
+  spec.Add(OpSpec::Reduce(0, DataType::kInt, CollAlgo::kInnet,
+                          ReduceOp::kAdd));
+  ClusterConfig config;
+  config.engine.scheduler = kind;
+  config.engine.threads = threads;
+  config.engine.collect_counters = true;
+  Cluster cluster(Topology::Torus2D(2, 4), spec, config);
+  for (int r = 0; r < 8; ++r) {
+    cluster.AddKernel(r,
+                      ReduceApp<std::int32_t>(cluster.context(r), 150,
+                                              DataType::kInt, ReduceOp::kAdd,
+                                              0, 16, results),
+                      "app");
+  }
+  const RunResult result = cluster.Run();
+  return Observation{result.cycles, result.link_packets,
+                     result.kernel_resumes,
+                     cluster.CaptureTelemetry().counters.dump()};
+}
+
+TEST(InnetReduce, SchedulersAreBitIdentical) {
+  std::vector<std::int32_t> sync_results;
+  const Observation sync =
+      RunOnce(SchedulerKind::kSynchronous, 1, sync_results);
+
+  std::vector<std::int32_t> event_results;
+  const Observation event =
+      RunOnce(SchedulerKind::kEventDriven, 1, event_results);
+  EXPECT_EQ(event_results, sync_results);
+  EXPECT_EQ(event.cycles, sync.cycles);
+  EXPECT_EQ(event.link_packets, sync.link_packets);
+  EXPECT_EQ(event.kernel_resumes, sync.kernel_resumes);
+  EXPECT_EQ(event.counters, sync.counters);
+
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    std::vector<std::int32_t> par_results;
+    const Observation par =
+        RunOnce(SchedulerKind::kParallel, threads, par_results);
+    EXPECT_EQ(par_results, sync_results) << "threads=" << threads;
+    EXPECT_EQ(par.cycles, sync.cycles) << "threads=" << threads;
+    EXPECT_EQ(par.link_packets, sync.link_packets) << "threads=" << threads;
+    EXPECT_EQ(par.kernel_resumes, sync.kernel_resumes)
+        << "threads=" << threads;
+    EXPECT_EQ(par.counters, sync.counters) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace smi::core
